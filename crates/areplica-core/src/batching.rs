@@ -1,0 +1,310 @@
+//! SLO-bounded batching (Algorithm 4, §5.4).
+//!
+//! When the SLO leaves slack beyond the predicted replication time, the
+//! replication is delayed toward its deadline so multiple updates of a hot
+//! object collapse into one transfer of the newest version. A managed-
+//! workflow timer fires at `deadline - T_rep(obj) - ε`; when it does, the
+//! *latest* version is replicated and every absorbed update is accounted as
+//! a batched skip.
+
+use std::collections::HashMap;
+
+use cloudsim::objstore::ETag;
+use simkernel::{CancelToken, SimDuration, SimTime};
+
+/// Safety margin subtracted from the deadline in addition to the predicted
+/// replication time (the `ε` in Algorithm 4). Covers the pipeline overhead
+/// the transfer model does not see: the orchestrator's own invocation, the
+/// lock acquisition, and the changelog lookup.
+pub const BATCH_EPSILON: SimDuration = SimDuration::from_millis(1500);
+
+/// Per-key batching state.
+#[derive(Debug)]
+struct PendingBatch {
+    /// Versions buffered since the last replication.
+    etags: Vec<ETag>,
+    /// The armed timer (cancelled if a replication is forced early).
+    timer: Option<CancelToken>,
+    /// Deadline of the *earliest* buffered version.
+    earliest_deadline: SimTime,
+}
+
+/// What the caller must do with an incoming version.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Replicate the newest version now; `absorbed` older buffered updates
+    /// were satisfied without their own transfer.
+    ReplicateNow {
+        /// Buffered updates absorbed by this replication.
+        absorbed: u64,
+        /// Deadline of the earliest absorbed version (None when nothing was
+        /// buffered) — the binding constraint for SLO accounting.
+        earliest_deadline: Option<SimTime>,
+    },
+    /// The version was buffered; a timer will fire at the given instant.
+    Buffered {
+        /// When the (single, earliest) timer for this key fires.
+        fire_at: SimTime,
+        /// Whether the caller must arm a new timer for `fire_at` (false when
+        /// an earlier timer is already pending).
+        arm_timer: bool,
+    },
+}
+
+/// Result of draining a key's buffered versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainedBatch {
+    /// Buffered versions absorbed (not individually transferred).
+    pub absorbed: u64,
+    /// Deadline of the earliest buffered version.
+    pub earliest_deadline: SimTime,
+}
+
+/// The batching controller for one replication rule.
+#[derive(Debug, Default)]
+pub struct Batcher {
+    pending: HashMap<String, PendingBatch>,
+}
+
+impl Batcher {
+    /// Creates an empty batcher.
+    pub fn new() -> Self {
+        Batcher::default()
+    }
+
+    /// Algorithm 4's `BATCH`: decide whether `key`'s new version must be
+    /// replicated now or can wait.
+    ///
+    /// * `now` — current time;
+    /// * `deadline` — `event_time + SLO` for this version;
+    /// * `t_rep` — the model's percentile prediction for replicating the
+    ///   object.
+    pub fn on_event(
+        &mut self,
+        key: &str,
+        etag: ETag,
+        now: SimTime,
+        deadline: SimTime,
+        t_rep: SimDuration,
+    ) -> BatchDecision {
+        let must_start_by = deadline.saturating_since(SimTime::ZERO)
+            .saturating_sub(t_rep)
+            .saturating_sub(BATCH_EPSILON);
+        let fire_at = SimTime::from_nanos(must_start_by.as_nanos());
+        if fire_at <= now {
+            // No slack: replicate immediately. Everything buffered —
+            // including the newest buffered version — is superseded by the
+            // incoming version that is actually transferred.
+            let drained = self.take_pending(key);
+            return BatchDecision::ReplicateNow {
+                absorbed: drained.as_ref().map_or(0, |d| d.absorbed + 1),
+                earliest_deadline: drained.map(|d| d.earliest_deadline),
+            };
+        }
+        match self.pending.get_mut(key) {
+            Some(batch) => {
+                // Defensive: if the armed timer's basis is already overdue
+                // (its callback races this event at the same instant), drain
+                // and replicate now rather than ride a timer in the past.
+                let existing_fire = SimTime::from_nanos(
+                    batch
+                        .earliest_deadline
+                        .saturating_since(SimTime::ZERO)
+                        .saturating_sub(t_rep)
+                        .saturating_sub(BATCH_EPSILON)
+                        .as_nanos(),
+                );
+                if existing_fire <= now {
+                    let drained = self.take_pending(key);
+                    return BatchDecision::ReplicateNow {
+                        absorbed: drained.as_ref().map_or(0, |d| d.absorbed + 1),
+                        earliest_deadline: drained.map(|d| d.earliest_deadline),
+                    };
+                }
+                batch.etags.push(etag);
+                // Notifications can arrive out of order: if this version's
+                // deadline precedes the armed timer's basis, the old timer is
+                // cancelled and the caller must arm an earlier one.
+                if deadline < batch.earliest_deadline {
+                    batch.earliest_deadline = deadline;
+                    if let Some(t) = batch.timer.take() {
+                        t.cancel();
+                    }
+                    return BatchDecision::Buffered {
+                        fire_at,
+                        arm_timer: true,
+                    };
+                }
+                BatchDecision::Buffered {
+                    fire_at: SimTime::from_nanos(
+                        batch
+                            .earliest_deadline
+                            .saturating_since(SimTime::ZERO)
+                            .saturating_sub(t_rep)
+                            .saturating_sub(BATCH_EPSILON)
+                            .as_nanos(),
+                    ),
+                    arm_timer: false,
+                }
+            }
+            None => {
+                self.pending.insert(
+                    key.to_string(),
+                    PendingBatch {
+                        etags: vec![etag],
+                        timer: None,
+                        earliest_deadline: deadline,
+                    },
+                );
+                BatchDecision::Buffered {
+                    fire_at,
+                    arm_timer: true,
+                }
+            }
+        }
+    }
+
+    /// Registers the armed timer token so a forced early replication can
+    /// cancel it.
+    pub fn set_timer(&mut self, key: &str, token: CancelToken) {
+        if let Some(b) = self.pending.get_mut(key) {
+            b.timer = Some(token);
+        }
+    }
+
+    /// The timer fired (or a forced replication starts): drain the buffer.
+    ///
+    /// Returns the number of buffered versions satisfied by replicating the
+    /// latest one (minus the one actually transferred) and the earliest
+    /// buffered deadline, or `None` when nothing was buffered.
+    pub fn take_pending(&mut self, key: &str) -> Option<DrainedBatch> {
+        let batch = self.pending.remove(key)?;
+        if let Some(t) = batch.timer {
+            t.cancel();
+        }
+        Some(DrainedBatch {
+            absorbed: (batch.etags.len() as u64).saturating_sub(1),
+            earliest_deadline: batch.earliest_deadline,
+        })
+    }
+
+    /// Whether a key currently has buffered versions.
+    pub fn is_pending(&self, key: &str) -> bool {
+        self.pending.contains_key(key)
+    }
+
+    /// Number of keys with buffered versions.
+    pub fn pending_keys(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn d(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn no_slack_replicates_immediately() {
+        let mut b = Batcher::new();
+        // Deadline in 3 s, replication takes 5 s: no slack.
+        let decision = b.on_event("k", ETag(1), t(10), t(13), d(5));
+        assert_eq!(
+            decision,
+            BatchDecision::ReplicateNow {
+                absorbed: 0,
+                earliest_deadline: None
+            }
+        );
+        assert!(!b.is_pending("k"));
+    }
+
+    #[test]
+    fn slack_buffers_and_arms_timer() {
+        let mut b = Batcher::new();
+        // Deadline in 30 s, replication takes 5 s: fire at ~23.5 s
+        // (deadline - t_rep - epsilon).
+        let decision = b.on_event("k", ETag(1), t(0), t(30), d(5));
+        match decision {
+            BatchDecision::Buffered { fire_at, arm_timer } => {
+                assert!(arm_timer);
+                assert!((fire_at.as_secs_f64() - 23.5).abs() < 0.01);
+            }
+            other => panic!("expected buffer, got {other:?}"),
+        }
+        assert!(b.is_pending("k"));
+    }
+
+    #[test]
+    fn subsequent_updates_ride_the_existing_timer() {
+        let mut b = Batcher::new();
+        b.on_event("k", ETag(1), t(0), t(30), d(5));
+        let second = b.on_event("k", ETag(2), t(1), t(31), d(5));
+        match second {
+            BatchDecision::Buffered { arm_timer, fire_at } => {
+                assert!(!arm_timer, "existing (earlier) timer covers it");
+                assert!((fire_at.as_secs_f64() - 23.5).abs() < 0.01);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Draining yields 1 absorbed (2 buffered, 1 transferred) and the
+        // earliest deadline.
+        let drained = b.take_pending("k").unwrap();
+        assert_eq!(drained.absorbed, 1);
+        assert_eq!(drained.earliest_deadline, t(30));
+        assert!(!b.is_pending("k"));
+    }
+
+    #[test]
+    fn forced_replication_absorbs_buffered_updates() {
+        let mut b = Batcher::new();
+        for (i, at) in [(1u64, 0u64), (2, 1), (3, 2)] {
+            b.on_event("k", ETag(i), t(at), t(at + 60), d(5));
+        }
+        // A tight event (deadline passed) forces immediate replication and
+        // absorbs the 3 buffered versions.
+        let decision = b.on_event("k", ETag(4), t(100), t(100), d(5));
+        assert_eq!(
+            decision,
+            BatchDecision::ReplicateNow {
+                absorbed: 3,
+                earliest_deadline: Some(t(60))
+            }
+        );
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut b = Batcher::new();
+        b.on_event("a", ETag(1), t(0), t(60), d(5));
+        b.on_event("b", ETag(2), t(0), t(60), d(5));
+        assert_eq!(b.pending_keys(), 2);
+        assert_eq!(b.take_pending("a").unwrap().absorbed, 0);
+        assert!(b.is_pending("b"));
+    }
+
+    #[test]
+    fn timer_token_is_cancelled_on_drain() {
+        let mut b = Batcher::new();
+        b.on_event("k", ETag(1), t(0), t(60), d(5));
+        // Use a real simulator token.
+        let mut sim = simkernel::Sim::new(1, ());
+        let token = sim.schedule_cancellable_in(SimDuration::from_secs(50), |_| {});
+        b.set_timer("k", token.clone());
+        b.take_pending("k");
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn take_pending_of_unknown_key_is_none() {
+        let mut b = Batcher::new();
+        assert_eq!(b.take_pending("nope"), None);
+    }
+}

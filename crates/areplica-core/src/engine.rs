@@ -1,0 +1,1084 @@
+//! The variability-tolerant replication engine (§5.1).
+//!
+//! Two execution paths:
+//!
+//! * **Streamed** (single replicator, possibly the orchestrator itself):
+//!   chunks are replicated sequentially — ranged GET then multipart
+//!   `upload_part` (or a direct PUT for single-chunk objects). Matches the
+//!   model's `T_transfer = S + Σ C`.
+//! * **Distributed** (Algorithm 1): the orchestrator creates a *part pool*
+//!   in the cloud database and invokes `n` replicators; each replicator
+//!   autonomously claims parts whenever it becomes free, so fast instances
+//!   naturally process more parts than slow ones. Two database accesses per
+//!   part (claim + status update), exactly as the paper counts.
+//!
+//!   Claimed parts carry a lease timestamp: if a replicator dies
+//!   mid-part, the platform's auto-retry re-runs it and stale leases are
+//!   re-claimed, so crashes cannot strand a task.
+//!
+//! Optimistic validation (§5.2): every source GET carries `If-Match` with
+//! the version the orchestrator planned; any mismatch aborts the task, and
+//! the caller re-triggers replication of the newest version.
+//!
+//! The ablation mode [`SchedulingMode::FairDispatch`] assigns each replicator
+//! a fixed equal share instead (Figure 12/17's comparison baseline).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use cloudsim::clouddb::{Item, Value};
+use cloudsim::faas::{self, FnHandle, RetryPolicy};
+use cloudsim::objstore::{ETag, StoreError};
+use cloudsim::world::{self, CloudSim, Executor};
+use cloudsim::RegionId;
+use simkernel::{SimDuration, SimTime};
+
+use crate::config::{EngineConfig, SchedulingMode};
+use crate::model::ExecSide;
+use crate::planner::Plan;
+
+/// The DB table holding distributed-task state (part pools).
+pub const TASK_TABLE: &str = "areplica_tasks";
+
+/// Minimum execution-time headroom a replicator requires before claiming
+/// another part; below this it exits and lets peers (or its own platform
+/// retry) finish the task.
+pub const CLAIM_HEADROOM: SimDuration = SimDuration::from_secs(20);
+
+/// How long a claimed part stays reserved before peers may re-claim it.
+pub const PART_LEASE: SimDuration = SimDuration::from_secs(60);
+
+/// What the engine is asked to replicate.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Source region.
+    pub src_region: RegionId,
+    /// Source bucket.
+    pub src_bucket: String,
+    /// Destination region.
+    pub dst_region: RegionId,
+    /// Destination bucket.
+    pub dst_bucket: String,
+    /// Object key.
+    pub key: String,
+    /// The version to replicate.
+    pub etag: ETag,
+    /// Its write sequence number.
+    pub seq: u64,
+    /// Its size in bytes.
+    pub size: u64,
+    /// When the source PUT completed (delay measurement origin).
+    pub event_time: SimTime,
+}
+
+impl TaskSpec {
+    /// Unique task identity (object key + version sequence).
+    pub fn task_id(&self) -> String {
+        format!("{}#{}", self.key, self.seq)
+    }
+}
+
+/// Terminal status of a replication task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The version was replicated and is retrievable at the destination.
+    Replicated {
+        /// ETag of the replicated content.
+        etag: ETag,
+    },
+    /// Validation found a different current version; the task aborted.
+    AbortedEtagMismatch {
+        /// The source's current ETag, when known.
+        current: Option<ETag>,
+    },
+    /// The source object disappeared before replication.
+    SourceGone,
+}
+
+/// Per-replicator-instance record (Figure 17's distributions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicatorStat {
+    /// When the replicator body began executing.
+    pub started: SimTime,
+    /// When it exited.
+    pub finished: SimTime,
+    /// Number of parts it replicated.
+    pub chunks: u32,
+}
+
+/// The outcome handed to the completion callback.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// Terminal status.
+    pub status: TaskStatus,
+    /// When the terminal state was reached.
+    pub completed_at: SimTime,
+    /// Replicator functions used (0 when handled locally).
+    pub n_funcs: u32,
+    /// Where the functions ran.
+    pub side: ExecSide,
+    /// Whether the orchestrator replicated the object itself.
+    pub local: bool,
+    /// Live handle to per-replicator stats (replicators still draining after
+    /// completion keep appending their records).
+    pub replicator_stats: Rc<RefCell<Vec<ReplicatorStat>>>,
+}
+
+/// Completion callback.
+pub type OnDone = Rc<dyn Fn(&mut CloudSim, TaskOutcome)>;
+
+/// Called when the orchestrator's own work is finished and its invocation
+/// may complete (after the local transfer, or once remote replicators are
+/// dispatched).
+pub type OnDispatched = Box<dyn FnOnce(&mut CloudSim)>;
+
+struct TaskCtx {
+    task: TaskSpec,
+    cfg: EngineConfig,
+    plan: Plan,
+    exec_region: RegionId,
+    on_done: OnDone,
+    done: Cell<bool>,
+    stats: Rc<RefCell<Vec<ReplicatorStat>>>,
+}
+
+impl TaskCtx {
+    fn finish_once(&self, sim: &mut CloudSim, status: TaskStatus) {
+        if self.done.replace(true) {
+            return;
+        }
+        let outcome = TaskOutcome {
+            status,
+            completed_at: sim.now(),
+            n_funcs: if self.plan.local { 0 } else { self.plan.n },
+            side: self.plan.side,
+            local: self.plan.local,
+            replicator_stats: self.stats.clone(),
+        };
+        (self.on_done)(sim, outcome);
+    }
+}
+
+/// Executes a plan for a task.
+///
+/// `orch` is the orchestrator's own function handle when the engine is called
+/// from inside an orchestrator invocation; local plans replicate through it.
+/// Without a handle (tests, baselines), local plans run on a platform
+/// executor at the source.
+pub fn execute(
+    sim: &mut CloudSim,
+    cfg: EngineConfig,
+    task: TaskSpec,
+    plan: Plan,
+    orch: Option<FnHandle>,
+    on_done: OnDone,
+    on_dispatched: OnDispatched,
+) {
+    let exec_region = plan.side.region(task.src_region, task.dst_region);
+    let ctx = Rc::new(TaskCtx {
+        task,
+        cfg,
+        plan,
+        exec_region,
+        on_done,
+        done: Cell::new(false),
+        stats: Rc::new(RefCell::new(Vec::new())),
+    });
+
+    if plan.local {
+        let exec = match orch {
+            Some(h) => Executor::Function(h),
+            None => Executor::Platform {
+                region: ctx.task.src_region,
+                mbps: 600.0,
+            },
+        };
+        // The orchestrator already paid its own startup; it still needs the
+        // storage-client setup before moving bytes.
+        let src_cloud = sim.world.regions.cloud(ctx.task.src_region);
+        let setup = world::sample_transfer_setup(&mut sim.world, src_cloud);
+        let ctx2 = ctx.clone();
+        sim.schedule_in(setup, move |sim| {
+            // The orchestrator is released once its own transfer loop exits.
+            replicate_streamed(
+                sim,
+                exec,
+                ctx2,
+                0,
+                Some(Box::new(move |sim: &mut CloudSim, _chunks| {
+                    on_dispatched(sim);
+                })),
+            );
+        });
+        return;
+    }
+
+    if plan.n <= 1 {
+        invoke_single_replicator(sim, ctx);
+        on_dispatched(sim);
+    } else {
+        start_distributed(sim, ctx, orch, on_dispatched);
+    }
+}
+
+/// Remote single-replicator path: one function runs the streamed loop.
+fn invoke_single_replicator(sim: &mut CloudSim, ctx: Rc<TaskCtx>) {
+    let region = ctx.exec_region;
+    let spec = faas::default_spec(&sim.world, region);
+    let body: faas::FnBody = Rc::new(move |sim, handle| {
+        let ctx = ctx.clone();
+        let started = sim.now();
+        let cloud = sim.world.regions.cloud(handle.region);
+        let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+        sim.schedule_in(setup, move |sim| {
+            let done_stats = ctx.stats.clone();
+            let ctx2 = ctx.clone();
+            replicate_streamed(
+                sim,
+                Executor::Function(handle),
+                ctx2,
+                0,
+                Some(Box::new(move |sim: &mut CloudSim, chunks: u32| {
+                    done_stats.borrow_mut().push(ReplicatorStat {
+                        started,
+                        finished: sim.now(),
+                        chunks,
+                    });
+                    faas::finish(sim, handle);
+                })),
+            );
+        });
+    });
+    faas::invoke(sim, region, spec, body, RetryPolicy::default());
+}
+
+type StreamExit = Box<dyn FnOnce(&mut CloudSim, u32)>;
+
+/// Streamed replication: sequential chunk loop, multipart when multi-chunk.
+///
+/// `chunk` is the next chunk index; `exit` runs when the loop ends (for
+/// function-hosted replicas: record stats and `finish`).
+fn replicate_streamed(
+    sim: &mut CloudSim,
+    exec: Executor,
+    ctx: Rc<TaskCtx>,
+    chunk: u32,
+    exit: Option<StreamExit>,
+) {
+    let num_parts = ctx.cfg.num_parts(ctx.task.size);
+    if num_parts == 1 {
+        stream_single_chunk(sim, exec, ctx, exit);
+    } else {
+        // Multi-chunk: open a multipart upload first.
+        let ctx2 = ctx.clone();
+        debug_assert_eq!(chunk, 0);
+        world::create_multipart(
+            sim,
+            exec,
+            ctx.task.dst_region,
+            ctx.task.dst_bucket.clone(),
+            ctx.task.key.clone(),
+            move |sim, upload| {
+                let upload_id = upload.expect("destination bucket must exist");
+                stream_chunk_loop(sim, exec, ctx2, upload_id, 0, num_parts, exit);
+            },
+        );
+    }
+}
+
+fn stream_single_chunk(sim: &mut CloudSim, exec: Executor, ctx: Rc<TaskCtx>, exit: Option<StreamExit>) {
+    let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
+    let ctx2 = ctx.clone();
+    world::get_object_range(
+        sim,
+        exec,
+        ctx.task.src_region,
+        ctx.task.src_bucket.clone(),
+        ctx.task.key.clone(),
+        0,
+        ctx.task.size,
+        if_match,
+        move |sim, got| match got {
+            Ok((content, read_etag)) => {
+                let ctx3 = ctx2.clone();
+                world::put_object(
+                    sim,
+                    exec,
+                    ctx2.task.dst_region,
+                    ctx2.task.dst_bucket.clone(),
+                    ctx2.task.key.clone(),
+                    content,
+                    move |sim, put| {
+                        put.expect("destination bucket must exist");
+                        ctx3.finish_once(sim, TaskStatus::Replicated { etag: read_etag });
+                        if let Some(exit) = exit {
+                            exit(sim, 1);
+                        }
+                    },
+                );
+            }
+            Err(e) => {
+                abort_from_error(sim, &ctx2, e);
+                if let Some(exit) = exit {
+                    exit(sim, 0);
+                }
+            }
+        },
+    );
+}
+
+fn stream_chunk_loop(
+    sim: &mut CloudSim,
+    exec: Executor,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    chunk: u32,
+    num_parts: u32,
+    exit: Option<StreamExit>,
+) {
+    if chunk >= num_parts {
+        let ctx2 = ctx.clone();
+        world::complete_multipart(
+            sim,
+            exec,
+            ctx.task.dst_region,
+            upload_id,
+            move |sim, done| {
+                let applied = done.expect("multipart completion");
+                ctx2.finish_once(
+                    sim,
+                    TaskStatus::Replicated {
+                        etag: applied.etag,
+                    },
+                );
+                if let Some(exit) = exit {
+                    exit(sim, num_parts);
+                }
+            },
+        );
+        return;
+    }
+    let offset = chunk as u64 * ctx.cfg.part_size;
+    let len = ctx.cfg.part_size.min(ctx.task.size - offset);
+    let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
+    let ctx2 = ctx.clone();
+    world::get_object_range(
+        sim,
+        exec,
+        ctx.task.src_region,
+        ctx.task.src_bucket.clone(),
+        ctx.task.key.clone(),
+        offset,
+        len,
+        if_match,
+        move |sim, got| match got {
+            Ok((content, _etag)) => {
+                let ctx3 = ctx2.clone();
+                world::upload_part(
+                    sim,
+                    exec,
+                    ctx2.task.dst_region,
+                    upload_id,
+                    chunk + 1,
+                    content,
+                    move |sim, up| {
+                        up.expect("upload part");
+                        stream_chunk_loop(sim, exec, ctx3, upload_id, chunk + 1, num_parts, exit);
+                    },
+                );
+            }
+            Err(e) => {
+                abort_from_error(sim, &ctx2, e);
+                if let Some(exit) = exit {
+                    exit(sim, chunk);
+                }
+            }
+        },
+    );
+}
+
+fn abort_from_error(sim: &mut CloudSim, ctx: &Rc<TaskCtx>, e: StoreError) {
+    let status = match e {
+        StoreError::PreconditionFailed { current } => TaskStatus::AbortedEtagMismatch {
+            current: Some(current),
+        },
+        StoreError::NoSuchKey => TaskStatus::SourceGone,
+        other => panic!("unexpected storage error during replication: {other}"),
+    };
+    ctx.finish_once(sim, status);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed replication (Algorithm 1).
+// ---------------------------------------------------------------------------
+
+/// Outcome of one part-claim transaction.
+enum ClaimResult {
+    /// A part to replicate.
+    Claim(u32),
+    /// The pool is drained and nothing is re-claimable right now (peers
+    /// hold live leases, another replicator is concluding, or the pool item
+    /// is gone). The replicator exits; the platform-side watchdog rescues
+    /// genuinely stalled tasks after lease expiry.
+    NothingClaimable,
+    /// All parts are uploaded: the observer should (re-)attempt the
+    /// multipart completion. Covers the crash-of-the-last-completer case —
+    /// a duplicate completion attempt finds the upload consumed and is a
+    /// no-op.
+    AllPartsDone,
+    /// The task was aborted by a peer.
+    Aborted,
+}
+
+fn pool_item(num_parts: u32, scheduling: SchedulingMode) -> Item {
+    let mut item = Item::new();
+    // Fair dispatch assigns parts statically at invocation, so the shared
+    // pending pool stays empty; only the completion set is shared.
+    let pending = match scheduling {
+        SchedulingMode::PartGranularity => {
+            (0..num_parts).rev().map(|p| Value::Uint(p as u64)).collect()
+        }
+        SchedulingMode::FairDispatch => vec![],
+    };
+    item.insert("pending".into(), Value::List(pending));
+    item.insert("inflight_parts".into(), Value::List(vec![]));
+    item.insert("inflight_times".into(), Value::List(vec![]));
+    // Completion is tracked as a *set* of done part numbers, not a counter:
+    // a slow-but-alive lease holder whose part was re-claimed (and completed)
+    // by a rescuer must not double-count on its own late completion, or the
+    // task could conclude with another part still missing.
+    item.insert("done".into(), Value::List(vec![]));
+    item.insert("num_parts".into(), Value::Uint(num_parts as u64));
+    item.insert("aborted".into(), Value::Bool(false));
+    item
+}
+
+fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) -> ClaimResult {
+    move |slot| {
+        let Some(item) = slot.as_mut() else {
+            // Pool already cleaned up: task finished.
+            return ClaimResult::NothingClaimable;
+        };
+        if item.get("aborted").and_then(Value::as_bool) == Some(true) {
+            return ClaimResult::Aborted;
+        }
+        // Fast path: pop the pending list.
+        if let Some(Value::Uint(part)) = item
+            .get_mut("pending")
+            .and_then(Value::as_list_mut)
+            .and_then(Vec::pop)
+        {
+            let t = now.as_nanos();
+            item.get_mut("inflight_parts")
+                .and_then(Value::as_list_mut)
+                .expect("pool shape")
+                .push(Value::Uint(part));
+            item.get_mut("inflight_times")
+                .and_then(Value::as_list_mut)
+                .expect("pool shape")
+                .push(Value::Uint(t));
+            return ClaimResult::Claim(part as u32);
+        }
+        // Slow path: re-claim a stale lease (peer likely crashed).
+        let lease_ns = lease.as_nanos();
+        let times = item
+            .get("inflight_times")
+            .and_then(Value::as_list)
+            .expect("pool shape")
+            .clone();
+        for (idx, t) in times.iter().enumerate() {
+            let t = t.as_uint().expect("pool shape");
+            if now.as_nanos().saturating_sub(t) > lease_ns {
+                let part = item
+                    .get("inflight_parts")
+                    .and_then(Value::as_list)
+                    .expect("pool shape")[idx]
+                    .as_uint()
+                    .expect("pool shape") as u32;
+                item.get_mut("inflight_times")
+                    .and_then(Value::as_list_mut)
+                    .expect("pool shape")[idx] = Value::Uint(now.as_nanos());
+                return ClaimResult::Claim(part);
+            }
+        }
+        // Nothing pending and nothing stale: if every part is already
+        // uploaded, the observer should attempt the (idempotent) completion
+        // in case the original completer died first. Otherwise peers hold
+        // live leases — the watchdog rescues genuinely stalled tasks.
+        let completed = item
+            .get("done")
+            .and_then(Value::as_list)
+            .map_or(0, |d| d.len() as u64);
+        let num_parts = item
+            .get("num_parts")
+            .and_then(Value::as_uint)
+            .expect("pool shape");
+        if completed >= num_parts {
+            ClaimResult::AllPartsDone
+        } else {
+            ClaimResult::NothingClaimable
+        }
+    }
+}
+
+/// Outcome of a part-completion transaction.
+enum CompleteResult {
+    /// `(done_count, num_parts)` after (idempotently) recording the part.
+    Progress(u64, u64),
+    /// The pool no longer exists: a peer already concluded the task (the
+    /// completer was a slow lease holder whose part a rescuer duplicated).
+    AlreadyConcluded,
+}
+
+/// Idempotently marks a part done; duplicate completions of the same part
+/// (lease re-claims) do not advance the count.
+fn complete_tx(part: u32) -> impl FnOnce(&mut Option<Item>) -> CompleteResult {
+    move |slot| {
+        let Some(item) = slot.as_mut() else {
+            return CompleteResult::AlreadyConcluded;
+        };
+        // Drop the in-flight entry (if still present).
+        let idx = item
+            .get("inflight_parts")
+            .and_then(Value::as_list)
+            .expect("pool shape")
+            .iter()
+            .position(|v| v.as_uint() == Some(part as u64));
+        if let Some(idx) = idx {
+            item.get_mut("inflight_parts")
+                .and_then(Value::as_list_mut)
+                .expect("pool shape")
+                .remove(idx);
+            item.get_mut("inflight_times")
+                .and_then(Value::as_list_mut)
+                .expect("pool shape")
+                .remove(idx);
+        }
+        let done = item
+            .get_mut("done")
+            .and_then(Value::as_list_mut)
+            .expect("pool shape");
+        if !done.iter().any(|v| v.as_uint() == Some(part as u64)) {
+            done.push(Value::Uint(part as u64));
+        }
+        let count = done.len() as u64;
+        let num_parts = item
+            .get("num_parts")
+            .and_then(Value::as_uint)
+            .expect("pool shape");
+        CompleteResult::Progress(count, num_parts)
+    }
+}
+
+/// Marks the task aborted; returns `true` for the first aborter.
+fn abort_tx() -> impl FnOnce(&mut Option<Item>) -> bool {
+    move |slot| {
+        let item = slot.get_or_insert_with(Item::new);
+        let already = item.get("aborted").and_then(Value::as_bool) == Some(true);
+        item.insert("aborted".into(), Value::Bool(true));
+        !already
+    }
+}
+
+fn start_distributed(
+    sim: &mut CloudSim,
+    ctx: Rc<TaskCtx>,
+    orch: Option<FnHandle>,
+    on_dispatched: OnDispatched,
+) {
+    let prep_exec = match orch {
+        Some(h) => Executor::Function(h),
+        None => Executor::Platform {
+            region: ctx.task.src_region,
+            mbps: 600.0,
+        },
+    };
+    let ctx2 = ctx.clone();
+    // 1. Open the multipart upload at the destination.
+    world::create_multipart(
+        sim,
+        prep_exec,
+        ctx.task.dst_region,
+        ctx.task.dst_bucket.clone(),
+        ctx.task.key.clone(),
+        move |sim, upload| {
+            let upload_id = upload.expect("destination bucket must exist");
+            // 2. Create the part pool in the cloud DB co-located with the
+            //    replicators.
+            let num_parts = ctx2.cfg.num_parts(ctx2.task.size);
+            let scheduling = ctx2.cfg.scheduling;
+            let db_region = ctx2.exec_region;
+            let task_id = ctx2.task.task_id();
+            let ctx3 = ctx2.clone();
+            world::db_transact(
+                sim,
+                prep_exec,
+                db_region,
+                TASK_TABLE.into(),
+                task_id,
+                move |slot| {
+                    *slot = Some(pool_item(num_parts, scheduling));
+                },
+                move |sim, ()| {
+                    // 3. Invoke the replicators, pipelined at I per call;
+                    //    the orchestrator is then done. A platform-side
+                    //    watchdog rescues crash-stalled pools.
+                    invoke_replicators(sim, ctx3.clone(), upload_id, num_parts);
+                    if scheduling == SchedulingMode::PartGranularity {
+                        schedule_watchdog(sim, ctx3, upload_id, 0);
+                    }
+                    on_dispatched(sim);
+                },
+            );
+        },
+    );
+}
+
+fn invoke_replicators(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, num_parts: u32) {
+    let region = ctx.exec_region;
+    let spec = faas::default_spec(&sim.world, region);
+    let n = ctx.plan.n;
+    let mut stagger = SimDuration::ZERO;
+    for k in 0..n {
+        stagger += world::sample_invoke_latency(&mut sim.world, region);
+        // Fair dispatch pre-computes each replicator's fixed share.
+        let fair_parts: Option<Vec<u32>> = match ctx.cfg.scheduling {
+            SchedulingMode::PartGranularity => None,
+            SchedulingMode::FairDispatch => {
+                Some((0..num_parts).filter(|p| p % n == k).collect())
+            }
+        };
+        let ctx2 = ctx.clone();
+        let body: faas::FnBody = Rc::new(move |sim, handle| {
+            let ctx = ctx2.clone();
+            let fair = fair_parts.clone();
+            let started = sim.now();
+            let cloud = sim.world.regions.cloud(handle.region);
+            let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+            sim.schedule_in(setup, move |sim| {
+                let progress = Rc::new(Cell::new(0u32));
+                match fair {
+                    None => claim_loop(sim, handle, ctx, upload_id, started, progress),
+                    Some(parts) => {
+                        fair_loop(sim, handle, ctx, upload_id, started, progress, parts, 0)
+                    }
+                }
+            });
+        });
+        faas::invoke_after(sim, stagger, region, spec, body, RetryPolicy::default());
+    }
+}
+
+fn record_and_finish(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: &Rc<TaskCtx>,
+    started: SimTime,
+    progress: &Rc<Cell<u32>>,
+) {
+    ctx.stats.borrow_mut().push(ReplicatorStat {
+        started,
+        finished: sim.now(),
+        chunks: progress.get(),
+    });
+    faas::finish(sim, handle);
+}
+
+/// The decentralized claim loop (Algorithm 1, REPLICATOR).
+#[allow(clippy::too_many_arguments)]
+fn claim_loop(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+) {
+    // Stop claiming when the execution limit looms: a platform retry (or a
+    // peer, via the lease) takes over.
+    let now = sim.now();
+    match sim.world.faas.remaining_time(handle, now) {
+        Some(remaining) if remaining > CLAIM_HEADROOM => {}
+        _ => {
+            record_and_finish(sim, handle, &ctx, started, &progress);
+            return;
+        }
+    }
+    let db_region = ctx.exec_region;
+    let task_id = ctx.task.task_id();
+    let ctx2 = ctx.clone();
+    world::db_transact(
+        sim,
+        Executor::Function(handle),
+        db_region,
+        TASK_TABLE.into(),
+        task_id,
+        claim_tx(now, PART_LEASE),
+        move |sim, claim| match claim {
+            ClaimResult::Claim(part) => {
+                replicate_part(sim, handle, ctx2, upload_id, part, started, progress)
+            }
+            ClaimResult::AllPartsDone => {
+                conclude_distributed(sim, handle, ctx2, upload_id, started, progress);
+            }
+            ClaimResult::NothingClaimable | ClaimResult::Aborted => {
+                record_and_finish(sim, handle, &ctx2, started, &progress);
+            }
+        },
+    );
+}
+
+/// Fair-dispatch loop: fixed part list per replicator (ablation baseline).
+#[allow(clippy::too_many_arguments)]
+fn fair_loop(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+    parts: Vec<u32>,
+    idx: usize,
+) {
+    if idx >= parts.len() {
+        record_and_finish(sim, handle, &ctx, started, &progress);
+        return;
+    }
+    let part = parts[idx];
+    let ctx2 = ctx.clone();
+    let after: AfterPart = Box::new(move |sim, handle, ctx, upload_id, started, progress| {
+        fair_loop(sim, handle, ctx, upload_id, started, progress, parts, idx + 1)
+    });
+    replicate_part_inner(sim, handle, ctx2, upload_id, part, started, progress, after);
+}
+
+type AfterPart = Box<
+    dyn FnOnce(&mut CloudSim, FnHandle, Rc<TaskCtx>, u64, SimTime, Rc<Cell<u32>>),
+>;
+
+fn replicate_part(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    part: u32,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+) {
+    let after: AfterPart = Box::new(claim_loop);
+    replicate_part_inner(sim, handle, ctx, upload_id, part, started, progress, after);
+}
+
+/// Downloads and uploads one part, updates the pool, and concludes the task
+/// when the last part lands (Algorithm 1 lines 10–13).
+#[allow(clippy::too_many_arguments)]
+fn replicate_part_inner(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    part: u32,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+    after: AfterPart,
+) {
+    let offset = part as u64 * ctx.cfg.part_size;
+    let len = ctx.cfg.part_size.min(ctx.task.size - offset);
+    let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
+    let exec = Executor::Function(handle);
+    let ctx2 = ctx.clone();
+    world::get_object_range(
+        sim,
+        exec,
+        ctx.task.src_region,
+        ctx.task.src_bucket.clone(),
+        ctx.task.key.clone(),
+        offset,
+        len,
+        if_match,
+        move |sim, got| match got {
+            Ok((content, _etag)) => {
+                let ctx3 = ctx2.clone();
+                world::upload_part(
+                    sim,
+                    exec,
+                    ctx2.task.dst_region,
+                    upload_id,
+                    part + 1,
+                    content,
+                    move |sim, up| {
+                        if matches!(up, Err(StoreError::NoSuchUpload)) {
+                            // A peer concluded the task while this slow
+                            // replicator re-uploaded a lease-duplicated part;
+                            // nothing left to do.
+                            record_and_finish(sim, handle, &ctx3, started, &progress);
+                            return;
+                        }
+                        up.expect("upload part");
+                        let db_region = ctx3.exec_region;
+                        let task_id = ctx3.task.task_id();
+                        let ctx4 = ctx3.clone();
+                        world::db_transact(
+                            sim,
+                            exec,
+                            db_region,
+                            TASK_TABLE.into(),
+                            task_id,
+                            complete_tx(part),
+                            move |sim, outcome| match outcome {
+                                CompleteResult::Progress(completed, num_parts) => {
+                                    progress.set(progress.get() + 1);
+                                    if completed == num_parts {
+                                        conclude_distributed(
+                                            sim, handle, ctx4, upload_id, started, progress,
+                                        );
+                                    } else {
+                                        after(sim, handle, ctx4, upload_id, started, progress);
+                                    }
+                                }
+                                CompleteResult::AlreadyConcluded => {
+                                    record_and_finish(sim, handle, &ctx4, started, &progress);
+                                }
+                            },
+                        );
+                    },
+                );
+            }
+            Err(e) => {
+                handle_part_error(sim, handle, ctx2, e, started, progress);
+            }
+        },
+    );
+}
+
+/// The replicator that delivers the last part completes the multipart upload
+/// and concludes the task.
+fn conclude_distributed(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    upload_id: u64,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+) {
+    let exec = Executor::Function(handle);
+    let ctx2 = ctx.clone();
+    world::complete_multipart(
+        sim,
+        exec,
+        ctx.task.dst_region,
+        upload_id,
+        move |sim, done| {
+            match done {
+                Ok(applied) => {
+                    ctx2.finish_once(
+                        sim,
+                        TaskStatus::Replicated {
+                            etag: applied.etag,
+                        },
+                    );
+                    // Clean up the pool so stragglers and the watchdog see
+                    // a terminal state.
+                    let db_region = ctx2.exec_region;
+                    let task_id = ctx2.task.task_id();
+                    let exec_p = Executor::Platform {
+                        region: db_region,
+                        mbps: 1000.0,
+                    };
+                    world::db_transact(
+                        sim,
+                        exec_p,
+                        db_region,
+                        TASK_TABLE.into(),
+                        task_id,
+                        |slot| {
+                            *slot = None;
+                        },
+                        |_, ()| {},
+                    );
+                }
+                // A peer (or an earlier incarnation) already completed the
+                // upload; nothing to conclude.
+                Err(StoreError::NoSuchUpload) => {}
+                Err(e) => panic!("unexpected multipart completion error: {e}"),
+            }
+            record_and_finish(sim, handle, &ctx2, started, &progress);
+        },
+    );
+}
+
+fn handle_part_error(
+    sim: &mut CloudSim,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx>,
+    e: StoreError,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+) {
+    let status = match e {
+        StoreError::PreconditionFailed { current } => TaskStatus::AbortedEtagMismatch {
+            current: Some(current),
+        },
+        StoreError::NoSuchKey => TaskStatus::SourceGone,
+        other => panic!("unexpected storage error during part replication: {other}"),
+    };
+    let db_region = ctx.exec_region;
+    let task_id = ctx.task.task_id();
+    let ctx2 = ctx.clone();
+    world::db_transact(
+        sim,
+        Executor::Function(handle),
+        db_region,
+        TASK_TABLE.into(),
+        task_id,
+        abort_tx(),
+        move |sim, first| {
+            if first {
+                ctx2.finish_once(sim, status);
+            }
+            record_and_finish(sim, handle, &ctx2, started, &progress);
+        },
+    );
+}
+
+
+/// How often the platform-side watchdog inspects a distributed task.
+const WATCHDOG_INTERVAL: SimDuration = SimDuration::from_secs(90);
+
+/// Maximum watchdog inspections before giving up (bounds runaway tasks).
+const WATCHDOG_MAX_CHECKS: u32 = 40;
+
+/// Schedules the next watchdog inspection for a distributed task.
+///
+/// The watchdog models the dead-letter/janitor machinery a production
+/// deployment runs beside the engine: if every replicator (and its platform
+/// retries) died while holding part leases, the pool stalls with live-looking
+/// leases that nobody will ever re-claim. The watchdog notices a pool that
+/// still exists after a full lease window and invokes one rescue replicator,
+/// whose claim loop picks up the stale parts.
+fn schedule_watchdog(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, checks: u32) {
+    sim.schedule_in(WATCHDOG_INTERVAL, move |sim| {
+        watchdog_check(sim, ctx, upload_id, checks);
+    });
+}
+
+fn watchdog_check(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, checks: u32) {
+    if ctx.done.get() || checks >= WATCHDOG_MAX_CHECKS {
+        return;
+    }
+    let db_region = ctx.exec_region;
+    let task_id = ctx.task.task_id();
+    let exec = Executor::Platform {
+        region: db_region,
+        mbps: 1000.0,
+    };
+    let ctx2 = ctx.clone();
+    world::db_get(
+        sim,
+        exec,
+        db_region,
+        TASK_TABLE.into(),
+        task_id,
+        move |sim, item| {
+            let stalled = match item {
+                None => false, // concluded and cleaned up
+                Some(it) => it.get("aborted").and_then(Value::as_bool) != Some(true),
+            };
+            if stalled && !ctx2.done.get() {
+                invoke_rescue_replicator(sim, ctx2.clone(), upload_id);
+                schedule_watchdog(sim, ctx2, upload_id, checks + 1);
+            }
+        },
+    );
+}
+
+/// Invokes one extra replicator to drain stale leases of a stalled task.
+fn invoke_rescue_replicator(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64) {
+    let region = ctx.exec_region;
+    let spec = faas::default_spec(&sim.world, region);
+    let body: faas::FnBody = Rc::new(move |sim, handle| {
+        let ctx = ctx.clone();
+        let started = sim.now();
+        let cloud = sim.world.regions.cloud(handle.region);
+        let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+        sim.schedule_in(setup, move |sim| {
+            let progress = Rc::new(Cell::new(0u32));
+            claim_loop(sim, handle, ctx, upload_id, started, progress);
+        });
+    });
+    faas::invoke(sim, region, spec, body, RetryPolicy::default());
+}
+
+/// Executes a two-hop relay plan (§6's overlay extension): the object is
+/// staged in `relay_bucket` at the relay region, then re-replicated to the
+/// destination. Pays egress twice; used only when the overlay planner found
+/// a sufficiently faster route.
+pub fn execute_relay(
+    sim: &mut CloudSim,
+    cfg: EngineConfig,
+    task: TaskSpec,
+    plan: crate::overlay::RelayPlan,
+    on_done: OnDone,
+) {
+    let relay_region = plan.relay;
+    let relay_bucket = "areplica-relay-staging".to_string();
+    sim.world.objstore_mut(relay_region).create_bucket(&relay_bucket);
+
+    let first = TaskSpec {
+        src_region: task.src_region,
+        src_bucket: task.src_bucket.clone(),
+        dst_region: relay_region,
+        dst_bucket: relay_bucket.clone(),
+        key: task.key.clone(),
+        etag: task.etag,
+        seq: task.seq,
+        size: task.size,
+        event_time: task.event_time,
+    };
+    let cfg2 = cfg.clone();
+    let second_plan = plan.second_hop;
+    execute(
+        sim,
+        cfg,
+        first,
+        plan.first_hop,
+        None,
+        Rc::new(move |sim, outcome: TaskOutcome| {
+            match outcome.status {
+                TaskStatus::Replicated { etag } => {
+                    // Second hop: from the staged copy. Its write sequence in
+                    // the relay bucket identifies the staged version.
+                    let staged = sim
+                        .world
+                        .objstore(relay_region)
+                        .stat(&relay_bucket, &task.key)
+                        .expect("staged object exists");
+                    debug_assert_eq!(staged.etag, etag);
+                    let second = TaskSpec {
+                        src_region: relay_region,
+                        src_bucket: relay_bucket.clone(),
+                        dst_region: task.dst_region,
+                        dst_bucket: task.dst_bucket.clone(),
+                        key: task.key.clone(),
+                        etag: staged.etag,
+                        seq: staged.seq,
+                        size: task.size,
+                        event_time: task.event_time,
+                    };
+                    execute(
+                        sim,
+                        cfg2.clone(),
+                        second,
+                        second_plan,
+                        None,
+                        on_done.clone(),
+                        Box::new(|_| {}),
+                    );
+                }
+                // First-hop abort/gone: surface directly.
+                _ => on_done(sim, outcome),
+            }
+        }),
+        Box::new(|_| {}),
+    );
+}

@@ -1,0 +1,59 @@
+//! # areplica-core — serverless SLO-aware object replication
+//!
+//! The paper's contribution (EUROSYS '26): a serverless cross-cloud/region
+//! object replication system built from
+//!
+//! * a **variability-tolerant replication engine** with decentralized
+//!   part-granularity scheduling ([`engine`], Algorithm 1);
+//! * **eventual-consistency guarantees** via a per-object replication lock
+//!   and optimistic validation ([`lock`], Algorithm 2, §5.2);
+//! * a **distribution-aware performance model** ([`model`], §5.3) fitted by
+//!   the offline [`profiler`] and kept accurate by the online [`logger`];
+//! * an **SLO-compliant strategy planner** ([`planner`], Algorithm 3);
+//! * **opportunistic replication reduction**: [`changelog`] propagation and
+//!   SLO-bounded [`batching`] (Algorithm 4, §5.4).
+//!
+//! [`AReplica`] wires it all into a deployable service over a
+//! [`cloudsim::World`]. The library is written against cloudsim's
+//! operation surface (object stores, KV databases, FaaS runtimes), which a
+//! real deployment would back with the providers' SDKs.
+//!
+//! ```no_run
+//! use areplica_core::{AReplicaBuilder, ReplicationRule};
+//! use cloudsim::{Cloud, World};
+//! use cloudsim::world::user_put;
+//!
+//! let mut sim = World::paper_sim(7);
+//! let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+//! let dst = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
+//! let service = AReplicaBuilder::new()
+//!     .rule(ReplicationRule::new(src, "photos", dst, "photos-mirror"))
+//!     .install(&mut sim);
+//! user_put(&mut sim, src, "photos", "cat.jpg", 1 << 20).unwrap();
+//! sim.run_to_completion(1_000_000);
+//! assert_eq!(service.metrics().completions.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batching;
+pub mod changelog;
+pub mod config;
+pub mod engine;
+pub mod lock;
+pub mod logger;
+pub mod metrics;
+pub mod model;
+pub mod overlay;
+pub mod planner;
+pub mod profiler;
+pub mod service;
+
+pub use config::{EngineConfig, ReplicationRule, SchedulingMode};
+pub use metrics::{CompletionRecord, Metrics};
+pub use model::{ExecSide, PathKey, PerfModel};
+pub use overlay::{generate_routed_plan, RelayPlan, RoutedPlan};
+pub use planner::{generate_plan, generate_plan_with_caps, Plan, SideCaps};
+pub use profiler::ProfilerConfig;
+pub use service::{build_model_for, AReplica, AReplicaBuilder};

@@ -1,0 +1,225 @@
+//! The object-granularity replication lock (Algorithm 2, §5.2).
+//!
+//! Concurrent PUTs on the same key must not race replication tasks (Fig. 13):
+//! replications are serialized per key through a distributed lock held in the
+//! cloud database. While a task holds the lock, newer versions register as
+//! *pending* (keeping only the newest by write sequence); on release, if the
+//! pending version was not the one just replicated, the orchestrator is
+//! re-triggered for it.
+//!
+//! The functions here build the transaction closures applied atomically by
+//! [`cloudsim::world::db_transact`]; they are pure and unit-testable against
+//! a bare [`cloudsim::clouddb::KvDb`].
+
+use cloudsim::clouddb::{Item, Value};
+use cloudsim::objstore::ETag;
+
+/// The DB table holding replication locks.
+pub const LOCK_TABLE: &str = "areplica_locks";
+
+/// Result of a lock attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The caller now holds the lock and must replicate.
+    Acquired,
+    /// Another task holds the lock; this version was recorded as pending
+    /// (if newer than any previously pending version).
+    Busy,
+}
+
+/// A version recorded while the lock was held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingVersion {
+    /// ETag of the pending version.
+    pub etag: ETag,
+    /// Its write sequence number.
+    pub seq: u64,
+}
+
+fn read_pending(item: &Item) -> Option<PendingVersion> {
+    let etag = item.get("pending_etag")?.as_uint()?;
+    let seq = item.get("pending_seq")?.as_uint()?;
+    Some(PendingVersion {
+        etag: ETag(etag),
+        seq,
+    })
+}
+
+fn write_pending(item: &mut Item, p: PendingVersion) {
+    item.insert("pending_etag".into(), Value::Uint(p.etag.0));
+    item.insert("pending_seq".into(), Value::Uint(p.seq));
+}
+
+fn clear_pending(item: &mut Item) {
+    item.remove("pending_etag");
+    item.remove("pending_seq");
+}
+
+/// Transaction: try to take the lock for replicating version `(etag, seq)`.
+///
+/// On contention, records the version as pending if it is newer than the
+/// currently pending one (Algorithm 2 lines 5–7).
+///
+/// Acquisition is *re-entrant by version*: a holder whose `holder_seq`
+/// equals `seq` re-acquires. This is how a platform-retried orchestrator
+/// (its previous incarnation crashed while holding the lock) resumes instead
+/// of deadlocking against its own dead self; replicating the same version
+/// twice is idempotent.
+pub fn try_lock_tx(etag: ETag, seq: u64) -> impl FnOnce(&mut Option<Item>) -> LockOutcome {
+    move |slot| {
+        let item = slot.get_or_insert_with(Item::new);
+        let locked = item
+            .get("locked")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let holder_seq = item.get("holder_seq").and_then(Value::as_uint);
+        if !locked || holder_seq == Some(seq) {
+            item.insert("locked".into(), Value::Bool(true));
+            item.insert("holder_seq".into(), Value::Uint(seq));
+            LockOutcome::Acquired
+        } else {
+            // Record as pending only versions newer than both the holder's
+            // (notifications can be delivered out of order) and any already-
+            // pending version.
+            let newer_than_holder = holder_seq.map_or(true, |h| seq > h);
+            let newer_than_pending = read_pending(item).map_or(true, |p| p.seq < seq);
+            if newer_than_holder && newer_than_pending {
+                write_pending(item, PendingVersion { etag, seq });
+            }
+            LockOutcome::Busy
+        }
+    }
+}
+
+/// Transaction: release the lock after replicating `replicated_etag`.
+///
+/// Returns the pending version the caller must compare with what was just
+/// replicated: if it differs, the orchestrator is invoked again (Algorithm 2
+/// lines 11–14).
+pub fn unlock_tx(
+    replicated_etag: Option<ETag>,
+) -> impl FnOnce(&mut Option<Item>) -> Option<PendingVersion> {
+    move |slot| {
+        let item = slot.as_mut()?;
+        item.insert("locked".into(), Value::Bool(false));
+        item.remove("holder_seq");
+        let pending = read_pending(item)?;
+        clear_pending(item);
+        // A pending version equal to what was just replicated needs no
+        // further action.
+        if Some(pending.etag) == replicated_etag {
+            None
+        } else {
+            Some(pending)
+        }
+    }
+}
+
+/// Inspection: whether the lock is currently held (tests and invariants).
+pub fn is_locked(item: Option<&Item>) -> bool {
+    item.and_then(|i| i.get("locked"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::clouddb::KvDb;
+
+    fn lock(db: &mut KvDb, key: &str, etag: u64, seq: u64) -> LockOutcome {
+        db.transact(LOCK_TABLE, key, try_lock_tx(ETag(etag), seq))
+    }
+
+    fn unlock(db: &mut KvDb, key: &str, etag: Option<u64>) -> Option<PendingVersion> {
+        db.transact(LOCK_TABLE, key, unlock_tx(etag.map(ETag)))
+    }
+
+    #[test]
+    fn exclusive_acquisition() {
+        let mut db = KvDb::new();
+        assert_eq!(lock(&mut db, "k", 1, 1), LockOutcome::Acquired);
+        assert_eq!(lock(&mut db, "k", 2, 2), LockOutcome::Busy);
+        assert!(is_locked(db.get(LOCK_TABLE, "k").as_ref()));
+        // Different keys are independent.
+        assert_eq!(lock(&mut db, "other", 1, 1), LockOutcome::Acquired);
+    }
+
+    #[test]
+    fn unlock_without_pending_returns_none() {
+        let mut db = KvDb::new();
+        lock(&mut db, "k", 1, 1);
+        assert_eq!(unlock(&mut db, "k", Some(1)), None);
+        assert!(!is_locked(db.get(LOCK_TABLE, "k").as_ref()));
+        // Lock can be re-acquired.
+        assert_eq!(lock(&mut db, "k", 3, 3), LockOutcome::Acquired);
+    }
+
+    #[test]
+    fn pending_version_is_returned_on_mismatch() {
+        let mut db = KvDb::new();
+        lock(&mut db, "k", 1, 1);
+        assert_eq!(lock(&mut db, "k", 2, 2), LockOutcome::Busy);
+        let pending = unlock(&mut db, "k", Some(1)).expect("pending version");
+        assert_eq!(pending, PendingVersion { etag: ETag(2), seq: 2 });
+        // Pending was consumed.
+        lock(&mut db, "k", 2, 2);
+        assert_eq!(unlock(&mut db, "k", Some(2)), None);
+    }
+
+    #[test]
+    fn pending_matching_replicated_is_suppressed() {
+        let mut db = KvDb::new();
+        lock(&mut db, "k", 1, 1);
+        // The holder itself ends up replicating version 2 (e.g. the GET saw
+        // the newer version); the pending entry for 2 must not re-trigger.
+        lock(&mut db, "k", 2, 2);
+        assert_eq!(unlock(&mut db, "k", Some(2)), None);
+    }
+
+    #[test]
+    fn only_newest_pending_is_kept() {
+        let mut db = KvDb::new();
+        lock(&mut db, "k", 1, 1);
+        assert_eq!(lock(&mut db, "k", 5, 5), LockOutcome::Busy);
+        assert_eq!(lock(&mut db, "k", 3, 3), LockOutcome::Busy); // older: ignored
+        assert_eq!(lock(&mut db, "k", 9, 9), LockOutcome::Busy); // newer: replaces
+        let pending = unlock(&mut db, "k", Some(1)).unwrap();
+        assert_eq!(pending.seq, 9);
+        assert_eq!(pending.etag, ETag(9));
+    }
+
+    #[test]
+    fn reacquisition_by_same_version_is_reentrant() {
+        // A platform-retried orchestrator (previous incarnation crashed while
+        // holding the lock) must be able to resume.
+        let mut db = KvDb::new();
+        assert_eq!(lock(&mut db, "k", 1, 7), LockOutcome::Acquired);
+        assert_eq!(lock(&mut db, "k", 1, 7), LockOutcome::Acquired);
+        // A different version still queues.
+        assert_eq!(lock(&mut db, "k", 2, 8), LockOutcome::Busy);
+        let pending = unlock(&mut db, "k", Some(1)).unwrap();
+        assert_eq!(pending.seq, 8);
+    }
+
+    #[test]
+    fn unlock_of_unknown_key_is_none() {
+        let mut db = KvDb::new();
+        assert_eq!(unlock(&mut db, "never-locked", Some(1)), None);
+    }
+
+    #[test]
+    fn serial_replication_chain() {
+        // A full chain: v1 locked, v2 and v3 arrive, v1 finishes -> v3
+        // retriggers (not v2), v3 finishes clean.
+        let mut db = KvDb::new();
+        assert_eq!(lock(&mut db, "k", 1, 1), LockOutcome::Acquired);
+        lock(&mut db, "k", 2, 2);
+        lock(&mut db, "k", 3, 3);
+        let pending = unlock(&mut db, "k", Some(1)).unwrap();
+        assert_eq!(pending.seq, 3);
+        assert_eq!(lock(&mut db, "k", pending.etag.0, pending.seq), LockOutcome::Acquired);
+        assert_eq!(unlock(&mut db, "k", Some(3)), None);
+        assert!(!is_locked(db.get(LOCK_TABLE, "k").as_ref()));
+    }
+}

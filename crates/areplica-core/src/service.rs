@@ -1,0 +1,810 @@
+//! The AReplica service: event listeners, orchestrator functions, and the
+//! glue between batching, locking, changelog propagation, planning, the
+//! engine, and the online logger (Figure 10's architecture).
+//!
+//! Flow per object event:
+//!
+//! 1. the bucket notification invokes the event listener;
+//! 2. SLO-bounded batching decides whether to replicate now or buffer
+//!    (Algorithm 4);
+//! 3. an orchestrator function at the source acquires the per-object
+//!    replication lock (Algorithm 2);
+//! 4. the orchestrator consults the changelog (§5.4) and otherwise asks the
+//!    strategy planner for an SLO-compliant plan (Algorithm 3);
+//! 5. the engine executes the plan (Algorithm 1);
+//! 6. on completion the lock is released, pending versions re-trigger, the
+//!    delay is recorded, and the logger updates the model.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+use cloudsim::faas::{self, FnHandle, RetryPolicy};
+use cloudsim::objstore::{ETag, EventKind, ObjectEvent, StoreError};
+use cloudsim::world::{self, CloudSim, Executor};
+use cloudsim::{RegionId, RegionRegistry, WorldParams};
+use pricing::PriceCatalog;
+use simkernel::{SimDuration, SimTime};
+
+use crate::batching::{BatchDecision, Batcher};
+use crate::changelog;
+use crate::config::{EngineConfig, ReplicationRule};
+use crate::engine::{self, TaskOutcome, TaskSpec, TaskStatus};
+use crate::lock::{self, LockOutcome};
+use crate::logger::OnlineLogger;
+use crate::metrics::{CompletionRecord, Metrics};
+use crate::model::{PathKey, PerfModel};
+use crate::planner::{self, Plan};
+use crate::profiler::{self, ProfilerConfig};
+
+/// Mutable service state shared by every event closure.
+pub struct ServiceState {
+    /// Installed rules.
+    pub rules: Vec<ReplicationRule>,
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// The performance model (profiled offline, updated online).
+    pub model: PerfModel,
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// Per-rule batching state.
+    pub batchers: Vec<Batcher>,
+    /// Online model updater.
+    pub logger: OnlineLogger,
+}
+
+type St = Rc<RefCell<ServiceState>>;
+
+/// A deployed AReplica instance.
+pub struct AReplica {
+    state: St,
+}
+
+/// Builder for [`AReplica`].
+pub struct AReplicaBuilder {
+    rules: Vec<ReplicationRule>,
+    cfg: EngineConfig,
+    model: Option<PerfModel>,
+    profiler_cfg: ProfilerConfig,
+}
+
+impl Default for AReplicaBuilder {
+    fn default() -> Self {
+        AReplicaBuilder {
+            rules: Vec::new(),
+            cfg: EngineConfig::default(),
+            model: None,
+            profiler_cfg: ProfilerConfig::default(),
+        }
+    }
+}
+
+impl AReplicaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        AReplicaBuilder::default()
+    }
+
+    /// Adds a replication rule.
+    pub fn rule(mut self, rule: ReplicationRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Overrides the engine configuration.
+    pub fn engine_config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Installs a pre-built performance model (skips profiling).
+    pub fn model(mut self, model: PerfModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Overrides the profiler budget used when no model is supplied.
+    pub fn profiler_config(mut self, cfg: ProfilerConfig) -> Self {
+        self.profiler_cfg = cfg;
+        self
+    }
+
+    /// Profiles (if needed), creates buckets, subscribes notifications, and
+    /// returns the running service.
+    pub fn install(mut self, sim: &mut CloudSim) -> AReplica {
+        assert!(!self.rules.is_empty(), "at least one rule required");
+        // Offline profiling in a sandbox world with the same ground truth.
+        let model = self.model.take().unwrap_or_else(|| {
+            let pairs: Vec<(RegionId, RegionId)> = self
+                .rules
+                .iter()
+                .map(|r| (r.src_region, r.dst_region))
+                .collect();
+            build_model_for(
+                &sim.world.regions.clone(),
+                &sim.world.params.clone(),
+                &sim.world.catalog.clone(),
+                &pairs,
+                &self.profiler_cfg,
+            )
+        });
+        self.profiler_cfg.chunk_size = self.cfg.part_size;
+
+        let n_rules = self.rules.len();
+        let state: St = Rc::new(RefCell::new(ServiceState {
+            rules: self.rules,
+            cfg: self.cfg,
+            model,
+            metrics: Metrics::default(),
+            batchers: (0..n_rules).map(|_| Batcher::new()).collect(),
+            logger: OnlineLogger::new(),
+        }));
+
+        for rule_idx in 0..n_rules {
+            let (src_region, src_bucket, dst_region, dst_bucket) = {
+                let st = state.borrow();
+                let r = &st.rules[rule_idx];
+                (
+                    r.src_region,
+                    r.src_bucket.clone(),
+                    r.dst_region,
+                    r.dst_bucket.clone(),
+                )
+            };
+            sim.world.objstore_mut(src_region).create_bucket(&src_bucket);
+            sim.world.objstore_mut(dst_region).create_bucket(&dst_bucket);
+            let st = state.clone();
+            let target = sim
+                .world
+                .register_handler(Rc::new(move |sim, _region, ev| {
+                    on_object_event(sim, st.clone(), rule_idx, ev);
+                }));
+            world::subscribe_bucket(&mut sim.world, src_region, &src_bucket, target)
+                .expect("bucket just created");
+        }
+
+        AReplica { state }
+    }
+}
+
+/// Profiles the given pairs against a sandbox world (exposed for benches
+/// that reuse one model across many experiments).
+pub fn build_model_for(
+    regions: &RegionRegistry,
+    params: &WorldParams,
+    catalog: &PriceCatalog,
+    pairs: &[(RegionId, RegionId)],
+    cfg: &ProfilerConfig,
+) -> PerfModel {
+    profiler::build_model(regions, params, catalog, pairs, cfg)
+}
+
+impl AReplica {
+    /// Read access to collected metrics.
+    pub fn metrics(&self) -> Ref<'_, Metrics> {
+        Ref::map(self.state.borrow(), |s| &s.metrics)
+    }
+
+    /// Read access to the (possibly logger-adjusted) model.
+    pub fn model(&self) -> Ref<'_, PerfModel> {
+        Ref::map(self.state.borrow(), |s| &s.model)
+    }
+
+    /// Number of online model adjustments so far.
+    pub fn model_adjustments(&self) -> u64 {
+        self.state.borrow().logger.adjustments
+    }
+
+    /// Direct handle to the shared state (tests and experiment harnesses).
+    pub fn state(&self) -> St {
+        self.state.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event pipeline.
+// ---------------------------------------------------------------------------
+
+fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent) {
+    if ev.kind == EventKind::Delete {
+        trigger_delete(sim, st, rule_idx, ev.key, ev.etag, ev.seq);
+        return;
+    }
+    // SLO-bounded batching (Algorithm 4).
+    let decision = {
+        let mut s = st.borrow_mut();
+        let rule = &s.rules[rule_idx];
+        match (rule.batching, rule.slo) {
+            (true, Some(slo)) => {
+                let deadline = ev.event_time + slo;
+                let (src, dst, percentile) =
+                    (rule.src_region, rule.dst_region, rule.percentile);
+                let cfg = s.cfg.clone();
+                let margin = rule.safety_margin;
+                let t_rep = {
+                    let model = &mut s.model;
+                    planner::generate_plan(model, &cfg, src, dst, ev.size, None, percentile)
+                        .map(|p| p.predicted.mul_f64(margin))
+                        .unwrap_or(SimDuration::from_secs(3600))
+                };
+                let now = sim.now();
+                Some(
+                    s.batchers[rule_idx]
+                        .on_event(&ev.key, ev.etag, now, deadline, t_rep),
+                )
+            }
+            _ => None,
+        }
+    };
+    match decision {
+        None => {
+            trigger_replication(sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, ev.event_time);
+        }
+        Some(BatchDecision::ReplicateNow {
+            absorbed,
+            earliest_deadline,
+        }) => {
+            let event_time = {
+                let mut s = st.borrow_mut();
+                s.metrics.batched_skips += absorbed;
+                // Delay accounting is bound by the earliest absorbed
+                // version's PUT time (deadline - SLO), if any.
+                match (earliest_deadline, s.rules[rule_idx].slo) {
+                    (Some(d), Some(slo)) => {
+                        SimTime::from_nanos(d.as_nanos().saturating_sub(slo.as_nanos()))
+                            .min(ev.event_time)
+                    }
+                    _ => ev.event_time,
+                }
+            };
+            trigger_replication(sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, event_time);
+        }
+        Some(BatchDecision::Buffered { fire_at, arm_timer }) => {
+            if arm_timer {
+                let (src_region, key) = {
+                    let s = st.borrow();
+                    (s.rules[rule_idx].src_region, ev.key.clone())
+                };
+                let st2 = st.clone();
+                let key2 = key.clone();
+                let delay = fire_at.saturating_since(sim.now());
+                let token = world::workflow_delay(sim, src_region, delay, move |sim| {
+                    on_batch_timer(sim, st2, rule_idx, key2);
+                });
+                st.borrow_mut().batchers[rule_idx].set_timer(&key, token);
+            }
+        }
+    }
+}
+
+/// A batching timer fired: replicate the newest version of the key.
+fn on_batch_timer(sim: &mut CloudSim, st: St, rule_idx: usize, key: String) {
+    let (src_region, src_bucket, earliest_event) = {
+        let mut s = st.borrow_mut();
+        let drained = s.batchers[rule_idx].take_pending(&key);
+        let slo = s.rules[rule_idx].slo;
+        let earliest_event = match (&drained, slo) {
+            (Some(d), Some(slo)) => Some(SimTime::from_nanos(
+                d.earliest_deadline.as_nanos().saturating_sub(slo.as_nanos()),
+            )),
+            _ => None,
+        };
+        s.metrics.batched_skips += drained.map_or(0, |d| d.absorbed);
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone(), earliest_event)
+    };
+    // Replicate whatever is newest *now* (Algorithm 4 line 6). Delay
+    // accounting runs from the earliest buffered version's PUT.
+    let stat = sim.world.objstore(src_region).stat(&src_bucket, &key);
+    if let Ok(stat) = stat {
+        let event_time = earliest_event.unwrap_or(stat.created_at).min(stat.created_at);
+        trigger_replication(
+            sim,
+            st,
+            rule_idx,
+            key,
+            stat.etag,
+            stat.seq,
+            stat.size,
+            event_time,
+        );
+    }
+}
+
+/// Invokes an orchestrator function at the source region for one version.
+#[allow(clippy::too_many_arguments)]
+fn trigger_replication(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    size: u64,
+    event_time: SimTime,
+) {
+    let src_region = st.borrow().rules[rule_idx].src_region;
+    let spec = faas::default_spec(&sim.world, src_region);
+    let body: faas::FnBody = Rc::new(move |sim, handle| {
+        orchestrate(
+            sim,
+            st.clone(),
+            rule_idx,
+            handle,
+            key.clone(),
+            etag,
+            seq,
+            size,
+            event_time,
+        );
+    });
+    faas::invoke(sim, src_region, spec, body, RetryPolicy::default());
+}
+
+/// The orchestrator function body.
+#[allow(clippy::too_many_arguments)]
+fn orchestrate(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    handle: FnHandle,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    size: u64,
+    event_time: SimTime,
+) {
+    let (src_region, src_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone())
+    };
+    let exec = Executor::Function(handle);
+    let lock_key = format!("{src_bucket}/{key}");
+    let st2 = st.clone();
+    world::db_transact(
+        sim,
+        exec,
+        src_region,
+        lock::LOCK_TABLE.into(),
+        lock_key,
+        lock::try_lock_tx(etag, seq),
+        move |sim, outcome| match outcome {
+            LockOutcome::Busy => {
+                // A concurrent task holds the lock; our version is pending.
+                faas::finish(sim, handle);
+            }
+            LockOutcome::Acquired => {
+                maybe_apply_changelog(
+                    sim, st2, rule_idx, handle, key, etag, seq, size, event_time,
+                );
+            }
+        },
+    );
+}
+
+/// Checks for a changelog hint before falling back to full replication.
+#[allow(clippy::too_many_arguments)]
+fn maybe_apply_changelog(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    handle: FnHandle,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    size: u64,
+    event_time: SimTime,
+) {
+    let (enabled, src_region, src_bucket, dst_region, dst_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (
+            r.changelog,
+            r.src_region,
+            r.src_bucket.clone(),
+            r.dst_region,
+            r.dst_bucket.clone(),
+        )
+    };
+    if !enabled {
+        plan_and_execute(sim, st, rule_idx, handle, key, etag, seq, size, event_time);
+        return;
+    }
+    let exec = Executor::Function(handle);
+    let hint_key = changelog::entry_key(&src_bucket, &key, etag);
+    let st2 = st.clone();
+    world::db_get(
+        sim,
+        exec,
+        src_region,
+        changelog::CHANGELOG_TABLE.into(),
+        hint_key,
+        move |sim, item| {
+            let op = item.as_ref().and_then(changelog::decode);
+            match op {
+                Some(op) => {
+                    let st3 = st2.clone();
+                    let key2 = key.clone();
+                    changelog::apply_at_destination(
+                        sim,
+                        exec,
+                        dst_region,
+                        dst_bucket,
+                        key.clone(),
+                        op,
+                        move |sim, applied| match applied {
+                            Ok(applied_etag) => {
+                                conclude(
+                                    sim,
+                                    st3,
+                                    rule_idx,
+                                    key2,
+                                    seq,
+                                    size,
+                                    event_time,
+                                    TaskStatus::Replicated { etag: applied_etag },
+                                    None,
+                                    true,
+                                );
+                                faas::finish(sim, handle);
+                            }
+                            Err(()) => {
+                                // Destination stale: full replication.
+                                plan_and_execute(
+                                    sim, st3, rule_idx, handle, key2, etag, seq, size, event_time,
+                                );
+                            }
+                        },
+                    );
+                }
+                None => {
+                    plan_and_execute(
+                        sim, st2, rule_idx, handle, key, etag, seq, size, event_time,
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Plans and dispatches the replication (Algorithm 3 → Algorithm 1).
+#[allow(clippy::too_many_arguments)]
+fn plan_and_execute(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    handle: FnHandle,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    size: u64,
+    event_time: SimTime,
+) {
+    let now = sim.now();
+    let (task, plan, predicted_mean) = {
+        let mut s = st.borrow_mut();
+        let (src_region, dst_region, src_bucket, dst_bucket, rule_slo, percentile, margin) = {
+            let rule = &s.rules[rule_idx];
+            (
+                rule.src_region,
+                rule.dst_region,
+                rule.src_bucket.clone(),
+                rule.dst_bucket.clone(),
+                rule.slo,
+                rule.percentile,
+                rule.safety_margin,
+            )
+        };
+        let task = TaskSpec {
+            src_region,
+            src_bucket,
+            dst_region,
+            dst_bucket,
+            key: key.clone(),
+            etag,
+            seq,
+            size,
+            event_time,
+        };
+        // Remaining SLO budget, net of the already-elapsed notification
+        // stage: SLO_rep = SLO - (now - event_time).
+        let slo_rep = rule_slo.map(|slo| {
+            let elapsed = now.saturating_since(event_time);
+            // The safety margin shrinks the budget plans must fit within.
+            slo.saturating_sub(elapsed).mul_f64(1.0 / margin.max(1.0))
+        });
+        if rule_slo.is_some() && slo_rep == Some(SimDuration::ZERO) {
+            s.metrics.slo_previolated += 1;
+        }
+        let cfg = s.cfg.clone();
+        let plan = planner::generate_plan(
+            &mut s.model,
+            &cfg,
+            src_region,
+            dst_region,
+            size,
+            slo_rep,
+            percentile,
+        )
+        .expect("rule paths are profiled at install time");
+        // The logger compares like with like: the *mean* prediction, not the
+        // SLO percentile (comparing a typical run against a p99.99 bound
+        // would register permanent "drift" and corrupt the model).
+        let predicted_mean = s
+            .model
+            .t_rep_dist(
+                PathKey {
+                    src: src_region,
+                    dst: dst_region,
+                    side: plan.side,
+                },
+                size,
+                plan.n,
+                plan.local,
+            )
+            .map(|d| d.mean())
+            .unwrap_or(plan.predicted.as_secs_f64());
+        (task, plan, predicted_mean)
+    };
+
+    let st2 = st.clone();
+    let cfg = st.borrow().cfg.clone();
+    let plan_made_at = now;
+    let on_done: engine::OnDone = Rc::new(move |sim, outcome: TaskOutcome| {
+        let st3 = st2.clone();
+        let key2 = outcome_key(&outcome, &key);
+        let actual = sim.now().saturating_since(plan_made_at);
+        conclude(
+            sim,
+            st3,
+            rule_idx,
+            key2,
+            seq,
+            size,
+            event_time,
+            outcome.status,
+            Some((plan, predicted_mean, actual, outcome.n_funcs)),
+            false,
+        );
+    });
+    // The orchestrator's invocation completes when its own work is done: at
+    // the end of the transfer for local plans, or once the replicators are
+    // dispatched otherwise.
+    let release_handle = handle;
+    engine::execute(
+        sim,
+        cfg,
+        task,
+        plan,
+        Some(handle),
+        on_done,
+        Box::new(move |sim| faas::finish(sim, release_handle)),
+    );
+}
+
+fn outcome_key(_outcome: &TaskOutcome, key: &str) -> String {
+    key.to_string()
+}
+
+/// Terminal bookkeeping: metrics, the online logger, unlock, and pending /
+/// abort re-triggers.
+#[allow(clippy::too_many_arguments)]
+fn conclude(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    seq: u64,
+    size: u64,
+    event_time: SimTime,
+    status: TaskStatus,
+    plan_info: Option<(Plan, f64, SimDuration, u32)>,
+    via_changelog: bool,
+) {
+    let now = sim.now();
+    let replicated_etag = match status {
+        TaskStatus::Replicated { etag } => Some(etag),
+        _ => None,
+    };
+    {
+        let mut s = st.borrow_mut();
+        match status {
+            TaskStatus::Replicated { etag } => {
+                let (side, n_funcs) = plan_info
+                    .map(|(p, _, _, n)| (p.side, n))
+                    .unwrap_or((crate::model::ExecSide::Source, 0));
+                s.metrics.record_completion(CompletionRecord {
+                    rule: rule_idx,
+                    key: key.clone(),
+                    etag,
+                    size,
+                    event_time,
+                    completed_at: now,
+                    n_funcs,
+                    side,
+                    via_changelog,
+                });
+                // Online logger: compare the mean prediction with reality.
+                if let Some((plan, predicted_mean, actual, _)) = plan_info {
+                    let r = &s.rules[rule_idx];
+                    let path = PathKey {
+                        src: r.src_region,
+                        dst: r.dst_region,
+                        side: plan.side,
+                    };
+                    let actual_s = actual.as_secs_f64();
+                    let ServiceState { model, logger, .. } = &mut *s;
+                    logger.observe(model, path, predicted_mean, actual_s);
+                }
+            }
+            TaskStatus::AbortedEtagMismatch { .. } => {
+                s.metrics.aborted_retries += 1;
+            }
+            TaskStatus::SourceGone => {}
+        }
+    }
+
+    // Release the lock; a pending newer version re-triggers replication.
+    let (src_region, src_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone())
+    };
+    let lock_key = format!("{src_bucket}/{key}");
+    let exec = Executor::Platform {
+        region: src_region,
+        mbps: 1000.0,
+    };
+    let st2 = st.clone();
+    let aborted_current = match status {
+        TaskStatus::AbortedEtagMismatch { current } => current,
+        _ => None,
+    };
+    world::db_transact(
+        sim,
+        exec,
+        src_region,
+        lock::LOCK_TABLE.into(),
+        lock_key,
+        lock::unlock_tx(replicated_etag),
+        move |sim, pending| {
+            if let Some(p) = pending {
+                // Replicate the pending newest version.
+                retrigger_for_version(sim, st2, rule_idx, key, p.etag, p.seq, event_time);
+            } else if let Some(current) = aborted_current {
+                // Aborted on a newer version whose own notification may have
+                // been lost to batching timing: replicate it directly.
+                retrigger_for_version(sim, st2, rule_idx, key, current, seq + 1, event_time);
+            }
+        },
+    );
+}
+
+/// Stats the source for the version's size and re-triggers replication.
+fn retrigger_for_version(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    _prev_event_time: SimTime,
+) {
+    let (src_region, src_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone())
+    };
+    match sim.world.objstore(src_region).stat(&src_bucket, &key) {
+        Ok(stat) => {
+            // Replicate whatever is current; measure delay from its PUT.
+            trigger_replication(
+                sim,
+                st,
+                rule_idx,
+                key,
+                stat.etag,
+                stat.seq.max(seq),
+                stat.size,
+                stat.created_at,
+            );
+        }
+        Err(StoreError::NoSuchKey) => { /* deleted meanwhile; DELETE event handles it */ }
+        Err(e) => panic!("unexpected stat error: {e}"),
+    }
+    let _ = etag;
+}
+
+/// DELETE propagation: serialize through the same lock, remove at the
+/// destination.
+fn trigger_delete(
+    sim: &mut CloudSim,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    etag: ETag,
+    seq: u64,
+) {
+    let (src_region, src_bucket, dst_region, dst_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (
+            r.src_region,
+            r.src_bucket.clone(),
+            r.dst_region,
+            r.dst_bucket.clone(),
+        )
+    };
+    let spec = faas::default_spec(&sim.world, src_region);
+    let st2 = st.clone();
+    let body: faas::FnBody = Rc::new(move |sim, handle| {
+        let exec = Executor::Function(handle);
+        let lock_key = format!("{src_bucket}/{}", key);
+        let st3 = st2.clone();
+        let key2 = key.clone();
+        let dst_bucket2 = dst_bucket.clone();
+        let src_bucket2 = src_bucket.clone();
+        world::db_transact(
+            sim,
+            exec,
+            src_region,
+            lock::LOCK_TABLE.into(),
+            lock_key.clone(),
+            lock::try_lock_tx(etag, seq),
+            move |sim, outcome| match outcome {
+                LockOutcome::Busy => faas::finish(sim, handle),
+                LockOutcome::Acquired => {
+                    let st4 = st3.clone();
+                    let key3 = key2.clone();
+                    let src_bucket3 = src_bucket2.clone();
+                    world::delete_object(
+                        sim,
+                        exec,
+                        dst_region,
+                        dst_bucket2.clone(),
+                        key2.clone(),
+                        move |sim, result| {
+                            match result {
+                                Ok(_) | Err(StoreError::NoSuchKey) => {
+                                    st4.borrow_mut().metrics.deletes_propagated += 1;
+                                }
+                                Err(e) => panic!("unexpected delete error: {e}"),
+                            }
+                            // Unlock; a pending PUT that raced the delete
+                            // re-triggers replication.
+                            let lock_key = format!("{src_bucket3}/{key3}");
+                            let exec_p = Executor::Platform {
+                                region: src_region,
+                                mbps: 1000.0,
+                            };
+                            let st5 = st4.clone();
+                            world::db_transact(
+                                sim,
+                                exec_p,
+                                src_region,
+                                lock::LOCK_TABLE.into(),
+                                lock_key,
+                                lock::unlock_tx(Some(etag)),
+                                move |sim, pending| {
+                                    if let Some(p) = pending {
+                                        retrigger_for_version(
+                                            sim,
+                                            st5,
+                                            rule_idx,
+                                            key3,
+                                            p.etag,
+                                            p.seq,
+                                            SimTime::ZERO,
+                                        );
+                                    }
+                                },
+                            );
+                            faas::finish(sim, handle);
+                        },
+                    );
+                }
+            },
+        );
+    });
+    faas::invoke(sim, src_region, spec, body, RetryPolicy::default());
+}

@@ -1,0 +1,215 @@
+//! Behavioural tests for the baseline systems.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use baselines::{ManagedConfig, ManagedReplication, Skyplane, SkyplaneConfig};
+use cloudsim::world::{self, CloudSim};
+use cloudsim::{Cloud, RegionId, World};
+use pricing::{CostCategory, Money};
+use simkernel::{SimDuration, SimTime};
+
+fn region(sim: &CloudSim, cloud: Cloud, name: &str) -> RegionId {
+    sim.world.regions.lookup(cloud, name).unwrap()
+}
+
+#[test]
+fn skyplane_single_object_breakdown() {
+    // Figure 4's shape: replication of a 10 MB object is dominated by VM
+    // provisioning + container startup + overheads, with transfer a tiny
+    // fraction; cost is overwhelmingly VM time.
+    let mut sim = World::paper_sim(21);
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    sim.world.objstore_mut(use2).create_bucket("dst");
+    world::user_put(&mut sim, use1, "src", "obj", 10 << 20).unwrap();
+
+    let sky = Skyplane::new(SkyplaneConfig::default());
+    let result: Rc<RefCell<Option<baselines::SkyplaneResult>>> = Rc::default();
+    let r2 = result.clone();
+    sky.replicate(&mut sim, use1, "src", use2, "dst", "obj", Rc::new(move |_, r| {
+        *r2.borrow_mut() = Some(r);
+    }));
+    sim.run_to_completion(100_000);
+    let r = result.borrow().expect("job completed");
+    let delay = (r.completed - r.submitted).as_secs_f64();
+    // ~31 s provisioning + ~26 s container + ~18 s overhead + transfer.
+    assert!(delay > 55.0 && delay < 110.0, "delay {delay}");
+
+    // Content arrived intact.
+    let (src_c, _) = sim.world.objstore(use1).read_full("src", "obj").unwrap();
+    let (dst_c, _) = sim.world.objstore(use2).read_full("dst", "obj").unwrap();
+    assert!(src_c.same_bytes(&dst_c));
+
+    // Cost: VM compute dwarfs data transfer (paper: >99% of cost on VMs).
+    let vm = sim.world.ledger.category_total(CostCategory::VmCompute);
+    let egress = sim.world.ledger.category_total(CostCategory::Egress);
+    assert!(vm > Money::ZERO);
+    assert!(
+        vm.as_dollars() > 50.0 * egress.as_dollars(),
+        "vm {vm} egress {egress}"
+    );
+}
+
+#[test]
+fn skyplane_keep_alive_amortizes_provisioning() {
+    let mut run = |keep_alive: Option<SimDuration>| -> (f64, f64) {
+        let mut sim = World::paper_sim(22);
+        let use1 = region(&sim, Cloud::Aws, "us-east-1");
+        let use2 = region(&sim, Cloud::Aws, "us-east-2");
+        sim.world.objstore_mut(use1).create_bucket("src");
+        sim.world.objstore_mut(use2).create_bucket("dst");
+        let sky = Skyplane::new(SkyplaneConfig {
+            keep_alive,
+            job_overhead: stats::Dist::normal(2.0, 0.3),
+            ..SkyplaneConfig::default()
+        });
+        let delays: Rc<RefCell<Vec<f64>>> = Rc::default();
+        // Five objects, one every 30 s.
+        for i in 0..5u64 {
+            let delays2 = delays.clone();
+            let key = format!("obj-{i}");
+            let sky_state = sky_handle(&sky);
+            sim.schedule_at(SimTime::from_nanos(i * 30_000_000_000), move |sim| {
+                world::user_put(sim, use1, "src", &key, 1 << 20).unwrap();
+                let delays3 = delays2.clone();
+                sky_state.replicate(sim, use1, "src", use2, "dst", &key, Rc::new(move |_, r| {
+                    delays3
+                        .borrow_mut()
+                        .push((r.completed - r.submitted).as_secs_f64());
+                }));
+            });
+        }
+        sim.run_to_completion(1_000_000);
+        let d = delays.borrow();
+        assert_eq!(d.len(), 5);
+        let first = d[0];
+        let rest: f64 = d[1..].iter().sum::<f64>() / 4.0;
+        (first, rest)
+    };
+    // With a 5-minute keep-alive, later objects skip provisioning entirely.
+    let (first, rest) = run(Some(SimDuration::from_mins(5)));
+    assert!(first > 50.0, "first {first}");
+    assert!(rest < first / 3.0, "rest {rest} vs first {first}");
+    // Without keep-alive, every object pays provisioning.
+    let (first_na, rest_na) = run(None);
+    assert!(rest_na > first_na / 2.0, "rest {rest_na} first {first_na}");
+}
+
+// Skyplane is !Clone by design; tests that need to move it into closures
+// wrap a second handle around the same shared state via replicate's &self.
+fn sky_handle(sky: &Skyplane) -> Rc<Skyplane> {
+    // Construct an Rc from a shallow copy sharing the same Rc state.
+    Rc::new(Skyplane::clone_handle(sky))
+}
+
+#[test]
+fn s3_rtc_delay_envelope_and_cost() {
+    let mut sim = World::paper_sim(23);
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    let delays: Rc<RefCell<Vec<f64>>> = Rc::default();
+    let d2 = delays.clone();
+    let rtc = ManagedReplication::install(
+        &mut sim,
+        ManagedConfig::s3_rtc(),
+        use1,
+        "src",
+        use2,
+        "dst",
+        Rc::new(move |_, r| d2.borrow_mut().push(r.delay().as_secs_f64())),
+    );
+    for i in 0..20 {
+        let key = format!("obj-{i}");
+        world::user_put(&mut sim, use1, "src", &key, 1 << 20).unwrap();
+        sim.run_until(sim.now() + SimDuration::from_secs(60));
+    }
+    sim.run_to_completion(1_000_000);
+    assert_eq!(rtc.completed(), 20);
+    let d = delays.borrow();
+    let mean = d.iter().sum::<f64>() / d.len() as f64;
+    // Paper: S3 RTC typically ~15–26 s.
+    assert!(mean > 12.0 && mean < 30.0, "mean delay {mean}");
+    // RTC surcharge was billed.
+    assert!(sim.world.ledger.category_total(CostCategory::RtcFee) > Money::ZERO);
+    assert!(sim.world.ledger.category_total(CostCategory::StorageCapacity) > Money::ZERO);
+}
+
+#[test]
+fn s3_rtc_burst_builds_tail() {
+    let mut sim = World::paper_sim(24);
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    let delays: Rc<RefCell<Vec<f64>>> = Rc::default();
+    let d2 = delays.clone();
+    let _rtc = ManagedReplication::install(
+        &mut sim,
+        ManagedConfig::s3_rtc(),
+        use1,
+        "src",
+        use2,
+        "dst",
+        Rc::new(move |_, r| d2.borrow_mut().push(r.delay().as_secs_f64())),
+    );
+    // A burst far above the service's request capacity.
+    for i in 0..20_000 {
+        let key = format!("burst-{i}");
+        world::user_put(&mut sim, use1, "src", &key, 64 << 10).unwrap();
+    }
+    sim.run_to_completion(10_000_000);
+    let mut d = delays.borrow().clone();
+    d.sort_by(f64::total_cmp);
+    let p50 = d[d.len() / 2];
+    let p9999 = d[(d.len() as f64 * 0.9999) as usize - 1];
+    assert!(p9999 > p50 + 3.0, "burst tail p50 {p50} p99.99 {p9999}");
+    assert!(p9999 > 20.0, "p99.99 {p9999}");
+}
+
+#[test]
+fn az_rep_is_slow_but_cheap() {
+    let mut sim = World::paper_sim(25);
+    let eastus = region(&sim, Cloud::Azure, "eastus");
+    let westus = region(&sim, Cloud::Azure, "westus2");
+    let delays: Rc<RefCell<Vec<f64>>> = Rc::default();
+    let d2 = delays.clone();
+    let _az = ManagedReplication::install(
+        &mut sim,
+        ManagedConfig::az_rep(),
+        eastus,
+        "src",
+        westus,
+        "dst",
+        Rc::new(move |_, r| d2.borrow_mut().push(r.delay().as_secs_f64())),
+    );
+    for i in 0..10 {
+        let key = format!("obj-{i}");
+        world::user_put(&mut sim, eastus, "src", &key, 1 << 20).unwrap();
+        sim.run_until(sim.now() + SimDuration::from_secs(120));
+    }
+    sim.run_to_completion(1_000_000);
+    let d = delays.borrow();
+    let mean = d.iter().sum::<f64>() / d.len() as f64;
+    // Paper: consistently > 60 s.
+    assert!(mean > 55.0 && mean < 75.0, "mean {mean}");
+    // Free of replication charges (no egress billed to the service user, no
+    // RTC fee).
+    assert!(sim.world.ledger.category_total(CostCategory::RtcFee).is_zero());
+}
+
+#[test]
+#[should_panic(expected = "S3 RTC replicates between AWS buckets")]
+fn s3_rtc_rejects_cross_cloud() {
+    let mut sim = World::paper_sim(26);
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let eastus = region(&sim, Cloud::Azure, "eastus");
+    ManagedReplication::install(
+        &mut sim,
+        ManagedConfig::s3_rtc(),
+        use1,
+        "src",
+        eastus,
+        "dst",
+        Rc::new(|_, _| {}),
+    );
+}

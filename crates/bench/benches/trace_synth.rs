@@ -1,0 +1,30 @@
+//! Criterion benchmark of trace synthesis: generating the 60-minute busy
+//! segment must stay cheap relative to replaying it.
+
+use areplica_traces::{generate, SynthConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkernel::SimDuration;
+use std::hint::black_box;
+
+fn bench_synth(c: &mut Criterion) {
+    c.bench_function("synth_10min_ibm_cos", |b| {
+        let cfg = SynthConfig {
+            duration: SimDuration::from_mins(10),
+            ..SynthConfig::ibm_cos_like()
+        };
+        b.iter(|| black_box(generate(&cfg, 42).len()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_synth
+}
+criterion_main!(benches);

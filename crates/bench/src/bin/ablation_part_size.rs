@@ -1,0 +1,5 @@
+//! Regenerates the part-size ablation (§5.1).
+fn main() {
+    let report = bench::experiments::ablation_part_size::run();
+    bench::write_report("ablation_part_size", &report);
+}

@@ -1,0 +1,39 @@
+//! Runs every experiment in sequence, writing all reports under `results/`.
+//!
+//! Honours `AREPLICA_SCALE` (set e.g. 0.2 for a quick pass) and
+//! `AREPLICA_ONLY=<substring>` to run a subset.
+use bench::experiments as ex;
+
+fn main() {
+    let only = std::env::var("AREPLICA_ONLY").unwrap_or_default();
+    let run = |name: &str, f: &dyn Fn() -> String| {
+        if !only.is_empty() && !name.contains(&only) {
+            return;
+        }
+        eprintln!("\n===== running {name} =====");
+        let started = std::time::Instant::now();
+        let report = f();
+        bench::write_report(name, &report);
+        eprintln!("[{name} took {:.1} s]", started.elapsed().as_secs_f64());
+    };
+    run("fig02_put_sizes", &ex::fig02_put_sizes::run);
+    run("fig03_throughput", &ex::fig03_throughput::run);
+    run("fig04_skyplane_breakdown", &ex::fig04_skyplane_breakdown::run);
+    run("fig05_skyplane_dynamic", &ex::fig05_skyplane_dynamic::run);
+    run("fig06_bandwidth_config", &ex::fig06_bandwidth_config::run);
+    run("fig07_scaling", &ex::fig07_scaling::run);
+    run("fig08_asymmetry", &ex::fig08_asymmetry::run);
+    run("fig09_variability", &ex::fig09_variability::run);
+    run("table1_aws", &|| ex::tables_delay_cost::run(1, (cloudsim::Cloud::Aws, "us-east-1")));
+    run("table2_azure", &|| ex::tables_delay_cost::run(2, (cloudsim::Cloud::Azure, "eastus")));
+    run("table3_gcp", &|| ex::tables_delay_cost::run(3, (cloudsim::Cloud::Gcp, "us-east1")));
+    run("fig16_bulk", &ex::fig16_bulk::run);
+    run("fig17_scheduling_ablation", &ex::fig17_scheduling::run);
+    run("fig18_model_accuracy", &ex::fig18_19_model_accuracy::run);
+    run("table4_model_accuracy", &ex::table4_model_accuracy::run);
+    run("fig20_region_selection", &ex::fig20_region_selection::run);
+    run("fig21_changelog", &ex::fig21_changelog::run);
+    run("fig22_batching", &ex::fig22_batching::run);
+    run("fig23_trace_replay", &ex::fig23_trace_replay::run);
+    run("ablation_part_size", &ex::ablation_part_size::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (PUT size distribution).
+fn main() {
+    let report = bench::experiments::fig02_put_sizes::run();
+    bench::write_report("fig02_put_sizes", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (write throughput over time).
+fn main() {
+    let report = bench::experiments::fig03_throughput::run();
+    bench::write_report("fig03_throughput", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (Skyplane time and cost breakdown).
+fn main() {
+    let report = bench::experiments::fig04_skyplane_breakdown::run();
+    bench::write_report("fig04_skyplane_breakdown", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (Skyplane on dynamic workloads).
+fn main() {
+    let report = bench::experiments::fig05_skyplane_dynamic::run();
+    bench::write_report("fig05_skyplane_dynamic", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (bandwidth vs function configuration).
+fn main() {
+    let report = bench::experiments::fig06_bandwidth_config::run();
+    bench::write_report("fig06_bandwidth_config", &report);
+}

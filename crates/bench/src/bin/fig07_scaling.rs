@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (aggregate bandwidth vs number of functions).
+fn main() {
+    let report = bench::experiments::fig07_scaling::run();
+    bench::write_report("fig07_scaling", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (asymmetric cloud/region behaviours).
+fn main() {
+    let report = bench::experiments::fig08_asymmetry::run();
+    bench::write_report("fig08_asymmetry", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (per-instance performance variability).
+fn main() {
+    let report = bench::experiments::fig09_variability::run();
+    bench::write_report("fig09_variability", &report);
+}

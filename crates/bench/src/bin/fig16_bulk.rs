@@ -1,0 +1,5 @@
+//! Regenerates Figure 16 (100 GB bulk replication).
+fn main() {
+    let report = bench::experiments::fig16_bulk::run();
+    bench::write_report("fig16_bulk", &report);
+}

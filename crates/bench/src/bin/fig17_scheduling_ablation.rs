@@ -1,0 +1,5 @@
+//! Regenerates Figures 12 and 17 (scheduling ablation).
+fn main() {
+    let report = bench::experiments::fig17_scheduling::run();
+    bench::write_report("fig17_scheduling_ablation", &report);
+}

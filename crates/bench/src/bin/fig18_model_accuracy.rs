@@ -1,0 +1,5 @@
+//! Regenerates Figures 18-19 (performance model accuracy).
+fn main() {
+    let report = bench::experiments::fig18_19_model_accuracy::run();
+    bench::write_report("fig18_model_accuracy", &report);
+}

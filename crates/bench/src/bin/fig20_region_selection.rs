@@ -1,0 +1,5 @@
+//! Regenerates Figure 20 (dynamic region selection).
+fn main() {
+    let report = bench::experiments::fig20_region_selection::run();
+    bench::write_report("fig20_region_selection", &report);
+}

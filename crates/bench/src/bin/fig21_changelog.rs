@@ -1,0 +1,5 @@
+//! Regenerates Figure 21 (changelog COPY propagation).
+fn main() {
+    let report = bench::experiments::fig21_changelog::run();
+    bench::write_report("fig21_changelog", &report);
+}

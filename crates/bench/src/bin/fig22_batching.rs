@@ -1,0 +1,5 @@
+//! Regenerates Figure 22 (SLO-bounded batching).
+fn main() {
+    let report = bench::experiments::fig22_batching::run();
+    bench::write_report("fig22_batching", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 23 (production trace replay).
+fn main() {
+    let report = bench::experiments::fig23_trace_replay::run();
+    bench::write_report("fig23_trace_replay", &report);
+}

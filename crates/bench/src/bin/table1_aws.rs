@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (delay & cost from AWS us-east-1).
+fn main() {
+    let report = bench::experiments::tables_delay_cost::run(1, (cloudsim::Cloud::Aws, "us-east-1"));
+    bench::write_report("table1_aws", &report);
+}

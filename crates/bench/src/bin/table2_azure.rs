@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (delay & cost from Azure eastus).
+fn main() {
+    let report = bench::experiments::tables_delay_cost::run(2, (cloudsim::Cloud::Azure, "eastus"));
+    bench::write_report("table2_azure", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (delay & cost from GCP us-east1).
+fn main() {
+    let report = bench::experiments::tables_delay_cost::run(3, (cloudsim::Cloud::Gcp, "us-east1"));
+    bench::write_report("table3_gcp", &report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (predicted vs measured).
+fn main() {
+    let report = bench::experiments::table4_model_accuracy::run();
+    bench::write_report("table4_model_accuracy", &report);
+}

@@ -1,0 +1,105 @@
+//! Part-size ablation (§5.1's design choice): sweeping the data-part size
+//! for a 1 GB distributed replication. Small parts buy scheduling
+//! flexibility but pay per-part API/DB overhead; large parts are efficient
+//! but let one slow instance stall the tail. The paper lands on 8 MB.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use areplica_core::engine::{self, TaskSpec, TaskStatus};
+use areplica_core::model::ExecSide;
+use areplica_core::{EngineConfig, Plan};
+use cloudsim::world;
+use cloudsim::Cloud;
+use pricing::CostCategory;
+use simkernel::SimDuration;
+
+use crate::harness::{mean, scaled, Table};
+use crate::runners::fresh_sim;
+
+fn run_part_size(part_size: u64, trials: usize, seed_offset: u64) -> (f64, f64, u64) {
+    let mut sim = fresh_sim(seed_offset);
+    let src = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Gcp, "asia-northeast1").unwrap();
+    sim.world.objstore_mut(src).create_bucket("src");
+    sim.world.objstore_mut(dst).create_bucket("dst");
+    let mut cfg = EngineConfig::default();
+    cfg.part_size = part_size;
+    let size: u64 = 1 << 30;
+    let mut times = Vec::new();
+    let before = sim.world.ledger.snapshot();
+    for t in 0..trials {
+        let key = format!("obj-{t}");
+        let put = world::user_put(&mut sim, src, "src", &key, size).unwrap();
+        let start = sim.now();
+        let done: Rc<RefCell<Option<f64>>> = Rc::default();
+        let d2 = done.clone();
+        engine::execute(
+            &mut sim,
+            cfg.clone(),
+            TaskSpec {
+                src_region: src,
+                src_bucket: "src".into(),
+                dst_region: dst,
+                dst_bucket: "dst".into(),
+                key,
+                etag: put.etag,
+                seq: put.event.seq,
+                size,
+                event_time: start,
+            },
+            Plan {
+                n: 32.min(cfg.num_parts(size)),
+                side: ExecSide::Source,
+                local: false,
+                predicted: SimDuration::from_secs(30),
+                slo_met: false,
+            },
+            None,
+            Rc::new(move |sim, outcome| {
+                assert!(matches!(outcome.status, TaskStatus::Replicated { .. }));
+                *d2.borrow_mut() = Some((sim.now() - start).as_secs_f64());
+            }),
+            Box::new(|_| {}),
+        );
+        sim.run_to_completion(100_000_000);
+        times.push(done.borrow().expect("completed"));
+    }
+    let settle = sim.now() + SimDuration::from_secs(30);
+    sim.run_until(settle);
+    let spent = sim.world.ledger.since(&before);
+    let db_requests = spent.category_total(CostCategory::DbOps).as_dollars()
+        + spent.category_total(CostCategory::StorageRequests).as_dollars();
+    (
+        mean(&times),
+        db_requests / trials as f64,
+        cfg.num_parts(size) as u64,
+    )
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let trials = scaled(4, 2);
+    let mut table = Table::new([
+        "part size",
+        "parts",
+        "e2e mean (s)",
+        "per-task DB+request cost ($)",
+    ]);
+    for (i, part_mb) in [1u64, 2, 4, 8, 16, 32, 64].into_iter().enumerate() {
+        let (t, overhead, parts) = run_part_size(part_mb << 20, trials, 0x2500 + i as u64);
+        table.row([
+            format!("{part_mb} MB"),
+            parts.to_string(),
+            format!("{t:.2}"),
+            format!("{overhead:.6}"),
+        ]);
+    }
+    format!(
+        "Part-size ablation — 1 GB, Azure eastus -> GCP asia-northeast1, 32 replicators\n\n{}\n\
+         paper reference (§5.1): 8 MB balances per-part overhead against scheduling\n\
+         flexibility; beyond it the overhead reduction is marginal while slow instances\n\
+         holding large parts stretch the tail.\n",
+        table.render(),
+    )
+}

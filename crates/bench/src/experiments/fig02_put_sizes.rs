@@ -1,0 +1,64 @@
+//! Figure 2: PUT request size distribution in the (synthetic) IBM COS trace
+//! — request count and capacity share per size bucket.
+
+use areplica_traces::{generate, SynthConfig, TraceOp};
+use simkernel::SimDuration;
+
+use crate::harness::{scaled, seed, Table};
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let minutes = scaled(180, 20) as u64;
+    let cfg = SynthConfig {
+        duration: SimDuration::from_mins(minutes),
+        ..SynthConfig::ibm_cos_like()
+    };
+    let trace = generate(&cfg, seed());
+
+    // Figure 2's log-scale buckets.
+    let edges: &[(u64, &str)] = &[
+        (100, "<100B"),
+        (1 << 10, "100B-1K"),
+        (10 << 10, "1K-10K"),
+        (100 << 10, "10K-100K"),
+        (1 << 20, "100K-1M"),
+        (10 << 20, "1M-10M"),
+        (100 << 20, "10M-100M"),
+        (1 << 30, "100M-1G"),
+        (u64::MAX, ">1G"),
+    ];
+
+    let mut counts = vec![0u64; edges.len()];
+    let mut bytes = vec![0u64; edges.len()];
+    let mut total_count = 0u64;
+    let mut total_bytes = 0u64;
+    for r in &trace.records {
+        if let TraceOp::Put { size } = r.op {
+            let idx = edges.iter().position(|(hi, _)| size < *hi).unwrap_or(edges.len() - 1);
+            counts[idx] += 1;
+            bytes[idx] += size;
+            total_count += 1;
+            total_bytes += size;
+        }
+    }
+
+    let mut table = Table::new(["bucket", "count", "count %", "capacity", "capacity %"]);
+    for (i, (_, label)) in edges.iter().enumerate() {
+        table.row([
+            label.to_string(),
+            counts[i].to_string(),
+            format!("{:.2}", 100.0 * counts[i] as f64 / total_count as f64),
+            crate::harness::human_bytes(bytes[i]),
+            format!("{:.2}", 100.0 * bytes[i] as f64 / total_bytes as f64),
+        ]);
+    }
+    let below_1mb: u64 = counts[..5].iter().sum();
+    format!(
+        "Figure 2 — PUT request size distribution ({} min synthetic IBM COS trace, {} PUTs)\n\n{}\n\
+         PUTs <= 1MB: {:.1}% (paper: ~80%)\n",
+        minutes,
+        total_count,
+        table.render(),
+        100.0 * below_1mb as f64 / total_count as f64,
+    )
+}

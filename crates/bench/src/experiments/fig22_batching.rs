@@ -1,0 +1,98 @@
+//! Figure 22: effectiveness of SLO-bounded batching — a 100 MB object
+//! updated 5–100 times per minute under a 30-second SLO, with and without
+//! batching. Batching keeps the SLO with near-constant cost; without it the
+//! cost grows with the update rate until the system saturates.
+
+use areplica_core::{AReplicaBuilder, ReplicationRule};
+use cloudsim::world;
+use cloudsim::Cloud;
+use simkernel::{SimDuration, SimTime};
+
+use crate::harness::{scaled, Table};
+use crate::runners::{fresh_sim, profile_pairs};
+
+const SIZE: u64 = 100 << 20;
+const SLO_S: u64 = 30;
+
+struct Outcome {
+    attainment: f64,
+    cost_per_min: f64,
+    transfers: usize,
+}
+
+fn run_rate(updates_per_min: u64, batching: bool, seed_offset: u64) -> Outcome {
+    let minutes = scaled(6, 3) as u64;
+    let mut sim = fresh_sim(seed_offset);
+    let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
+    let model = profile_pairs(&sim, &[(src, dst)]);
+    let service = AReplicaBuilder::new()
+        .rule(
+            ReplicationRule::new(src, "src", dst, "dst")
+                .with_slo(SimDuration::from_secs(SLO_S))
+                .with_batching(batching),
+        )
+        .model(model)
+        .install(&mut sim);
+
+    let before = sim.world.ledger.snapshot();
+    let interval_ns = 60_000_000_000 / updates_per_min;
+    let total_updates = updates_per_min * minutes;
+    for i in 0..total_updates {
+        sim.schedule_at(SimTime::from_nanos(i * interval_ns), move |sim| {
+            world::user_put(sim, src, "src", "hot.bin", SIZE).unwrap();
+        });
+    }
+    sim.run_to_completion(200_000_000);
+    let spent = sim.world.ledger.since(&before).grand_total().as_dollars();
+    let m = service.metrics();
+    // Attainment over *updates*: absorbed updates were covered by a newer
+    // version replicated within the earliest absorbed deadline, so they
+    // count as met; explicit completions are checked individually.
+    let met_completions = m
+        .completions
+        .iter()
+        .filter(|c| c.delay() <= SimDuration::from_secs(SLO_S))
+        .count() as u64;
+    let attainment =
+        (met_completions + m.batched_skips) as f64 / total_updates.max(1) as f64;
+    Outcome {
+        attainment: attainment.min(1.0),
+        cost_per_min: spent / minutes as f64,
+        transfers: m.completions.len(),
+    }
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let rates = [5u64, 10, 50, 100];
+    let mut table = Table::new([
+        "updates/min",
+        "batching: SLO %",
+        "cost $/min",
+        "transfers",
+        "no-batch: SLO %",
+        "cost $/min",
+        "transfers",
+    ]);
+    for (i, &rate) in rates.iter().enumerate() {
+        let with = run_rate(rate, true, 0x2200 + i as u64);
+        let without = run_rate(rate, false, 0x2300 + i as u64);
+        table.row([
+            rate.to_string(),
+            format!("{:.1}", with.attainment * 100.0),
+            format!("{:.4}", with.cost_per_min),
+            with.transfers.to_string(),
+            format!("{:.1}", without.attainment * 100.0),
+            format!("{:.4}", without.cost_per_min),
+            without.transfers.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 22 — SLO-bounded batching (100 MB object, 30 s SLO, varying update rate)\n\n{}\n\
+         paper reference: batching holds the SLO with near-constant cost as the update\n\
+         frequency grows; without it cost rises with the rate until the maximum\n\
+         replication frequency is reached.\n",
+        table.render(),
+    )
+}

@@ -1,0 +1,167 @@
+//! Figure 23: replication delay on the production trace — a busy 60-minute
+//! IBM-COS-shaped segment (≈1 M PUT/DELETE at full scale) replicated from
+//! AWS us-east-1 to us-east-2 by AReplica and by S3 RTC. AReplica's
+//! elasticity keeps the p99.99 under 10 seconds throughout; S3 RTC sits
+//! around 20 s and spikes past 30 s during bursts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use areplica_core::{AReplicaBuilder, ReplicationRule};
+use areplica_traces::{generate, ReplayConfig, SynthConfig};
+use baselines::{ManagedConfig, ManagedReplication};
+use cloudsim::Cloud;
+use simkernel::SimDuration;
+
+use crate::harness::{percentile, scale, seed, Table};
+use crate::runners::{fresh_sim, profile_pairs};
+
+fn busy_trace() -> areplica_traces::Trace {
+    // Target ~0.99 M writes over 60 min at full scale (~275 ops/s mean).
+    let rate = (275.0 * scale()).max(8.0);
+    let cfg = SynthConfig {
+        duration: SimDuration::from_mins(60),
+        mean_ops_per_sec: rate,
+        // Keep objects to the replication-relevant range (99.99% < 1 GB).
+        ..SynthConfig::ibm_cos_like()
+    };
+    generate(&cfg, seed() ^ 0x23).writes_only()
+}
+
+struct WindowedDelays {
+    /// (minute, p50, p99.99) per 5-minute window.
+    windows: Vec<(u64, f64, f64)>,
+    overall_p9999: f64,
+    count: usize,
+}
+
+fn windows_of(delays: &[(f64, f64)]) -> WindowedDelays {
+    let mut windows = Vec::new();
+    let mut bucket: Vec<f64> = Vec::new();
+    let mut current = 0u64;
+    let mut all: Vec<f64> = Vec::new();
+    for &(at_s, d) in delays {
+        let w = (at_s / 300.0) as u64;
+        if w != current && !bucket.is_empty() {
+            windows.push((current * 5, percentile(&bucket, 50.0), percentile(&bucket, 99.99)));
+            bucket.clear();
+        }
+        current = w;
+        bucket.push(d);
+        all.push(d);
+    }
+    if !bucket.is_empty() {
+        windows.push((current * 5, percentile(&bucket, 50.0), percentile(&bucket, 99.99)));
+    }
+    WindowedDelays {
+        windows,
+        overall_p9999: percentile(&all, 99.99),
+        count: all.len(),
+    }
+}
+
+fn run_areplica(trace: &areplica_traces::Trace) -> WindowedDelays {
+    let mut sim = fresh_sim(0x2311);
+    let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
+    // The replay drives hundreds of concurrent replications; keep the
+    // account quota at the paper's adjustable ceiling.
+    sim.world.params.cloud_mut(Cloud::Aws).concurrency_limit = 2000;
+    let model = profile_pairs(&sim, &[(src, dst)]);
+    let service = AReplicaBuilder::new()
+        .rule(
+            ReplicationRule::new(src, "trace-bucket", dst, "trace-mirror")
+                // The SLO target is a p99.99 figure, so plans and batch
+                // timers must budget the replication-time distribution at
+                // that percentile (§5.3: "takes a user-defined percentile").
+                .with_slo(SimDuration::from_secs(10))
+                .with_percentile(0.9999),
+        )
+        .model(model)
+        .install(&mut sim);
+    areplica_traces::schedule(
+        &mut sim,
+        trace,
+        src,
+        "trace-bucket",
+        &ReplayConfig::default(),
+    );
+    sim.run_to_completion(u64::MAX);
+    let m = service.metrics();
+    let delays: Vec<(f64, f64)> = m
+        .completions
+        .iter()
+        .map(|c| (c.completed_at.as_secs_f64(), c.delay().as_secs_f64()))
+        .collect();
+    windows_of(&delays)
+}
+
+fn run_rtc(trace: &areplica_traces::Trace) -> WindowedDelays {
+    let mut sim = fresh_sim(0x2322);
+    let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
+    let delays: Rc<RefCell<Vec<(f64, f64)>>> = Rc::default();
+    let d2 = delays.clone();
+    let _svc = ManagedReplication::install(
+        &mut sim,
+        ManagedConfig::s3_rtc(),
+        src,
+        "trace-bucket",
+        dst,
+        "trace-mirror",
+        Rc::new(move |sim, r| {
+            d2.borrow_mut()
+                .push((sim.now().as_secs_f64(), r.delay().as_secs_f64()));
+        }),
+    );
+    areplica_traces::schedule(
+        &mut sim,
+        trace,
+        src,
+        "trace-bucket",
+        &ReplayConfig::default(),
+    );
+    sim.run_to_completion(u64::MAX);
+    let delays = delays.borrow();
+    windows_of(&delays)
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let trace = busy_trace();
+    let writes = trace.len();
+    let areplica = run_areplica(&trace);
+    let rtc = run_rtc(&trace);
+
+    let mut table = Table::new([
+        "window (min)",
+        "AReplica p50 (s)",
+        "AReplica p99.99",
+        "S3RTC p50",
+        "S3RTC p99.99",
+    ]);
+    let n = areplica.windows.len().min(rtc.windows.len());
+    for i in 0..n {
+        let (w, ap50, ap) = areplica.windows[i];
+        let (_, rp50, rp) = rtc.windows[i];
+        table.row([
+            format!("{w}-{}", w + 5),
+            format!("{ap50:.2}"),
+            format!("{ap:.2}"),
+            format!("{rp50:.1}"),
+            format!("{rp:.1}"),
+        ]);
+    }
+    format!(
+        "Figure 23 — production-trace replay (60 min, {writes} PUT/DELETE records,\n\
+         AWS us-east-1 -> us-east-2; per-5-min-window delay percentiles)\n\n{}\n\
+         overall: AReplica p99.99 {:.2} s over {} replications; S3 RTC p99.99 {:.1} s over {}.\n\
+         paper reference: AReplica keeps p99.99 < 10 s throughout; S3 RTC sits ~20 s and\n\
+         exceeds 30 s during bursts.\n",
+        table.render(),
+        areplica.overall_p9999,
+        areplica.count,
+        rtc.overall_p9999,
+        rtc.count,
+    )
+}

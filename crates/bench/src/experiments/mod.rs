@@ -1,0 +1,23 @@
+//! One module per paper artifact; each `run()` returns a formatted report.
+//!
+//! See DESIGN.md's per-experiment index for the mapping to the paper's
+//! tables and figures.
+
+pub mod ablation_part_size;
+pub mod fig02_put_sizes;
+pub mod fig03_throughput;
+pub mod fig04_skyplane_breakdown;
+pub mod fig05_skyplane_dynamic;
+pub mod fig06_bandwidth_config;
+pub mod fig07_scaling;
+pub mod fig08_asymmetry;
+pub mod fig09_variability;
+pub mod fig16_bulk;
+pub mod fig17_scheduling;
+pub mod fig18_19_model_accuracy;
+pub mod fig20_region_selection;
+pub mod fig21_changelog;
+pub mod fig22_batching;
+pub mod fig23_trace_replay;
+pub mod table4_model_accuracy;
+pub mod tables_delay_cost;

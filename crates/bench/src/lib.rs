@@ -1,0 +1,22 @@
+//! # bench — the experiment harness
+//!
+//! Library support for the per-table/per-figure experiment binaries in
+//! `src/bin/`. Each experiment lives in [`experiments`] as a function
+//! returning a formatted report; the binaries print it and write it under
+//! `results/`.
+//!
+//! Environment knobs:
+//!
+//! * `AREPLICA_SCALE` — scales trial counts / workload sizes (default 1.0;
+//!   set e.g. `0.2` for a quick pass).
+//! * `AREPLICA_RESULTS_DIR` — output directory (default `results`).
+//! * `AREPLICA_SEED` — master seed (default 2026).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+pub mod runners;
+
+pub use harness::{human_bytes, scaled, seed, write_report, Table};
+pub use runners::{measure_areplica_once, profile_pairs, wait_for_completions};

@@ -1,0 +1,76 @@
+//! Shared measurement runners used by the experiment modules.
+
+use areplica_core::{build_model_for, AReplica, PerfModel, ProfilerConfig};
+use cloudsim::world::{self, CloudSim};
+use cloudsim::{RegionId, World};
+use pricing::CostSnapshot;
+
+/// The standard profiler budget experiments use (tuned for fidelity at an
+/// affordable one-off cost per binary).
+pub fn experiment_profiler() -> ProfilerConfig {
+    ProfilerConfig {
+        warm_samples: 6,
+        cold_samples: 5,
+        transfer_samples: 6,
+        chunks_per_invocation: 3,
+        notif_samples: 8,
+        mc_trials: 2500,
+        ..ProfilerConfig::default()
+    }
+}
+
+/// Profiles `pairs` against a sandbox copy of `sim`'s world.
+pub fn profile_pairs(sim: &CloudSim, pairs: &[(RegionId, RegionId)]) -> PerfModel {
+    build_model_for(
+        &sim.world.regions.clone(),
+        &sim.world.params.clone(),
+        &sim.world.catalog.clone(),
+        pairs,
+        &experiment_profiler(),
+    )
+}
+
+/// A fresh paper-world simulator with the harness seed offset.
+pub fn fresh_sim(seed_offset: u64) -> CloudSim {
+    World::paper_sim(crate::harness::seed().wrapping_add(seed_offset))
+}
+
+/// Runs the simulator until the service has recorded `target` completions
+/// (or the event queue drains). Returns whether the target was reached.
+pub fn wait_for_completions(sim: &mut CloudSim, service: &AReplica, target: usize) -> bool {
+    loop {
+        if service.metrics().completions.len() >= target {
+            return true;
+        }
+        if !sim.step() {
+            return service.metrics().completions.len() >= target;
+        }
+    }
+}
+
+/// Measures one AReplica replication: writes `key` of `size` into the rule's
+/// source bucket, runs until the completion lands, and returns
+/// `(delay_seconds, cost_delta)`.
+pub fn measure_areplica_once(
+    sim: &mut CloudSim,
+    service: &AReplica,
+    src: RegionId,
+    bucket: &str,
+    key: &str,
+    size: u64,
+) -> (f64, CostSnapshot) {
+    let before = sim.world.ledger.snapshot();
+    let target = service.metrics().completions.len() + 1;
+    world::user_put(sim, src, bucket, key, size).expect("source bucket exists");
+    let ok = wait_for_completions(sim, service, target);
+    assert!(ok, "replication of {key} never completed");
+    let delay = {
+        let m = service.metrics();
+        m.completions.last().expect("completion").delay().as_secs_f64()
+    };
+    // Let stragglers (slow replicators draining, unlock writes) settle so
+    // their cost lands in this measurement, not the next one.
+    let settle = sim.now() + simkernel::SimDuration::from_secs(30);
+    sim.run_until(settle);
+    (delay, sim.world.ledger.since(&before))
+}

@@ -1,0 +1,541 @@
+//! Simulated cloud-function runtime (Lambda / Azure Functions / Cloud Run
+//! Functions surface).
+//!
+//! Captures the lifecycle the paper's performance model reasons about:
+//! invocation API latency `I`, cold-start delay `D`, scale-out scheduler
+//! batching `P`, warm-instance reuse, per-region concurrency quotas, hard
+//! execution time limits, platform auto-retry with a dead-letter queue, and
+//! per-millisecond billing.
+//!
+//! Function *bodies* are `Rc<dyn Fn(&mut CloudSim, FnHandle)>` written in
+//! continuation-passing style: each step schedules its follow-up through the
+//! world's storage/DB/transfer wrappers, which automatically drop
+//! continuations of dead invocations.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use pricing::CostCategory;
+use simkernel::{SimDuration, SimTime};
+
+use crate::net::sample_instance_factor;
+use crate::params::FnConfig;
+use crate::region::RegionId;
+use crate::world::{CloudSim, World};
+
+/// A function instance (a container that may serve many invocations warm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u64);
+
+/// One logical invocation (stable across platform retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InvocationId(pub u64);
+
+/// Handle a running body uses to identify itself to the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FnHandle {
+    /// The executing instance.
+    pub instance: InstanceId,
+    /// The invocation being served.
+    pub invocation: InvocationId,
+    /// Region the instance runs in.
+    pub region: RegionId,
+}
+
+/// A function body, re-runnable on platform retry.
+pub type FnBody = Rc<dyn Fn(&mut CloudSim, FnHandle)>;
+
+/// Resource configuration + time limit for an invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FnSpec {
+    /// Memory/CPU configuration.
+    pub config: FnConfig,
+    /// Execution time limit (defaults to the platform maximum).
+    pub timeout: SimDuration,
+}
+
+/// Platform retry policy for asynchronous invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (AWS default: 2).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2 }
+    }
+}
+
+/// Why an invocation attempt ended unsuccessfully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The body exceeded the execution time limit.
+    Timeout,
+    /// The instance crashed (fault injection).
+    Crash,
+    /// The body aborted itself (unrecoverable application error).
+    Aborted,
+}
+
+/// An event parked on the dead-letter queue after exhausting retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlqEntry {
+    /// The failed invocation.
+    pub invocation: InvocationId,
+    /// Its region.
+    pub region: RegionId,
+    /// The final failure reason.
+    pub reason: FailureReason,
+    /// When it was parked.
+    pub at: SimTime,
+}
+
+/// Counters for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaasStats {
+    /// Total invocation attempts started (including retries).
+    pub attempts: u64,
+    /// Attempts served by a cold (new) instance.
+    pub cold_starts: u64,
+    /// Attempts served by a warm instance.
+    pub warm_starts: u64,
+    /// Attempts that hit the execution time limit.
+    pub timeouts: u64,
+    /// Attempts that crashed.
+    pub crashes: u64,
+    /// Platform retries issued.
+    pub retries: u64,
+    /// Invocations parked on the DLQ.
+    pub dlq: u64,
+    /// Invocations that queued on the concurrency limit.
+    pub throttled: u64,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    invocation: InvocationId,
+    started: SimTime,
+    deadline: SimTime,
+}
+
+#[derive(Debug)]
+struct Instance {
+    region: RegionId,
+    spec: FnSpec,
+    speed_factor: f64,
+    exec: Option<ExecState>,
+    /// Bumped on every reuse; guards warm-expiry races.
+    use_count: u64,
+}
+
+struct Pending {
+    invocation: InvocationId,
+    spec: FnSpec,
+    body: FnBody,
+    attempt: u32,
+    policy: RetryPolicy,
+}
+
+#[derive(Default)]
+struct RegionFaas {
+    warm: Vec<(InstanceId, SimTime)>,
+    active: u32,
+    queued: VecDeque<Pending>,
+}
+
+/// The multi-region function runtime.
+#[derive(Default)]
+pub struct FaasRuntime {
+    regions: HashMap<RegionId, RegionFaas>,
+    instances: HashMap<InstanceId, Instance>,
+    next_instance: u64,
+    next_invocation: u64,
+    /// Dead-letter queue (inspectable by tests and experiments).
+    pub dlq: Vec<DlqEntry>,
+    /// Runtime counters.
+    pub stats: FaasStats,
+}
+
+impl FaasRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        FaasRuntime::default()
+    }
+
+    /// True while `handle`'s invocation is still the one executing on its
+    /// instance (continuations must check this, and the world wrappers do).
+    pub fn is_live(&self, handle: FnHandle) -> bool {
+        self.instances
+            .get(&handle.instance)
+            .and_then(|i| i.exec.as_ref())
+            .is_some_and(|e| e.invocation == handle.invocation)
+    }
+
+    /// Time left before `handle`'s invocation hits its execution limit, or
+    /// `None` if the invocation is not live. Replicator bodies use this to
+    /// stop claiming parts they cannot finish.
+    pub fn remaining_time(&self, handle: FnHandle, now: SimTime) -> Option<SimDuration> {
+        let exec = self.instances.get(&handle.instance)?.exec.as_ref()?;
+        if exec.invocation != handle.invocation {
+            return None;
+        }
+        Some(exec.deadline.saturating_since(now))
+    }
+
+    /// The persistent speed factor of an instance (1.0 if unknown — only
+    /// possible for a dead instance whose transfers are being dropped).
+    pub fn speed_factor(&self, instance: InstanceId) -> f64 {
+        self.instances
+            .get(&instance)
+            .map_or(1.0, |i| i.speed_factor)
+    }
+
+    /// The spec of an instance, if alive.
+    pub fn instance_spec(&self, instance: InstanceId) -> Option<FnSpec> {
+        self.instances.get(&instance).map(|i| i.spec)
+    }
+
+    /// Region of an instance, if alive.
+    pub fn instance_region(&self, instance: InstanceId) -> Option<RegionId> {
+        self.instances.get(&instance).map(|i| i.region)
+    }
+
+    /// Number of currently active (reserved or executing) instances.
+    pub fn active_in(&self, region: RegionId) -> u32 {
+        self.regions.get(&region).map_or(0, |r| r.active)
+    }
+
+    /// Number of idle warm instances.
+    pub fn warm_in(&self, region: RegionId) -> usize {
+        self.regions.get(&region).map_or(0, |r| r.warm.len())
+    }
+}
+
+/// The default spec for a region (the evaluation's per-cloud configuration).
+pub fn default_spec(world: &World, region: RegionId) -> FnSpec {
+    let cloud = world.regions.cloud(region);
+    let cp = world.params.cloud(cloud);
+    FnSpec {
+        config: cp.default_fn_config,
+        timeout: cp.fn_timeout,
+    }
+}
+
+/// Asynchronously invokes a function in `region`.
+///
+/// The invocation is accepted after the sampled API latency `I`; execution
+/// begins once a warm instance is reused or a cold instance boots (subject to
+/// the scale-out scheduler and the concurrency quota). Returns the
+/// [`InvocationId`] immediately (fire-and-forget, like an async Lambda
+/// invoke).
+pub fn invoke(
+    sim: &mut CloudSim,
+    region: RegionId,
+    spec: FnSpec,
+    body: FnBody,
+    policy: RetryPolicy,
+) -> InvocationId {
+    invoke_after(sim, SimDuration::ZERO, region, spec, body, policy)
+}
+
+/// Like [`invoke`], but the API call is issued after `delay` — used to model
+/// the orchestrator's pipelined `I × n` invocation loop.
+pub fn invoke_after(
+    sim: &mut CloudSim,
+    delay: SimDuration,
+    region: RegionId,
+    spec: FnSpec,
+    body: FnBody,
+    policy: RetryPolicy,
+) -> InvocationId {
+    let world = &mut sim.world;
+    world.faas.next_invocation += 1;
+    let invocation = InvocationId(world.faas.next_invocation);
+    let cloud = world.regions.cloud(region);
+    let request_fee = pricing::Money::from_dollars(
+        world.catalog.cloud(cloud).function.per_million_requests / 1e6,
+    );
+    world.charge(cloud, CostCategory::FunctionRequests, request_fee);
+    let api_latency = {
+        let d = world.params.cloud(cloud).invoke_latency.clone();
+        SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
+    };
+    let pending = Pending {
+        invocation,
+        spec,
+        body,
+        attempt: 0,
+        policy,
+    };
+    sim.schedule_in(delay + api_latency, move |sim| {
+        accept(sim, region, pending);
+    });
+    invocation
+}
+
+fn accept(sim: &mut CloudSim, region: RegionId, pending: Pending) {
+    let now = sim.now();
+    let world = &mut sim.world;
+    world.faas.stats.attempts += 1;
+
+    // Prune expired warm instances.
+    let rf = world.faas.regions.entry(region).or_default();
+    let expired: Vec<InstanceId> = rf
+        .warm
+        .iter()
+        .filter(|(_, exp)| *exp <= now)
+        .map(|(id, _)| *id)
+        .collect();
+    rf.warm.retain(|(_, exp)| *exp > now);
+    for id in expired {
+        world.faas.instances.remove(&id);
+    }
+
+    try_start(sim, region, pending);
+}
+
+fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
+    let now = sim.now();
+    let cloud = sim.world.regions.cloud(region);
+    let limit = sim.world.params.cloud(cloud).concurrency_limit;
+
+    let world = &mut sim.world;
+    let rf = world.faas.regions.entry(region).or_default();
+
+    // Warm reuse: LIFO keeps recently used instances hot, matching real
+    // platforms' placement preference.
+    if let Some(pos) = rf.warm.iter().rposition(|(id, _)| {
+        world
+            .faas
+            .instances
+            .get(id)
+            .is_some_and(|i| i.spec.config == pending.spec.config)
+    }) {
+        let (instance, _) = rf.warm.remove(pos);
+        rf.active += 1;
+        world.faas.stats.warm_starts += 1;
+        exec_begin(sim, region, instance, pending);
+        return;
+    }
+
+    if rf.active < limit {
+        rf.active += 1;
+        world.faas.stats.cold_starts += 1;
+        world.faas.next_instance += 1;
+        let instance = InstanceId(world.faas.next_instance);
+        let speed_factor = {
+            let params = world.params.clone();
+            sample_instance_factor(&params, cloud, world.faas_rng_mut())
+        };
+        world.faas.instances.insert(
+            instance,
+            Instance {
+                region,
+                spec: pending.spec,
+                speed_factor,
+                exec: None,
+                use_count: 0,
+            },
+        );
+        // Scale-out batching: new instances only materialize on the
+        // platform scheduler's next tick (GCP documents 5 s; Azure behaves
+        // similarly; AWS scales immediately).
+        let period_s = world.params.cloud(cloud).scheduler_period_s;
+        let sched_wait = if period_s > 0.0 {
+            let period = SimDuration::from_secs_f64(period_s);
+            let ticks = now.as_nanos() / period.as_nanos() + 1;
+            SimTime::from_nanos(ticks * period.as_nanos()) - now
+        } else {
+            SimDuration::ZERO
+        };
+        let cold = {
+            let d = world.params.cloud(cloud).cold_start.clone();
+            SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
+        };
+        sim.schedule_in(sched_wait + cold, move |sim| {
+            exec_begin(sim, region, instance, pending);
+        });
+        return;
+    }
+
+    // Concurrency limit reached: queue until capacity frees up.
+    world.faas.stats.throttled += 1;
+    rf.queued.push_back(pending);
+}
+
+fn exec_begin(sim: &mut CloudSim, region: RegionId, instance: InstanceId, pending: Pending) {
+    let now = sim.now();
+    let deadline = now + pending.spec.timeout;
+    let invocation = pending.invocation;
+    {
+        let inst = sim
+            .world
+            .faas
+            .instances
+            .get_mut(&instance)
+            .expect("exec_begin on destroyed instance");
+        inst.use_count += 1;
+        inst.exec = Some(ExecState {
+            invocation,
+            started: now,
+            deadline,
+        });
+    }
+    let handle = FnHandle {
+        instance,
+        invocation,
+        region,
+    };
+    // Park the retry context so fail() can re-invoke the same body.
+    sim.world
+        .faas_retry_contexts
+        .insert(invocation, (pending.body.clone(), pending.attempt, pending.policy, pending.spec));
+
+    // Hard timeout guard.
+    sim.schedule_at(deadline, move |sim| {
+        if sim.world.faas.is_live(handle) {
+            sim.world.faas.stats.timeouts += 1;
+            fail(sim, handle, FailureReason::Timeout);
+        }
+    });
+
+    (pending.body)(sim, handle);
+}
+
+fn bill_execution(sim: &mut CloudSim, handle: FnHandle) -> SimDuration {
+    let now = sim.now();
+    let world = &mut sim.world;
+    let inst = world
+        .faas
+        .instances
+        .get(&handle.instance)
+        .expect("billing a destroyed instance");
+    let exec = inst.exec.as_ref().expect("billing an idle instance");
+    let dur = now - exec.started;
+    let cloud = world.regions.cloud(handle.region);
+    let prices = world.catalog.cloud(cloud).function;
+    let secs = dur.as_secs_f64();
+    let dollars = secs * inst.spec.config.memory_gb() * prices.per_gb_second
+        + secs * inst.spec.config.vcpus * prices.per_vcpu_second;
+    world.charge(
+        cloud,
+        CostCategory::FunctionCompute,
+        pricing::Money::from_dollars(dollars),
+    );
+    dur
+}
+
+/// Completes an invocation normally: bills compute, returns the instance to
+/// the warm pool, and admits queued work.
+///
+/// No-op if the invocation is no longer live (e.g. it already timed out).
+pub fn finish(sim: &mut CloudSim, handle: FnHandle) {
+    if !sim.world.faas.is_live(handle) {
+        return;
+    }
+    bill_execution(sim, handle);
+    sim.world.faas_retry_contexts.remove(&handle.invocation);
+    let now = sim.now();
+    let cloud = sim.world.regions.cloud(handle.region);
+    let expiry = sim.world.params.cloud(cloud).warm_idle_expiry;
+    let expires_at = now + expiry;
+    let use_count = {
+        let inst = sim
+            .world
+            .faas
+            .instances
+            .get_mut(&handle.instance)
+            .expect("finish on destroyed instance");
+        inst.exec = None;
+        inst.use_count
+    };
+    {
+        let rf = sim.world.faas.regions.entry(handle.region).or_default();
+        rf.active -= 1;
+        rf.warm.push((handle.instance, expires_at));
+    }
+    // Reclaim the warm slot when it expires unused.
+    let instance = handle.instance;
+    let region = handle.region;
+    sim.schedule_at(expires_at, move |sim| {
+        let still_unused = sim
+            .world
+            .faas
+            .instances
+            .get(&instance)
+            .is_some_and(|i| i.use_count == use_count && i.exec.is_none());
+        if still_unused {
+            sim.world.faas.instances.remove(&instance);
+            if let Some(rf) = sim.world.faas.regions.get_mut(&region) {
+                rf.warm.retain(|(id, _)| *id != instance);
+            }
+        }
+    });
+    dequeue_next(sim, handle.region);
+}
+
+/// Fails the current attempt: bills compute, destroys the instance, and
+/// either schedules a platform retry or parks the event on the DLQ.
+pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
+    if !sim.world.faas.is_live(handle) {
+        return;
+    }
+    bill_execution(sim, handle);
+    if reason == FailureReason::Crash {
+        sim.world.faas.stats.crashes += 1;
+    }
+    sim.world.faas.instances.remove(&handle.instance);
+    if let Some(rf) = sim.world.faas.regions.get_mut(&handle.region) {
+        rf.active -= 1;
+    }
+
+    let ctx = sim.world.faas_retry_contexts.remove(&handle.invocation);
+    if let Some((body, attempt, policy, spec)) = ctx {
+        if attempt < policy.max_retries {
+            sim.world.faas.stats.retries += 1;
+            let region = handle.region;
+            let invocation = handle.invocation;
+            // Platform retry back-off (compressed relative to Lambda's
+            // minute-scale async retry to keep simulations tractable; the
+            // paper's experiments never exercise retries on the happy path).
+            let backoff = SimDuration::from_millis(500) * (attempt as u64 + 1);
+            sim.schedule_in(backoff, move |sim| {
+                let pending = Pending {
+                    invocation,
+                    spec,
+                    body,
+                    attempt: attempt + 1,
+                    policy,
+                };
+                accept(sim, region, pending);
+            });
+        } else {
+            sim.world.faas.stats.dlq += 1;
+            let at = sim.now();
+            sim.world.faas.dlq.push(DlqEntry {
+                invocation: handle.invocation,
+                region: handle.region,
+                reason,
+                at,
+            });
+        }
+    }
+    dequeue_next(sim, handle.region);
+}
+
+fn dequeue_next(sim: &mut CloudSim, region: RegionId) {
+    let cloud = sim.world.regions.cloud(region);
+    let limit = sim.world.params.cloud(cloud).concurrency_limit;
+    let next = {
+        let rf = sim.world.faas.regions.entry(region).or_default();
+        if rf.active < limit {
+            rf.queued.pop_front()
+        } else {
+            None
+        }
+    };
+    if let Some(pending) = next {
+        try_start(sim, region, pending);
+    }
+}

@@ -1,0 +1,173 @@
+//! Region identifiers and the registry of simulated regions.
+//!
+//! Regions are interned into compact [`RegionId`]s at world construction so
+//! they can be captured by value in event closures and used as map keys
+//! without allocation.
+
+use pricing::{Cloud, Geo};
+
+/// A compact, copyable handle to a registered region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub(crate) u16);
+
+impl RegionId {
+    /// The raw index (stable for the lifetime of a registry).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static metadata about a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMeta {
+    /// The owning cloud.
+    pub cloud: Cloud,
+    /// Provider-native region name, e.g. `us-east-1`.
+    pub name: String,
+    /// Coarse geography for pricing and the network model.
+    pub geo: Geo,
+}
+
+/// The set of regions known to a simulated world.
+#[derive(Debug, Clone, Default)]
+pub struct RegionRegistry {
+    regions: Vec<RegionMeta>,
+}
+
+impl RegionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        RegionRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with every region the paper's
+    /// evaluation uses (5 AWS, 4 Azure, 4 GCP, plus AWS us-east-2 which the
+    /// trace-replay experiment targets).
+    pub fn paper_regions() -> Self {
+        let mut r = RegionRegistry::new();
+        for (cloud, name, geo) in [
+            (Cloud::Aws, "us-east-1", Geo::UsEast),
+            (Cloud::Aws, "us-east-2", Geo::UsEast),
+            (Cloud::Aws, "ca-central-1", Geo::Canada),
+            (Cloud::Aws, "eu-west-1", Geo::Europe),
+            (Cloud::Aws, "ap-northeast-1", Geo::AsiaNortheast),
+            (Cloud::Azure, "eastus", Geo::UsEast),
+            (Cloud::Azure, "westus2", Geo::UsWest),
+            (Cloud::Azure, "uksouth", Geo::Uk),
+            (Cloud::Azure, "southeastasia", Geo::AsiaSoutheast),
+            (Cloud::Gcp, "us-east1", Geo::UsEast),
+            (Cloud::Gcp, "us-west1", Geo::UsWest),
+            (Cloud::Gcp, "europe-west6", Geo::Europe),
+            (Cloud::Gcp, "asia-northeast1", Geo::AsiaNortheast),
+        ] {
+            r.register(cloud, name, geo);
+        }
+        r
+    }
+
+    /// Registers a region, returning its id. Registering the same
+    /// `(cloud, name)` twice returns the existing id (idempotent onboarding,
+    /// matching the profiler's "onboard a new region" flow).
+    pub fn register(&mut self, cloud: Cloud, name: &str, geo: Geo) -> RegionId {
+        if let Some(existing) = self.lookup(cloud, name) {
+            return existing;
+        }
+        assert!(
+            self.regions.len() < u16::MAX as usize,
+            "region registry full"
+        );
+        let id = RegionId(self.regions.len() as u16);
+        self.regions.push(RegionMeta {
+            cloud,
+            name: name.to_string(),
+            geo,
+        });
+        id
+    }
+
+    /// Finds a region by cloud and provider-native name.
+    pub fn lookup(&self, cloud: Cloud, name: &str) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|m| m.cloud == cloud && m.name == name)
+            .map(|i| RegionId(i as u16))
+    }
+
+    /// Metadata for a region id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id (an id from another registry) — always a bug.
+    pub fn meta(&self, id: RegionId) -> &RegionMeta {
+        &self.regions[id.index()]
+    }
+
+    /// The owning cloud of a region.
+    pub fn cloud(&self, id: RegionId) -> Cloud {
+        self.meta(id).cloud
+    }
+
+    /// The geography of a region.
+    pub fn geo(&self, id: RegionId) -> Geo {
+        self.meta(id).geo
+    }
+
+    /// A `cloud/name` label for logs and experiment output.
+    pub fn label(&self, id: RegionId) -> String {
+        let m = self.meta(id);
+        format!("{}/{}", m.cloud, m.name)
+    }
+
+    /// All registered region ids.
+    pub fn ids(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.regions.len() as u16).map(RegionId)
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_regions_present() {
+        let r = RegionRegistry::paper_regions();
+        assert_eq!(r.len(), 13);
+        let use1 = r.lookup(Cloud::Aws, "us-east-1").unwrap();
+        assert_eq!(r.cloud(use1), Cloud::Aws);
+        assert_eq!(r.geo(use1), Geo::UsEast);
+        assert_eq!(r.label(use1), "AWS/us-east-1");
+        assert!(r.lookup(Cloud::Azure, "southeastasia").is_some());
+        assert!(r.lookup(Cloud::Gcp, "asia-northeast1").is_some());
+        assert!(r.lookup(Cloud::Gcp, "us-central1").is_none());
+        // Same name on a different cloud is a different region.
+        assert!(r.lookup(Cloud::Azure, "us-east-1").is_none());
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut r = RegionRegistry::new();
+        let a = r.register(Cloud::Aws, "us-east-1", Geo::UsEast);
+        let b = r.register(Cloud::Aws, "us-east-1", Geo::UsEast);
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ids_enumerate_all() {
+        let r = RegionRegistry::paper_regions();
+        assert_eq!(r.ids().count(), r.len());
+        for id in r.ids() {
+            let _ = r.meta(id);
+        }
+    }
+}

@@ -1,0 +1,792 @@
+//! The simulated multi-cloud world and its operation wrappers.
+//!
+//! [`World`] aggregates every per-region service (object stores, KV
+//! databases, the function runtime, VMs, the network) plus the price catalog
+//! and cost ledger. The free functions in this module are the *timed*
+//! operation wrappers: they sample latencies from the ground-truth
+//! parameters, meter costs, apply state changes at completion time, and
+//! deliver results to continuation callbacks.
+//!
+//! Continuations passed by function bodies are automatically dropped when the
+//! executing instance has died (timeout/crash) before completion, so bodies
+//! never observe operations from a previous life.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pricing::{Cloud, CostCategory, CostLedger, Money, PriceCatalog};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkernel::{rng::derive_rng, Sim, SimDuration};
+use stats::Dist;
+
+use crate::clouddb::{Item, KvDb};
+use crate::faas::{FaasRuntime, FnBody, FnHandle, FnSpec, InvocationId, RetryPolicy};
+use crate::net::{sample_leg_duration, Direction, ExecProfile, NetState};
+use crate::objstore::{
+    BlobId, Content, ETag, NotificationTarget, ObjectEvent, ObjectStat, ObjectStore, PutApplied,
+    StoreError,
+};
+use crate::params::WorldParams;
+use crate::region::{RegionId, RegionRegistry};
+use crate::vm::{VmService, VmState};
+
+/// The simulator type every event runs against.
+pub type CloudSim = Sim<World>;
+
+/// A notification handler invoked when a subscribed bucket changes.
+pub type NotifHandler = Rc<dyn Fn(&mut CloudSim, RegionId, ObjectEvent)>;
+
+/// Who is performing a data-plane operation.
+#[derive(Clone, Copy, Debug)]
+pub enum Executor {
+    /// A running cloud-function invocation.
+    Function(FnHandle),
+    /// A provisioned VM (the Skyplane baseline's gateways).
+    Vm(crate::vm::VmId),
+    /// The cloud platform itself or an external client, with a fixed
+    /// region and bandwidth (used by proprietary-replication baselines and
+    /// trace drivers).
+    Platform {
+        /// Region the traffic originates from.
+        region: RegionId,
+        /// Modelled bandwidth in Mbps.
+        mbps: f64,
+    },
+}
+
+/// The complete simulated world.
+pub struct World {
+    /// Ground-truth performance parameters.
+    pub params: WorldParams,
+    /// Price catalog.
+    pub catalog: PriceCatalog,
+    /// Cost ledger all operations meter into.
+    pub ledger: CostLedger,
+    /// Region registry.
+    pub regions: RegionRegistry,
+    /// Function runtime.
+    pub faas: FaasRuntime,
+    /// VM service.
+    pub vms: VmService,
+    /// Network state (concurrent legs).
+    pub net: NetState,
+    objstores: Vec<ObjectStore>,
+    dbs: Vec<KvDb>,
+    notif_handlers: HashMap<u64, NotifHandler>,
+    next_handler: u64,
+    next_blob: u64,
+    faas_rng: StdRng,
+    net_rng: StdRng,
+    db_rng: StdRng,
+    pub(crate) faas_retry_contexts: HashMap<InvocationId, (FnBody, u32, RetryPolicy, FnSpec)>,
+}
+
+impl World {
+    /// Builds a world over the given regions with explicit parameters.
+    pub fn new(
+        seed: u64,
+        regions: RegionRegistry,
+        params: WorldParams,
+        catalog: PriceCatalog,
+    ) -> World {
+        let n = regions.len();
+        World {
+            params,
+            catalog,
+            ledger: CostLedger::new(),
+            regions,
+            faas: FaasRuntime::new(),
+            vms: VmService::new(),
+            net: NetState::new(),
+            objstores: (0..n).map(|_| ObjectStore::new()).collect(),
+            dbs: (0..n).map(|_| KvDb::new()).collect(),
+            notif_handlers: HashMap::new(),
+            next_handler: 0,
+            next_blob: 0,
+            faas_rng: derive_rng(seed, "world:faas"),
+            net_rng: derive_rng(seed, "world:net"),
+            db_rng: derive_rng(seed, "world:db"),
+            faas_retry_contexts: HashMap::new(),
+        }
+    }
+
+    /// The standard world: the paper's 13 regions, calibrated ground truth,
+    /// and public list prices.
+    pub fn paper(seed: u64) -> World {
+        World::new(
+            seed,
+            RegionRegistry::paper_regions(),
+            WorldParams::paper_defaults(),
+            PriceCatalog::paper_defaults(),
+        )
+    }
+
+    /// Convenience: a ready-to-run simulator over [`World::paper`].
+    pub fn paper_sim(seed: u64) -> CloudSim {
+        Sim::new(seed, World::paper(seed))
+    }
+
+    /// Records a charge on the ledger.
+    pub fn charge(&mut self, cloud: Cloud, category: CostCategory, amount: Money) {
+        self.ledger.charge(cloud, category, amount);
+    }
+
+    /// The object store of a region.
+    pub fn objstore(&self, region: RegionId) -> &ObjectStore {
+        &self.objstores[region.index()]
+    }
+
+    /// Mutable object store of a region.
+    pub fn objstore_mut(&mut self, region: RegionId) -> &mut ObjectStore {
+        &mut self.objstores[region.index()]
+    }
+
+    /// The KV database of a region.
+    pub fn db(&self, region: RegionId) -> &KvDb {
+        &self.dbs[region.index()]
+    }
+
+    /// Mutable KV database of a region.
+    pub fn db_mut(&mut self, region: RegionId) -> &mut KvDb {
+        &mut self.dbs[region.index()]
+    }
+
+    /// Mints a fresh blob identity (a distinct written content).
+    pub fn alloc_blob(&mut self) -> BlobId {
+        self.next_blob += 1;
+        BlobId(self.next_blob)
+    }
+
+    /// Registers a notification handler; subscribe buckets to the returned
+    /// target via [`subscribe_bucket`].
+    pub fn register_handler(&mut self, handler: NotifHandler) -> NotificationTarget {
+        self.next_handler += 1;
+        self.notif_handlers.insert(self.next_handler, handler);
+        NotificationTarget(self.next_handler)
+    }
+
+    /// RNG stream for FaaS timing draws.
+    pub fn faas_rng_mut(&mut self) -> &mut StdRng {
+        &mut self.faas_rng
+    }
+
+    /// RNG stream for network/VM draws.
+    pub fn net_rng_mut(&mut self) -> &mut StdRng {
+        &mut self.net_rng
+    }
+
+    /// RNG stream for DB latency draws.
+    pub fn db_rng_mut(&mut self) -> &mut StdRng {
+        &mut self.db_rng
+    }
+
+    /// Resolves an executor to its profile, or `None` if it is dead.
+    pub fn exec_profile(&self, exec: Executor) -> Option<ExecProfile> {
+        match exec {
+            Executor::Function(h) => {
+                if !self.faas.is_live(h) {
+                    return None;
+                }
+                let region = h.region;
+                let cloud = self.regions.cloud(region);
+                let spec = self.faas.instance_spec(h.instance)?;
+                let (down, up) = self.params.cloud(cloud).nic_mbps(cloud, spec.config);
+                Some(ExecProfile {
+                    region,
+                    cloud,
+                    down_mbps: down,
+                    up_mbps: up,
+                    speed_factor: self.faas.speed_factor(h.instance),
+                })
+            }
+            Executor::Vm(id) => {
+                if self.vms.state(id) != Some(VmState::Running) {
+                    return None;
+                }
+                let region = self.vms.region(id)?;
+                let cloud = self.regions.cloud(region);
+                let mbps = self.params.cloud(cloud).vm_bandwidth_mbps;
+                let factor = self
+                    .vms
+                    .vms
+                    .get(&id)
+                    .map(|v| v.speed_factor)
+                    .unwrap_or(1.0);
+                Some(ExecProfile {
+                    region,
+                    cloud,
+                    down_mbps: mbps,
+                    up_mbps: mbps,
+                    speed_factor: factor,
+                })
+            }
+            Executor::Platform { region, mbps } => Some(ExecProfile {
+                region,
+                cloud: self.regions.cloud(region),
+                down_mbps: mbps,
+                up_mbps: mbps,
+                speed_factor: 1.0,
+            }),
+        }
+    }
+
+    /// True if the executor can still observe operation completions.
+    pub fn exec_alive(&self, exec: Executor) -> bool {
+        match exec {
+            Executor::Function(h) => self.faas.is_live(h),
+            Executor::Vm(id) => self.vms.state(id) == Some(VmState::Running),
+            Executor::Platform { .. } => true,
+        }
+    }
+
+    /// One-way WAN propagation delay between two regions, in seconds.
+    pub fn wan_propagation_s(&self, a: RegionId, b: RegionId) -> f64 {
+        let d = self.regions.geo(a).distance_factor(self.regions.geo(b));
+        0.06 * d
+    }
+}
+
+/// Samples a crash for the executor (fault injection); returns `true` and
+/// fails the instance if a crash fires.
+fn maybe_crash(sim: &mut CloudSim, exec: Executor) -> bool {
+    let p = sim.world.params.crash_probability;
+    if p <= 0.0 {
+        return false;
+    }
+    if let Executor::Function(handle) = exec {
+        let roll: f64 = sim.world.net_rng_mut().gen();
+        if roll < p {
+            crate::faas::fail(sim, handle, crate::faas::FailureReason::Crash);
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs one WAN/LAN transfer leg for `exec`, calling `cb` at completion.
+///
+/// Meters egress on the source cloud when the leg leaves a region. The
+/// callback is dropped (never called) if the executor dies first.
+pub fn run_leg(
+    sim: &mut CloudSim,
+    exec: Executor,
+    remote: RegionId,
+    dir: Direction,
+    bytes: u64,
+    cb: impl FnOnce(&mut CloudSim) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let (from, to) = match dir {
+        Direction::Download => (remote, profile.region),
+        Direction::Upload => (profile.region, remote),
+    };
+    let n_active = sim.world.net.begin_leg(from, to);
+    let dur = {
+        // Direct field access splits the borrows (params/regions shared,
+        // RNG exclusive) without cloning per leg.
+        let world = &mut sim.world;
+        sample_leg_duration(
+            &world.params,
+            &world.regions,
+            &profile,
+            remote,
+            dir,
+            bytes,
+            n_active,
+            &mut world.net_rng,
+        )
+    };
+    if from != to {
+        let (src_cloud, src_geo) = {
+            let r = &sim.world.regions;
+            (r.cloud(from), r.geo(from))
+        };
+        let (dst_cloud, dst_geo) = {
+            let r = &sim.world.regions;
+            (r.cloud(to), r.geo(to))
+        };
+        let cost = sim
+            .world
+            .catalog
+            .egress_cost(src_cloud, src_geo, dst_cloud, dst_geo, bytes);
+        sim.world.charge(src_cloud, CostCategory::Egress, cost);
+    }
+    sim.schedule_in(dur, move |sim| {
+        sim.world.net.end_leg(from, to);
+        if sim.world.exec_alive(exec) {
+            cb(sim);
+        }
+    });
+}
+
+/// Samples a storage-API round trip from `exec`'s region to `region`.
+fn storage_api_rtt(world: &mut World, exec_region: RegionId, region: RegionId) -> SimDuration {
+    let cloud = world.regions.cloud(exec_region);
+    let base = {
+        let d = world.params.cloud(cloud).storage_api_rtt.clone();
+        d.sample_nonneg(world.db_rng_mut())
+    };
+    let prop = 2.0 * world.wan_propagation_s(exec_region, region);
+    SimDuration::from_secs_f64(base + prop)
+}
+
+fn charge_put_request(world: &mut World, region: RegionId) {
+    let cloud = world.regions.cloud(region);
+    let fee = world.catalog.cloud(cloud).storage.per_1k_put / 1_000.0;
+    world.charge(cloud, CostCategory::StorageRequests, Money::from_dollars(fee));
+}
+
+fn charge_get_request(world: &mut World, region: RegionId) {
+    let cloud = world.regions.cloud(region);
+    let fee = world.catalog.cloud(cloud).storage.per_10k_get / 10_000.0;
+    world.charge(cloud, CostCategory::StorageRequests, Money::from_dollars(fee));
+}
+
+/// Fans out bucket notifications for an applied write.
+pub fn fanout_notifications(sim: &mut CloudSim, region: RegionId, applied: &PutApplied) {
+    let cloud = sim.world.regions.cloud(region);
+    for target in &applied.targets {
+        let handler = sim.world.notif_handlers.get(&target.0).cloned();
+        if let Some(handler) = handler {
+            let delay = {
+                let d = sim.world.params.cloud(cloud).notif_delay.clone();
+                SimDuration::from_secs_f64(d.sample_nonneg(sim.world.net_rng_mut()))
+            };
+            let ev = applied.event.clone();
+            sim.schedule_in(delay, move |sim| handler(sim, region, ev));
+        }
+    }
+}
+
+/// Subscribes a bucket's write events to a registered handler.
+pub fn subscribe_bucket(
+    world: &mut World,
+    region: RegionId,
+    bucket: &str,
+    target: NotificationTarget,
+) -> Result<(), StoreError> {
+    world.objstore_mut(region).subscribe(bucket, target)
+}
+
+/// An *external* user PUT: applies instantly at the current simulated time
+/// (the trace replayer's event timestamps are PUT completion times) and fans
+/// out notifications. Returns the applied result. The user's own request is
+/// not metered — replication cost accounting starts at the notification.
+pub fn user_put(
+    sim: &mut CloudSim,
+    region: RegionId,
+    bucket: &str,
+    key: &str,
+    size: u64,
+) -> Result<PutApplied, StoreError> {
+    let blob = sim.world.alloc_blob();
+    let now = sim.now();
+    let applied = sim
+        .world
+        .objstore_mut(region)
+        .apply_put(bucket, key, Content::fresh(blob, size), now)?;
+    fanout_notifications(sim, region, &applied);
+    Ok(applied)
+}
+
+/// An external user PUT with explicit content (for COPY/concat scenarios).
+pub fn user_put_content(
+    sim: &mut CloudSim,
+    region: RegionId,
+    bucket: &str,
+    key: &str,
+    content: Content,
+) -> Result<PutApplied, StoreError> {
+    let now = sim.now();
+    let applied = sim
+        .world
+        .objstore_mut(region)
+        .apply_put(bucket, key, content, now)?;
+    fanout_notifications(sim, region, &applied);
+    Ok(applied)
+}
+
+/// An external user DELETE.
+pub fn user_delete(
+    sim: &mut CloudSim,
+    region: RegionId,
+    bucket: &str,
+    key: &str,
+) -> Result<PutApplied, StoreError> {
+    let now = sim.now();
+    let applied = sim.world.objstore_mut(region).apply_delete(bucket, key, now)?;
+    fanout_notifications(sim, region, &applied);
+    Ok(applied)
+}
+
+/// Stats an object from `exec` (HEAD request).
+pub fn stat_object(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    cb: impl FnOnce(&mut CloudSim, Result<ObjectStat, StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_get_request(&mut sim.world, region);
+        let result = sim.world.objstore(region).stat(&bucket, &key);
+        cb(sim, result);
+    });
+}
+
+/// Ranged GET: resolves the range against the version current at request
+/// arrival, then transfers the bytes to the executor.
+pub fn get_object_range(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    offset: u64,
+    len: u64,
+    if_match: Option<ETag>,
+    cb: impl FnOnce(&mut CloudSim, Result<(Content, ETag), StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_get_request(&mut sim.world, region);
+        let resolved = sim
+            .world
+            .objstore(region)
+            .read_range(&bucket, &key, offset, len, if_match);
+        match resolved {
+            Ok((content, etag)) => {
+                let bytes = content.size();
+                run_leg(sim, exec, region, Direction::Download, bytes, move |sim| {
+                    cb(sim, Ok((content, etag)));
+                });
+            }
+            Err(e) => cb(sim, Err(e)),
+        }
+    });
+}
+
+/// Simple PUT of fully-assembled content: transfers the bytes, then applies
+/// the write and fans out notifications.
+pub fn put_object(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    content: Content,
+    cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
+) {
+    let bytes = content.size();
+    run_leg(sim, exec, region, Direction::Upload, bytes, move |sim| {
+        charge_put_request(&mut sim.world, region);
+        let now = sim.now();
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .apply_put(&bucket, &key, content, now);
+        if let Ok(applied) = &result {
+            fanout_notifications(sim, region, applied);
+        }
+        cb(sim, result);
+    });
+}
+
+/// DELETE an object from an executor.
+pub fn delete_object(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_put_request(&mut sim.world, region);
+        let now = sim.now();
+        let result = sim.world.objstore_mut(region).apply_delete(&bucket, &key, now);
+        if let Ok(applied) = &result {
+            fanout_notifications(sim, region, applied);
+        }
+        cb(sim, result);
+    });
+}
+
+/// Server-side COPY within `region` (control-plane round trip, no WAN
+/// transfer — this is what makes changelog propagation near-free).
+pub fn copy_object(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    src_key: String,
+    dst_key: String,
+    if_match: Option<ETag>,
+    cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_put_request(&mut sim.world, region);
+        let now = sim.now();
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .copy_object(&bucket, &src_key, &dst_key, if_match, now);
+        if let Ok(applied) = &result {
+            fanout_notifications(sim, region, applied);
+        }
+        cb(sim, result);
+    });
+}
+
+/// Starts a multipart upload (control-plane round trip).
+pub fn create_multipart(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    cb: impl FnOnce(&mut CloudSim, Result<u64, StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_put_request(&mut sim.world, region);
+        let result = sim.world.objstore_mut(region).create_multipart(&bucket, &key);
+        cb(sim, result);
+    });
+}
+
+/// Uploads one part: transfers the bytes, then records the part.
+pub fn upload_part(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    upload_id: u64,
+    part_number: u32,
+    content: Content,
+    cb: impl FnOnce(&mut CloudSim, Result<(), StoreError>) + 'static,
+) {
+    let bytes = content.size();
+    run_leg(sim, exec, region, Direction::Upload, bytes, move |sim| {
+        charge_put_request(&mut sim.world, region);
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .upload_part(upload_id, part_number, content);
+        cb(sim, result);
+    });
+}
+
+/// Completes a multipart upload (control-plane round trip), applying the
+/// assembled object and fanning out notifications.
+pub fn complete_multipart(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    upload_id: u64,
+    cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    sim.schedule_in(rtt, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_put_request(&mut sim.world, region);
+        let now = sim.now();
+        let result = sim.world.objstore_mut(region).complete_multipart(upload_id, now);
+        if let Ok(applied) = &result {
+            fanout_notifications(sim, region, applied);
+        }
+        cb(sim, result);
+    });
+}
+
+/// Reads an item from a region's KV database.
+pub fn db_get(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    table: String,
+    key: String,
+    cb: impl FnOnce(&mut CloudSim, Option<Item>) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let latency = db_op_latency(&mut sim.world, profile.region, region);
+    sim.schedule_in(latency, move |sim| {
+        if !sim.world.exec_alive(exec) {
+            return;
+        }
+        charge_db(&mut sim.world, region, 1, 0);
+        let item = sim.world.db_mut(region).get(&table, &key);
+        cb(sim, item);
+    });
+}
+
+/// Atomic read-modify-write on a region's KV database.
+///
+/// `f` is applied at the operation's completion instant, which serializes all
+/// transactions on the same item through the event queue — the conditional-
+/// write semantics Algorithms 1 and 2 require.
+pub fn db_transact<T: 'static>(
+    sim: &mut CloudSim,
+    exec: Executor,
+    region: RegionId,
+    table: String,
+    key: String,
+    f: impl FnOnce(&mut Option<Item>) -> T + 'static,
+    cb: impl FnOnce(&mut CloudSim, T) + 'static,
+) {
+    if maybe_crash(sim, exec) {
+        return;
+    }
+    let Some(profile) = sim.world.exec_profile(exec) else {
+        return;
+    };
+    let latency = db_op_latency(&mut sim.world, profile.region, region);
+    sim.schedule_in(latency, move |sim| {
+        // The transaction commits server-side even if the caller died; only
+        // the callback delivery depends on liveness (matching DynamoDB).
+        charge_db(&mut sim.world, region, 1, 1);
+        let result = sim.world.db_mut(region).transact(&table, &key, f);
+        if sim.world.exec_alive(exec) {
+            cb(sim, result);
+        }
+    });
+}
+
+fn db_op_latency(world: &mut World, exec_region: RegionId, db_region: RegionId) -> SimDuration {
+    let cloud = world.regions.cloud(db_region);
+    let base = {
+        let d = world.params.cloud(cloud).db_latency.clone();
+        d.sample_nonneg(world.db_rng_mut())
+    };
+    let prop = 2.0 * world.wan_propagation_s(exec_region, db_region);
+    SimDuration::from_secs_f64(base + prop)
+}
+
+fn charge_db(world: &mut World, region: RegionId, reads: u64, writes: u64) {
+    let cloud = world.regions.cloud(region);
+    let prices = world.catalog.cloud(cloud).db;
+    let dollars = reads as f64 * prices.per_million_reads / 1e6
+        + writes as f64 * prices.per_million_writes / 1e6;
+    world.charge(cloud, CostCategory::DbOps, Money::from_dollars(dollars));
+}
+
+/// A managed-workflow timer (Step Functions `Wait` / Durable Functions
+/// timers / Google Workflows sleep), used by SLO-bounded batching. Bills two
+/// state transitions and fires `cb` after `delay`.
+pub fn workflow_delay(
+    sim: &mut CloudSim,
+    region: RegionId,
+    delay: SimDuration,
+    cb: impl FnOnce(&mut CloudSim) + 'static,
+) -> simkernel::CancelToken {
+    let cloud = sim.world.regions.cloud(region);
+    let fee = sim.world.catalog.cloud(cloud).workflow.per_1k_transitions / 1_000.0 * 2.0;
+    sim.world
+        .charge(cloud, CostCategory::Workflow, Money::from_dollars(fee));
+    sim.schedule_cancellable_in(delay, cb)
+}
+
+/// Charges the S3 Replication Time Control surcharge for replicated bytes.
+pub fn charge_rtc_fee(world: &mut World, bytes: u64) {
+    let fee = Money::from_dollars(world.catalog.s3_rtc_per_gb)
+        .scale(bytes as f64 / pricing::GIB as f64);
+    world.charge(Cloud::Aws, CostCategory::RtcFee, fee);
+}
+
+/// Charges storage capacity for `bytes` held for `duration` in `region`
+/// (used to account versioning overhead in the proprietary baselines).
+pub fn charge_storage(world: &mut World, region: RegionId, bytes: u64, duration: SimDuration) {
+    let cloud = world.regions.cloud(region);
+    let per_gb_month = world.catalog.cloud(cloud).storage.per_gb_month;
+    let months = duration.as_secs_f64() / (30.0 * 24.0 * 3600.0);
+    let dollars = per_gb_month * (bytes as f64 / pricing::GIB as f64) * months;
+    world.charge(cloud, CostCategory::StorageCapacity, Money::from_dollars(dollars));
+}
+
+/// Samples the per-call invocation API latency `I` for a region — exposed so
+/// orchestrators can model their pipelined `I × n` invoke loop.
+pub fn sample_invoke_latency(world: &mut World, region: RegionId) -> SimDuration {
+    let cloud = world.regions.cloud(region);
+    let d = world.params.cloud(cloud).invoke_latency.clone();
+    SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
+}
+
+/// Samples the transfer client setup overhead `S` for a cloud.
+pub fn sample_transfer_setup(world: &mut World, cloud: Cloud) -> SimDuration {
+    let d = world.params.cloud(cloud).transfer_setup.clone();
+    SimDuration::from_secs_f64(d.sample_nonneg(world.net_rng_mut()))
+}
+
+/// Returns a `Dist` snapshot of a ground-truth parameter for assertions in
+/// characterization experiments (not used by AReplica itself, which must
+/// learn parameters through profiling).
+pub fn ground_truth_notif_delay(world: &World, cloud: Cloud) -> Dist {
+    world.params.cloud(cloud).notif_delay.clone()
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the object-store content algebra and the event
+//! kernel ordering guarantees.
+
+use cloudsim::objstore::{BlobId, Content, ETag, ObjectStore};
+use proptest::prelude::*;
+use simkernel::{Sim, SimTime};
+
+/// Strategy: a content built from random cut points over one blob.
+fn arb_cuts() -> impl Strategy<Value = (u64, Vec<u64>)> {
+    (64u64..4096).prop_flat_map(|size| {
+        (
+            Just(size),
+            proptest::collection::vec(0..size, 0..6).prop_map(move |mut cuts| {
+                cuts.sort_unstable();
+                cuts.dedup();
+                cuts
+            }),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn split_and_concat_roundtrips((size, cuts) in arb_cuts()) {
+        let original = Content::fresh(BlobId(9), size);
+        // Split at the cut points, then concatenate the pieces back.
+        let mut pieces = Vec::new();
+        let mut prev = 0u64;
+        for &c in cuts.iter().chain(std::iter::once(&size)) {
+            if c > prev {
+                pieces.push(original.read_range(prev, c - prev).unwrap());
+                prev = c;
+            }
+        }
+        let joined = Content::concat(pieces.iter());
+        prop_assert!(joined.same_bytes(&original));
+        prop_assert_eq!(ETag::of(&joined), ETag::of(&original));
+        prop_assert!(joined.is_single_source());
+    }
+
+    #[test]
+    fn read_range_size_is_exact((size, _) in arb_cuts(), offset_frac in 0.0f64..1.0, len_frac in 0.0f64..1.0) {
+        let c = Content::fresh(BlobId(3), size);
+        let offset = (size as f64 * offset_frac) as u64;
+        let len = ((size - offset) as f64 * len_frac) as u64;
+        let r = c.read_range(offset, len).unwrap();
+        prop_assert_eq!(r.size(), len);
+    }
+
+    #[test]
+    fn normalization_is_idempotent((size, cuts) in arb_cuts()) {
+        let original = Content::fresh(BlobId(4), size);
+        let mut pieces = Vec::new();
+        let mut prev = 0u64;
+        for &c in cuts.iter().chain(std::iter::once(&size)) {
+            if c > prev {
+                pieces.push(original.read_range(prev, c - prev).unwrap());
+                prev = c;
+            }
+        }
+        let joined = Content::concat(pieces.iter());
+        prop_assert_eq!(joined.normalized(), joined.normalized().normalized());
+    }
+
+    #[test]
+    fn etags_distinguish_different_blobs(size in 1u64..10_000, a in 1u64..1000, b in 1u64..1000) {
+        prop_assume!(a != b);
+        let ca = Content::fresh(BlobId(a), size);
+        let cb = Content::fresh(BlobId(b), size);
+        prop_assert_ne!(ETag::of(&ca), ETag::of(&cb));
+        prop_assert!(!ca.same_bytes(&cb));
+    }
+
+    #[test]
+    fn store_last_write_wins(sizes in proptest::collection::vec(1u64..10_000, 1..10)) {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b");
+        let mut last = None;
+        for (i, &size) in sizes.iter().enumerate() {
+            let applied = store
+                .apply_put("b", "k", Content::fresh(BlobId(i as u64 + 1), size), SimTime::from_nanos(i as u64))
+                .unwrap();
+            last = Some((applied.etag, size));
+        }
+        let (etag, size) = last.unwrap();
+        let stat = store.stat("b", "k").unwrap();
+        prop_assert_eq!(stat.etag, etag);
+        prop_assert_eq!(stat.size, size);
+    }
+
+    #[test]
+    fn multipart_any_upload_order_same_result(order in Just(()).prop_flat_map(|_| {
+        proptest::sample::subsequence((0u32..6).collect::<Vec<_>>(), 6).prop_shuffle()
+    })) {
+        // `order` is a permutation of 0..6.
+        let src = Content::fresh(BlobId(1), 6 * 128);
+        let mut store = ObjectStore::new();
+        store.create_bucket("b");
+        let id = store.create_multipart("b", "k").unwrap();
+        for &part in &order {
+            let piece = src.read_range(part as u64 * 128, 128).unwrap();
+            store.upload_part(id, part + 1, piece).unwrap();
+        }
+        let applied = store.complete_multipart(id, SimTime::ZERO).unwrap();
+        prop_assert_eq!(applied.etag, ETag::of(&src));
+    }
+
+    #[test]
+    fn events_fire_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Sim::new(5, Vec::<u64>::new());
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                sim.world.push(sim.now().as_nanos());
+            });
+        }
+        sim.run_to_completion(u64::MAX);
+        let fired = sim.world.clone();
+        prop_assert_eq!(fired.len(), times.len());
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(fired, sorted);
+    }
+}

@@ -1,0 +1,614 @@
+//! Integration tests across the cloudsim services: function lifecycle,
+//! storage data plane, database transactions, VMs, notifications, and fault
+//! injection.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cloudsim::faas::{self, FailureReason, FnHandle, RetryPolicy};
+use cloudsim::objstore::EventKind;
+use cloudsim::vm;
+use cloudsim::world::{self, CloudSim, Executor};
+use cloudsim::{Cloud, RegionId, World};
+use pricing::{CostCategory, Money};
+use simkernel::{SimDuration, SimTime};
+
+fn sim() -> CloudSim {
+    World::paper_sim(42)
+}
+
+fn region(sim: &CloudSim, cloud: Cloud, name: &str) -> RegionId {
+    sim.world.regions.lookup(cloud, name).unwrap()
+}
+
+fn platform(region: RegionId) -> Executor {
+    Executor::Platform {
+        region,
+        mbps: 1000.0,
+    }
+}
+
+#[test]
+fn function_invoke_finish_lifecycle() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let spec = faas::default_spec(&sim.world, use1);
+    let done: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+    let done2 = done.clone();
+    let body: faas::FnBody = Rc::new(move |sim, handle| {
+        let done2 = done2.clone();
+        // Simulate 100 ms of work then finish.
+        sim.schedule_in(SimDuration::from_millis(100), move |sim| {
+            done2.borrow_mut().push(sim.now());
+            faas::finish(sim, handle);
+        });
+    });
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy::default());
+    sim.run_to_completion(10_000);
+    assert_eq!(done.borrow().len(), 1);
+    // Started after invocation latency + cold start, well under a second on AWS.
+    let t = done.borrow()[0];
+    assert!(t.as_secs_f64() > 0.1 && t.as_secs_f64() < 2.0, "{t}");
+    assert_eq!(sim.world.faas.stats.cold_starts, 1);
+    // Compute was billed.
+    assert!(
+        sim.world.ledger.category_total(CostCategory::FunctionCompute) > Money::ZERO
+    );
+    assert!(
+        sim.world.ledger.category_total(CostCategory::FunctionRequests) > Money::ZERO
+    );
+}
+
+#[test]
+fn warm_instances_are_reused() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let spec = faas::default_spec(&sim.world, use1);
+    let body: faas::FnBody = Rc::new(|sim, handle| {
+        sim.schedule_in(SimDuration::from_millis(50), move |sim| {
+            faas::finish(sim, handle);
+        });
+    });
+    faas::invoke(&mut sim, use1, spec, body.clone(), RetryPolicy::default());
+    sim.run_until(SimTime::from_nanos(5_000_000_000));
+    assert_eq!(sim.world.faas.warm_in(use1), 1);
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy::default());
+    sim.run_until(SimTime::from_nanos(10_000_000_000));
+    assert_eq!(sim.world.faas.stats.cold_starts, 1);
+    assert_eq!(sim.world.faas.stats.warm_starts, 1);
+}
+
+#[test]
+fn warm_instances_expire() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let spec = faas::default_spec(&sim.world, use1);
+    let body: faas::FnBody = Rc::new(|sim, handle| {
+        sim.schedule_in(SimDuration::from_millis(50), move |sim| {
+            faas::finish(sim, handle);
+        });
+    });
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy::default());
+    sim.run_to_completion(10_000);
+    // After the idle expiry (10 min) the warm pool is empty.
+    assert!(sim.now() >= SimTime::from_nanos(600_000_000_000));
+    assert_eq!(sim.world.faas.warm_in(use1), 0);
+}
+
+#[test]
+fn timeout_fails_and_retries_to_dlq() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let mut spec = faas::default_spec(&sim.world, use1);
+    spec.timeout = SimDuration::from_secs(1);
+    // A body that never finishes.
+    let body: faas::FnBody = Rc::new(|_sim, _handle| {});
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy { max_retries: 2 });
+    sim.run_to_completion(10_000);
+    assert_eq!(sim.world.faas.stats.timeouts, 3, "initial + 2 retries");
+    assert_eq!(sim.world.faas.stats.retries, 2);
+    assert_eq!(sim.world.faas.dlq.len(), 1);
+    assert_eq!(sim.world.faas.dlq[0].reason, FailureReason::Timeout);
+    assert_eq!(sim.world.faas.active_in(use1), 0);
+}
+
+#[test]
+fn concurrency_limit_queues_and_drains() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    sim.world.params.cloud_mut(Cloud::Aws).concurrency_limit = 2;
+    let spec = faas::default_spec(&sim.world, use1);
+    let completed: Rc<RefCell<u32>> = Rc::default();
+    let body: faas::FnBody = {
+        let completed = completed.clone();
+        Rc::new(move |sim, handle| {
+            let completed = completed.clone();
+            sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+                *completed.borrow_mut() += 1;
+                faas::finish(sim, handle);
+            });
+        })
+    };
+    for _ in 0..5 {
+        faas::invoke(&mut sim, use1, spec, body.clone(), RetryPolicy::default());
+    }
+    sim.run_to_completion(100_000);
+    assert_eq!(*completed.borrow(), 5);
+    assert!(sim.world.faas.stats.throttled >= 3);
+}
+
+#[test]
+fn gcp_cold_starts_wait_for_scheduler_tick() {
+    let mut sim = sim();
+    let gcp = region(&sim, Cloud::Gcp, "us-east1");
+    let spec = faas::default_spec(&sim.world, gcp);
+    let started: Rc<RefCell<Vec<f64>>> = Rc::default();
+    let body: faas::FnBody = {
+        let started = started.clone();
+        Rc::new(move |sim, handle| {
+            started.borrow_mut().push(sim.now().as_secs_f64());
+            faas::finish(sim, handle);
+        })
+    };
+    faas::invoke(&mut sim, gcp, spec, body, RetryPolicy::default());
+    sim.run_to_completion(10_000);
+    // The GCP scheduler runs every 5 s: the cold instance cannot begin
+    // executing before the first tick.
+    assert!(started.borrow()[0] >= 5.0, "started at {}", started.borrow()[0]);
+}
+
+#[test]
+fn user_put_delivers_notification() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    let events: Rc<RefCell<Vec<(f64, EventKind, u64)>>> = Rc::default();
+    let ev2 = events.clone();
+    let target = sim.world.register_handler(Rc::new(move |sim, _region, ev| {
+        ev2.borrow_mut().push((sim.now().as_secs_f64(), ev.kind, ev.size));
+    }));
+    world::subscribe_bucket(&mut sim.world, use1, "src", target).unwrap();
+
+    world::user_put(&mut sim, use1, "src", "obj1", 1 << 20).unwrap();
+    sim.run_to_completion(1000);
+    assert_eq!(events.borrow().len(), 1);
+    let (t, kind, size) = events.borrow()[0];
+    assert_eq!(kind, EventKind::Put);
+    assert_eq!(size, 1 << 20);
+    // Notification arrives after the sampled delay (sub-second on AWS).
+    assert!(t > 0.05 && t < 3.0, "notification at {t}");
+
+    world::user_delete(&mut sim, use1, "src", "obj1").unwrap();
+    sim.run_to_completion(1000);
+    assert_eq!(events.borrow().len(), 2);
+    assert_eq!(events.borrow()[1].1, EventKind::Delete);
+}
+
+#[test]
+fn object_transfer_moves_content_and_meters_egress() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let eastus = region(&sim, Cloud::Azure, "eastus");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    sim.world.objstore_mut(eastus).create_bucket("dst");
+    let put = world::user_put(&mut sim, use1, "src", "k", 8 << 20).unwrap();
+
+    let done: Rc<RefCell<Option<f64>>> = Rc::default();
+    let done2 = done.clone();
+    let exec = platform(eastus); // "functions at destination"
+    world::get_object_range(
+        &mut sim,
+        exec,
+        use1,
+        "src".into(),
+        "k".into(),
+        0,
+        8 << 20,
+        Some(put.etag),
+        move |sim, result| {
+            let (content, _etag) = result.unwrap();
+            world::put_object(
+                sim,
+                exec,
+                eastus,
+                "dst".into(),
+                "k".into(),
+                content,
+                move |sim, result| {
+                    result.unwrap();
+                    *done2.borrow_mut() = Some(sim.now().as_secs_f64());
+                },
+            );
+        },
+    );
+    sim.run_to_completion(10_000);
+    let t = done.borrow().unwrap();
+    assert!(t > 0.01 && t < 10.0, "transfer took {t}");
+
+    // Content replicated byte-identically.
+    let (src_content, src_etag) = sim.world.objstore(use1).read_full("src", "k").unwrap();
+    let (dst_content, dst_etag) = sim.world.objstore(eastus).read_full("dst", "k").unwrap();
+    assert!(src_content.same_bytes(&dst_content));
+    assert_eq!(src_etag, dst_etag);
+
+    // Egress billed once, by AWS (download leg crossed the WAN; the upload
+    // was local to eastus).
+    let egress = sim.world.ledger.category_total(CostCategory::Egress);
+    let expected = 0.09 * (8.0 / 1024.0);
+    assert!(
+        (egress.as_dollars() - expected).abs() / expected < 0.01,
+        "egress {egress}"
+    );
+    assert_eq!(sim.world.ledger.cloud_total(Cloud::Azure) > Money::ZERO, true);
+}
+
+#[test]
+fn multipart_replication_roundtrip() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    sim.world.objstore_mut(use2).create_bucket("dst");
+    let size: u64 = 24 << 20;
+    world::user_put(&mut sim, use1, "src", "big", size).unwrap();
+
+    let exec = platform(use1);
+    let done: Rc<RefCell<bool>> = Rc::default();
+    let done2 = done.clone();
+    world::create_multipart(&mut sim, exec, use2, "dst".into(), "big".into(), move |sim, id| {
+        let id = id.unwrap();
+        let part_size: u64 = 8 << 20;
+        let total_parts = 3u32;
+        let uploaded: Rc<RefCell<u32>> = Rc::default();
+        for part in 0..total_parts {
+            let uploaded = uploaded.clone();
+            let done2 = done2.clone();
+            world::get_object_range(
+                sim,
+                exec,
+                use1,
+                "src".into(),
+                "big".into(),
+                part as u64 * part_size,
+                part_size,
+                None,
+                move |sim, got| {
+                    let (content, _) = got.unwrap();
+                    let done2 = done2.clone();
+                    let uploaded = uploaded.clone();
+                    world::upload_part(sim, exec, use2, id, part + 1, content, move |sim, r| {
+                        r.unwrap();
+                        *uploaded.borrow_mut() += 1;
+                        if *uploaded.borrow() == total_parts {
+                            let done2 = done2.clone();
+                            world::complete_multipart(sim, exec, use2, id, move |_sim, r| {
+                                r.unwrap();
+                                *done2.borrow_mut() = true;
+                            });
+                        }
+                    });
+                },
+            );
+        }
+    });
+    sim.run_to_completion(100_000);
+    assert!(*done.borrow());
+    let (src, se) = sim.world.objstore(use1).read_full("src", "big").unwrap();
+    let (dst, de) = sim.world.objstore(use2).read_full("dst", "big").unwrap();
+    assert!(src.same_bytes(&dst));
+    assert_eq!(se, de);
+    assert!(dst.is_single_source(), "clean replication is not a hybrid");
+}
+
+#[test]
+fn db_transactions_serialize() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let exec = platform(use1);
+    // 50 concurrent increments on one counter item.
+    for _ in 0..50 {
+        world::db_transact(
+            &mut sim,
+            exec,
+            use1,
+            "counters".into(),
+            "c".into(),
+            |slot| {
+                let item = slot.get_or_insert_with(Default::default);
+                let n = item
+                    .get("n")
+                    .and_then(cloudsim::clouddb::Value::as_uint)
+                    .unwrap_or(0);
+                item.insert("n".into(), cloudsim::clouddb::Value::Uint(n + 1));
+            },
+            |_, _| {},
+        );
+    }
+    sim.run_to_completion(1000);
+    let item = sim.world.db_mut(use1).get("counters", "c").unwrap();
+    assert_eq!(item["n"], cloudsim::clouddb::Value::Uint(50));
+    // 50 transactions = 50 reads + 50 writes billed.
+    let db_cost = sim.world.ledger.category_total(CostCategory::DbOps);
+    let expected = 50.0 * (0.625 + 0.125) / 1e6;
+    assert!((db_cost.as_dollars() - expected).abs() < 1e-9, "{db_cost}");
+}
+
+#[test]
+fn vm_lifecycle_and_minimum_billing() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let ready: Rc<RefCell<Option<f64>>> = Rc::default();
+    let ready2 = ready.clone();
+    let id = vm::provision(&mut sim, use1, move |sim, _vm| {
+        *ready2.borrow_mut() = Some(sim.now().as_secs_f64());
+    });
+    sim.run_to_completion(100);
+    let t = ready.borrow().unwrap();
+    // AWS provisioning ~ N(31, 4).
+    assert!(t > 15.0 && t < 50.0, "provisioned at {t}");
+    // Shut down right away: minimum billed duration (60 s) applies.
+    vm::shutdown(&mut sim, id);
+    let cost = sim.world.ledger.category_total(CostCategory::VmCompute);
+    let expected = 1.536 * 60.0 / 3600.0;
+    assert!((cost.as_dollars() - expected).abs() < 1e-6, "{cost}");
+    // Idempotent shutdown does not double-bill.
+    vm::shutdown(&mut sim, id);
+    assert_eq!(sim.world.ledger.category_total(CostCategory::VmCompute), cost);
+}
+
+#[test]
+fn vm_longer_runs_bill_elapsed_time() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let vm_slot: Rc<RefCell<Option<cloudsim::vm::VmId>>> = Rc::default();
+    let vm_slot2 = vm_slot.clone();
+    vm::provision(&mut sim, use1, move |_sim, vm| {
+        *vm_slot2.borrow_mut() = Some(vm);
+    });
+    sim.run_to_completion(100);
+    let id = vm_slot.borrow().unwrap();
+    let ready_at = sim.now();
+    sim.run_until(ready_at + SimDuration::from_secs(300));
+    vm::shutdown(&mut sim, id);
+    let cost = sim.world.ledger.category_total(CostCategory::VmCompute);
+    let expected = 1.536 * 300.0 / 3600.0;
+    assert!(
+        (cost.as_dollars() - expected).abs() / expected < 0.01,
+        "{cost} vs {expected}"
+    );
+}
+
+#[test]
+fn workflow_delay_fires_and_cancels() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let fired: Rc<RefCell<u32>> = Rc::default();
+    let f1 = fired.clone();
+    world::workflow_delay(&mut sim, use1, SimDuration::from_secs(30), move |_| {
+        *f1.borrow_mut() += 1;
+    });
+    let f2 = fired.clone();
+    let token = world::workflow_delay(&mut sim, use1, SimDuration::from_secs(30), move |_| {
+        *f2.borrow_mut() += 1;
+    });
+    token.cancel();
+    sim.run_to_completion(100);
+    assert_eq!(*fired.borrow(), 1);
+    assert!(sim.world.ledger.category_total(CostCategory::Workflow) > Money::ZERO);
+}
+
+#[test]
+fn crash_injection_kills_instances_and_platform_retries() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    sim.world.objstore_mut(use2).create_bucket("dst");
+    world::user_put(&mut sim, use1, "src", "k", 1 << 20).unwrap();
+    sim.world.params.crash_probability = 0.35;
+
+    let spec = faas::default_spec(&sim.world, use1);
+    let successes: Rc<RefCell<u32>> = Rc::default();
+    let body: faas::FnBody = {
+        let successes = successes.clone();
+        Rc::new(move |sim, handle: FnHandle| {
+            let exec = Executor::Function(handle);
+            let successes = successes.clone();
+            world::get_object_range(
+                sim,
+                exec,
+                use1,
+                "src".into(),
+                "k".into(),
+                0,
+                1 << 20,
+                None,
+                move |sim, got| {
+                    let (content, _) = got.unwrap();
+                    let successes = successes.clone();
+                    world::put_object(
+                        sim,
+                        exec,
+                        use2,
+                        "dst".into(),
+                        "k".into(),
+                        content,
+                        move |sim, r| {
+                            r.unwrap();
+                            *successes.borrow_mut() += 1;
+                            faas::finish(sim, handle);
+                        },
+                    );
+                },
+            );
+        })
+    };
+    for _ in 0..20 {
+        faas::invoke(&mut sim, use1, spec, body.clone(), RetryPolicy { max_retries: 5 });
+    }
+    sim.run_to_completion(1_000_000);
+    assert!(sim.world.faas.stats.crashes > 0, "crashes should fire at p=0.35");
+    // With 5 retries at p=0.35 per op, effectively all invocations succeed.
+    assert_eq!(*successes.borrow(), 20);
+    assert_eq!(sim.world.faas.active_in(use1), 0);
+}
+
+#[test]
+fn dead_executor_continuations_are_dropped() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let use2 = region(&sim, Cloud::Aws, "us-east-2");
+    sim.world.objstore_mut(use1).create_bucket("src");
+    world::user_put(&mut sim, use1, "src", "k", 64 << 20).unwrap();
+
+    let mut spec = faas::default_spec(&sim.world, use1);
+    spec.timeout = SimDuration::from_millis(300); // dies mid-download
+    let leaked: Rc<RefCell<u32>> = Rc::default();
+    let body: faas::FnBody = {
+        let leaked = leaked.clone();
+        let _ = use2;
+        Rc::new(move |sim, handle: FnHandle| {
+            let exec = Executor::Function(handle);
+            let leaked = leaked.clone();
+            world::get_object_range(
+                sim,
+                exec,
+                use1,
+                "src".into(),
+                "k".into(),
+                0,
+                64 << 20,
+                None,
+                move |_sim, _got| {
+                    *leaked.borrow_mut() += 1;
+                },
+            );
+        })
+    };
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy { max_retries: 0 });
+    sim.run_to_completion(100_000);
+    assert_eq!(sim.world.faas.stats.timeouts, 1);
+    assert_eq!(*leaked.borrow(), 0, "dead invocation observed a completion");
+}
+
+#[test]
+fn function_billing_matches_duration_and_memory() {
+    // AWS: GB-seconds only. One invocation busy exactly 2 s at 1024 MB.
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    let mut spec = faas::default_spec(&sim.world, use1);
+    spec.config.memory_mb = 1024;
+    let body: faas::FnBody = Rc::new(|sim, handle| {
+        sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+            faas::finish(sim, handle);
+        });
+    });
+    faas::invoke(&mut sim, use1, spec, body, RetryPolicy::default());
+    sim.run_to_completion(10_000);
+    let compute = sim
+        .world
+        .ledger
+        .category_total(CostCategory::FunctionCompute)
+        .as_dollars();
+    let expected = 2.0 * 1.0 * 0.0000166667;
+    assert!(
+        (compute - expected).abs() / expected < 1e-4,
+        "AWS compute {compute} vs {expected}"
+    );
+}
+
+#[test]
+fn gcp_billing_includes_vcpu_seconds() {
+    let mut sim = sim();
+    let gcp = region(&sim, Cloud::Gcp, "us-east1");
+    let mut spec = faas::default_spec(&sim.world, gcp);
+    spec.config.memory_mb = 1024;
+    spec.config.vcpus = 2.0;
+    let body: faas::FnBody = Rc::new(|sim, handle| {
+        sim.schedule_in(SimDuration::from_secs(3), move |sim| {
+            faas::finish(sim, handle);
+        });
+    });
+    faas::invoke(&mut sim, gcp, spec, body, RetryPolicy::default());
+    sim.run_to_completion(10_000);
+    let compute = sim
+        .world
+        .ledger
+        .category_total(CostCategory::FunctionCompute)
+        .as_dollars();
+    // 3 s x (1 GiB x $0.0000025 + 2 vCPU x $0.000024).
+    let expected = 3.0 * (1.0 * 0.0000025 + 2.0 * 0.000024);
+    assert!(
+        (compute - expected).abs() / expected < 1e-6,
+        "GCP compute {compute} vs {expected}"
+    );
+}
+
+#[test]
+fn azure_cold_starts_align_to_scheduler_ticks() {
+    // Azure batches scale-out every 4 s: the instant an instance begins
+    // executing, minus its sampled container start, sits on a tick boundary.
+    let mut sim = sim();
+    let azure = region(&sim, Cloud::Azure, "eastus");
+    let spec = faas::default_spec(&sim.world, azure);
+    let starts: Rc<RefCell<Vec<f64>>> = Rc::default();
+    for i in 0..4u64 {
+        let starts = starts.clone();
+        let body: faas::FnBody = Rc::new(move |sim, handle| {
+            starts.borrow_mut().push(sim.now().as_secs_f64());
+            faas::finish(sim, handle);
+        });
+        // Stagger the invokes so they land in different scheduler windows;
+        // distinct memory sizes force cold starts.
+        let mut s = spec;
+        s.config.memory_mb += i as u32 + 1;
+        sim.schedule_at(SimTime::from_nanos(i * 2_500_000_000), move |sim| {
+            faas::invoke(sim, azure, s, body.clone(), RetryPolicy::default());
+        });
+    }
+    sim.run_to_completion(10_000);
+    assert_eq!(starts.borrow().len(), 4);
+    // Every start happens strictly after its invoke's next 4 s boundary.
+    for (i, &t) in starts.borrow().iter().enumerate() {
+        let invoked = i as f64 * 2.5;
+        let next_tick = (invoked / 4.0).floor() * 4.0 + 4.0;
+        assert!(
+            t >= next_tick - 4.0,
+            "instance {i} started at {t}, invoked {invoked}"
+        );
+        assert!(t > invoked, "must start after the invoke");
+    }
+}
+
+#[test]
+fn notification_delays_differ_by_cloud() {
+    // The ground-truth notification distributions drive the T_n term; make
+    // sure each cloud's samples center near its configured mean.
+    for (cloud, name) in [
+        (Cloud::Aws, "us-east-1"),
+        (Cloud::Azure, "eastus"),
+        (Cloud::Gcp, "us-east1"),
+    ] {
+        let mut sim = sim();
+        let r = region(&sim, cloud, name);
+        sim.world.objstore_mut(r).create_bucket("b");
+        let delays: Rc<RefCell<Vec<f64>>> = Rc::default();
+        let d2 = delays.clone();
+        let target = sim.world.register_handler(Rc::new(move |sim, _r, ev| {
+            d2.borrow_mut()
+                .push((sim.now() - ev.event_time).as_secs_f64());
+        }));
+        world::subscribe_bucket(&mut sim.world, r, "b", target).unwrap();
+        for i in 0..40 {
+            world::user_put(&mut sim, r, "b", &format!("k{i}"), 1).unwrap();
+            sim.run_to_completion(100);
+        }
+        let d = delays.borrow();
+        let mean: f64 = d.iter().sum::<f64>() / d.len() as f64;
+        let truth = sim.world.params.cloud(cloud).notif_delay.mean();
+        assert!(
+            (mean - truth).abs() / truth < 0.3,
+            "{cloud}: measured {mean} vs truth {truth}"
+        );
+    }
+}

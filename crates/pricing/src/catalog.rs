@@ -1,0 +1,288 @@
+//! Public-price catalogs for the three simulated clouds.
+//!
+//! Prices follow the public list prices cited by the paper's evaluation era
+//! (e.g. DynamoDB writes at $0.6250 per million in us-east-1, Lambda at
+//! $0.0000166667 per GB-second, AWS inter-region egress at $0.02/GB, internet
+//! egress at $0.09/GB). The catalog is a plain data structure so experiments
+//! can swap in alternative price sheets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cloud::{Cloud, Continent, Geo};
+use crate::money::Money;
+
+/// Function (FaaS) pricing for one cloud.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FunctionPrices {
+    /// Dollars per GB-second of configured memory.
+    pub per_gb_second: f64,
+    /// Dollars per vCPU-second (zero where CPU is bundled with memory).
+    pub per_vcpu_second: f64,
+    /// Dollars per million invocations.
+    pub per_million_requests: f64,
+}
+
+/// Serverless database pricing for one cloud.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DbPrices {
+    /// Dollars per million write operations.
+    pub per_million_writes: f64,
+    /// Dollars per million read operations.
+    pub per_million_reads: f64,
+}
+
+/// VM pricing for one cloud (the instance class Skyplane provisions).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VmPrices {
+    /// Dollars per hour, billed per second.
+    pub per_hour: f64,
+    /// Minimum billed seconds per provisioned VM.
+    pub min_billed_seconds: u64,
+}
+
+/// Object-storage request and storage pricing for one cloud.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StoragePrices {
+    /// Dollars per 1,000 PUT/COPY/POST/LIST requests.
+    pub per_1k_put: f64,
+    /// Dollars per 10,000 GET requests.
+    pub per_10k_get: f64,
+    /// Dollars per GB-month stored.
+    pub per_gb_month: f64,
+}
+
+/// Serverless workflow (Step Functions / Durable Functions / Workflows)
+/// pricing, used by SLO-bounded batching timers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkflowPrices {
+    /// Dollars per 1,000 state transitions.
+    pub per_1k_transitions: f64,
+}
+
+/// Per-cloud price sheet.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CloudPrices {
+    /// Function pricing.
+    pub function: FunctionPrices,
+    /// Serverless DB pricing.
+    pub db: DbPrices,
+    /// VM pricing.
+    pub vm: VmPrices,
+    /// Object storage pricing.
+    pub storage: StoragePrices,
+    /// Workflow pricing.
+    pub workflow: WorkflowPrices,
+    /// Dollars per GB for egress to another region of the *same* cloud,
+    /// same continent.
+    pub egress_intra_cloud_per_gb: f64,
+    /// Dollars per GB for egress to another region of the same cloud on a
+    /// different continent (equals the intra rate where the provider does not
+    /// differentiate).
+    pub egress_intra_cloud_cross_continent_per_gb: f64,
+    /// Dollars per GB for egress to the public internet (i.e. to another
+    /// cloud).
+    pub egress_internet_per_gb: f64,
+}
+
+/// The complete multi-cloud price catalog.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PriceCatalog {
+    /// AWS price sheet.
+    pub aws: CloudPrices,
+    /// Azure price sheet.
+    pub azure: CloudPrices,
+    /// GCP price sheet.
+    pub gcp: CloudPrices,
+    /// S3 Replication Time Control surcharge, dollars per GB replicated.
+    pub s3_rtc_per_gb: f64,
+}
+
+impl PriceCatalog {
+    /// The default catalog with the public list prices used by the paper.
+    pub fn paper_defaults() -> PriceCatalog {
+        PriceCatalog {
+            aws: CloudPrices {
+                function: FunctionPrices {
+                    per_gb_second: 0.0000166667,
+                    per_vcpu_second: 0.0,
+                    per_million_requests: 0.20,
+                },
+                db: DbPrices {
+                    per_million_writes: 0.625,
+                    per_million_reads: 0.125,
+                },
+                vm: VmPrices {
+                    // m5.8xlarge, the class Skyplane provisions by default.
+                    per_hour: 1.536,
+                    min_billed_seconds: 60,
+                },
+                storage: StoragePrices {
+                    per_1k_put: 0.005,
+                    per_10k_get: 0.004,
+                    per_gb_month: 0.023,
+                },
+                workflow: WorkflowPrices {
+                    per_1k_transitions: 0.025,
+                },
+                egress_intra_cloud_per_gb: 0.02,
+                egress_intra_cloud_cross_continent_per_gb: 0.02,
+                egress_internet_per_gb: 0.09,
+            },
+            azure: CloudPrices {
+                function: FunctionPrices {
+                    per_gb_second: 0.000016,
+                    per_vcpu_second: 0.0,
+                    per_million_requests: 0.20,
+                },
+                db: DbPrices {
+                    // Cosmos DB serverless, normalized to per-op.
+                    per_million_writes: 1.25,
+                    per_million_reads: 0.25,
+                },
+                vm: VmPrices {
+                    per_hour: 1.60,
+                    min_billed_seconds: 60,
+                },
+                storage: StoragePrices {
+                    per_1k_put: 0.0065,
+                    per_10k_get: 0.005,
+                    per_gb_month: 0.0208,
+                },
+                workflow: WorkflowPrices {
+                    per_1k_transitions: 0.025,
+                },
+                egress_intra_cloud_per_gb: 0.02,
+                egress_intra_cloud_cross_continent_per_gb: 0.02,
+                egress_internet_per_gb: 0.087,
+            },
+            gcp: CloudPrices {
+                function: FunctionPrices {
+                    per_gb_second: 0.0000025,
+                    per_vcpu_second: 0.000024,
+                    per_million_requests: 0.40,
+                },
+                db: DbPrices {
+                    // Firestore.
+                    per_million_writes: 1.80,
+                    per_million_reads: 0.60,
+                },
+                vm: VmPrices {
+                    per_hour: 1.90,
+                    min_billed_seconds: 60,
+                },
+                storage: StoragePrices {
+                    per_1k_put: 0.005,
+                    per_10k_get: 0.004,
+                    per_gb_month: 0.020,
+                },
+                workflow: WorkflowPrices {
+                    per_1k_transitions: 0.025,
+                },
+                egress_intra_cloud_per_gb: 0.02,
+                egress_intra_cloud_cross_continent_per_gb: 0.05,
+                egress_internet_per_gb: 0.12,
+            },
+            s3_rtc_per_gb: 0.015,
+        }
+    }
+
+    /// The price sheet for one cloud.
+    pub fn cloud(&self, cloud: Cloud) -> &CloudPrices {
+        match cloud {
+            Cloud::Aws => &self.aws,
+            Cloud::Azure => &self.azure,
+            Cloud::Gcp => &self.gcp,
+        }
+    }
+
+    /// Egress price for moving `bytes` from `(src_cloud, src_geo)` toward
+    /// `(dst_cloud, dst_geo)`. Egress is always billed by the *source* cloud;
+    /// ingress is free on all three clouds.
+    pub fn egress_cost(
+        &self,
+        src_cloud: Cloud,
+        src_geo: Geo,
+        dst_cloud: Cloud,
+        dst_geo: Geo,
+        bytes: u64,
+    ) -> Money {
+        let sheet = self.cloud(src_cloud);
+        let per_gb = if src_cloud != dst_cloud {
+            sheet.egress_internet_per_gb
+        } else if src_geo.continent() == dst_geo.continent() {
+            sheet.egress_intra_cloud_per_gb
+        } else if src_cloud == Cloud::Gcp
+            && (src_geo.continent() == Continent::Asia || dst_geo.continent() == Continent::Asia)
+        {
+            // GCP prices US<->Asia inter-region traffic above US<->EU.
+            0.08
+        } else {
+            sheet.egress_intra_cloud_cross_continent_per_gb
+        };
+        Money::from_dollars(per_gb).scale(bytes as f64 / GIB as f64)
+    }
+}
+
+/// Bytes per GiB, the billing unit used across the catalog.
+pub const GIB: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> PriceCatalog {
+        PriceCatalog::paper_defaults()
+    }
+
+    #[test]
+    fn egress_same_cloud_same_continent() {
+        let c = catalog();
+        let cost = c.egress_cost(Cloud::Aws, Geo::UsEast, Cloud::Aws, Geo::Canada, GIB);
+        assert!((cost.as_dollars() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_cross_cloud_uses_internet_rate() {
+        let c = catalog();
+        let aws = c.egress_cost(Cloud::Aws, Geo::UsEast, Cloud::Azure, Geo::UsEast, GIB);
+        assert!((aws.as_dollars() - 0.09).abs() < 1e-9);
+        let azure = c.egress_cost(Cloud::Azure, Geo::UsEast, Cloud::Aws, Geo::UsEast, GIB);
+        assert!((azure.as_dollars() - 0.087).abs() < 1e-9);
+        let gcp = c.egress_cost(Cloud::Gcp, Geo::UsEast, Cloud::Aws, Geo::UsEast, GIB);
+        assert!((gcp.as_dollars() - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcp_continental_tiers() {
+        let c = catalog();
+        let us_us = c.egress_cost(Cloud::Gcp, Geo::UsEast, Cloud::Gcp, Geo::UsWest, GIB);
+        assert!((us_us.as_dollars() - 0.02).abs() < 1e-9);
+        let us_eu = c.egress_cost(Cloud::Gcp, Geo::UsEast, Cloud::Gcp, Geo::Europe, GIB);
+        assert!((us_eu.as_dollars() - 0.05).abs() < 1e-9);
+        let us_asia = c.egress_cost(Cloud::Gcp, Geo::UsEast, Cloud::Gcp, Geo::AsiaNortheast, GIB);
+        assert!((us_asia.as_dollars() - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_scales_with_bytes() {
+        let c = catalog();
+        let one_mb = c.egress_cost(Cloud::Aws, Geo::UsEast, Cloud::Aws, Geo::Europe, 1 << 20);
+        assert!((one_mb.as_dollars() - 0.02 / 1024.0).abs() < 1e-9);
+        let zero = c.egress_cost(Cloud::Aws, Geo::UsEast, Cloud::Aws, Geo::Europe, 0);
+        assert!(zero.is_zero());
+    }
+
+    #[test]
+    fn dynamodb_write_price_matches_paper() {
+        // "$0.6250 per million writes for Amazon DynamoDB in us-east-1".
+        let c = catalog();
+        assert!((c.aws.db.per_million_writes - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloud_lookup() {
+        let c = catalog();
+        assert!((c.cloud(Cloud::Gcp).function.per_vcpu_second - 0.000024).abs() < 1e-12);
+        assert!((c.cloud(Cloud::Aws).vm.per_hour - 1.536).abs() < 1e-12);
+    }
+}

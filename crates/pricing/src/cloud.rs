@@ -1,0 +1,165 @@
+//! Cloud-provider and geography identifiers.
+//!
+//! These live in the pricing crate (the lowest layer that needs them) because
+//! egress pricing is keyed by provider and continent; `cloudsim` re-exports
+//! them and builds its region registry on top.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A public cloud provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cloud {
+    /// Amazon Web Services.
+    Aws,
+    /// Microsoft Azure.
+    Azure,
+    /// Google Cloud Platform.
+    Gcp,
+}
+
+impl Cloud {
+    /// All supported providers, in display order.
+    pub const ALL: [Cloud; 3] = [Cloud::Aws, Cloud::Azure, Cloud::Gcp];
+
+    /// Short human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cloud::Aws => "AWS",
+            Cloud::Azure => "Azure",
+            Cloud::Gcp => "GCP",
+        }
+    }
+}
+
+impl fmt::Display for Cloud {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Coarse geography of a region, used for egress pricing tiers and the
+/// network distance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Geo {
+    /// US East Coast.
+    UsEast,
+    /// US West Coast.
+    UsWest,
+    /// Canada (central).
+    Canada,
+    /// Western Europe (Ireland, Zurich, ...).
+    Europe,
+    /// United Kingdom.
+    Uk,
+    /// Northeast Asia (Tokyo).
+    AsiaNortheast,
+    /// Southeast Asia (Singapore).
+    AsiaSoutheast,
+}
+
+/// A continent, for continental egress pricing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// Europe (including the UK for pricing purposes).
+    Europe,
+    /// Asia.
+    Asia,
+}
+
+impl Geo {
+    /// The continent this geography belongs to.
+    pub fn continent(self) -> Continent {
+        match self {
+            Geo::UsEast | Geo::UsWest | Geo::Canada => Continent::NorthAmerica,
+            Geo::Europe | Geo::Uk => Continent::Europe,
+            Geo::AsiaNortheast | Geo::AsiaSoutheast => Continent::Asia,
+        }
+    }
+
+    /// A rough great-circle distance class to another geography, used by the
+    /// network model. Returns a unitless 0.0 (same geo) to 1.0 (antipodal-ish)
+    /// scale.
+    pub fn distance_factor(self, other: Geo) -> f64 {
+        if self == other {
+            return 0.0;
+        }
+        use Continent::*;
+        match (self.continent(), other.continent()) {
+            (a, b) if a == b => 0.25,
+            (NorthAmerica, Europe) | (Europe, NorthAmerica) => 0.55,
+            (NorthAmerica, Asia) | (Asia, NorthAmerica) => 0.8,
+            (Europe, Asia) | (Asia, Europe) => 1.0,
+            _ => 0.6,
+        }
+    }
+}
+
+impl fmt::Display for Geo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Geo::UsEast => "us-east",
+            Geo::UsWest => "us-west",
+            Geo::Canada => "canada",
+            Geo::Europe => "europe",
+            Geo::Uk => "uk",
+            Geo::AsiaNortheast => "asia-northeast",
+            Geo::AsiaSoutheast => "asia-southeast",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cloud_names() {
+        assert_eq!(Cloud::Aws.name(), "AWS");
+        assert_eq!(Cloud::Azure.to_string(), "Azure");
+        assert_eq!(Cloud::ALL.len(), 3);
+    }
+
+    #[test]
+    fn continents() {
+        assert_eq!(Geo::UsEast.continent(), Continent::NorthAmerica);
+        assert_eq!(Geo::Uk.continent(), Continent::Europe);
+        assert_eq!(Geo::AsiaSoutheast.continent(), Continent::Asia);
+    }
+
+    #[test]
+    fn distance_factor_properties() {
+        // Symmetric, zero on the diagonal, increasing with distance.
+        let geos = [
+            Geo::UsEast,
+            Geo::UsWest,
+            Geo::Canada,
+            Geo::Europe,
+            Geo::Uk,
+            Geo::AsiaNortheast,
+            Geo::AsiaSoutheast,
+        ];
+        for &a in &geos {
+            assert_eq!(a.distance_factor(a), 0.0);
+            for &b in &geos {
+                assert_eq!(a.distance_factor(b), b.distance_factor(a));
+                if a != b {
+                    assert!(a.distance_factor(b) > 0.0);
+                }
+            }
+        }
+        assert!(Geo::UsEast.distance_factor(Geo::Canada) < Geo::UsEast.distance_factor(Geo::Europe));
+        assert!(
+            Geo::UsEast.distance_factor(Geo::Europe)
+                < Geo::UsEast.distance_factor(Geo::AsiaNortheast)
+        );
+        assert!(
+            Geo::Europe.distance_factor(Geo::AsiaNortheast)
+                > Geo::UsEast.distance_factor(Geo::AsiaNortheast)
+        );
+    }
+}

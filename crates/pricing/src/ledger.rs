@@ -1,0 +1,240 @@
+//! Cost accounting.
+//!
+//! Every metered operation in the simulator records a [`CostCategory`] and an
+//! exact [`Money`] amount into the [`CostLedger`]. Experiments snapshot the
+//! ledger before a measured action and diff afterwards, which is how every
+//! dollar figure in the reproduced tables is obtained ("comprehensively
+//! estimated based on the listed prices ... and metered usage", §8).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cloud::Cloud;
+use crate::money::Money;
+
+/// What a cost entry pays for.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum CostCategory {
+    /// Cross-region / cross-cloud data egress.
+    Egress,
+    /// Function compute time (GB-seconds and vCPU-seconds).
+    FunctionCompute,
+    /// Function invocation requests.
+    FunctionRequests,
+    /// Serverless database operations.
+    DbOps,
+    /// VM compute time.
+    VmCompute,
+    /// Object storage requests (PUT/GET/multipart).
+    StorageRequests,
+    /// Object storage capacity (incl. versioning overhead).
+    StorageCapacity,
+    /// S3 Replication Time Control surcharge.
+    RtcFee,
+    /// Serverless workflow state transitions (batching timers).
+    Workflow,
+}
+
+impl CostCategory {
+    /// All categories, in report order.
+    pub const ALL: [CostCategory; 9] = [
+        CostCategory::Egress,
+        CostCategory::FunctionCompute,
+        CostCategory::FunctionRequests,
+        CostCategory::DbOps,
+        CostCategory::VmCompute,
+        CostCategory::StorageRequests,
+        CostCategory::StorageCapacity,
+        CostCategory::RtcFee,
+        CostCategory::Workflow,
+    ];
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostCategory::Egress => "egress",
+            CostCategory::FunctionCompute => "function-compute",
+            CostCategory::FunctionRequests => "function-requests",
+            CostCategory::DbOps => "db-ops",
+            CostCategory::VmCompute => "vm-compute",
+            CostCategory::StorageRequests => "storage-requests",
+            CostCategory::StorageCapacity => "storage-capacity",
+            CostCategory::RtcFee => "rtc-fee",
+            CostCategory::Workflow => "workflow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Running totals per `(cloud, category)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    totals: BTreeMap<(Cloud, CostCategory), Money>,
+}
+
+/// An immutable copy of ledger totals, used to compute per-action diffs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    totals: BTreeMap<(Cloud, CostCategory), Money>,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Records a charge.
+    pub fn charge(&mut self, cloud: Cloud, category: CostCategory, amount: Money) {
+        if amount.is_zero() {
+            return;
+        }
+        *self
+            .totals
+            .entry((cloud, category))
+            .or_insert(Money::ZERO) += amount;
+    }
+
+    /// Total across all clouds and categories.
+    pub fn grand_total(&self) -> Money {
+        self.totals.values().copied().sum()
+    }
+
+    /// Total for one category across all clouds.
+    pub fn category_total(&self, category: CostCategory) -> Money {
+        self.totals
+            .iter()
+            .filter(|((_, c), _)| *c == category)
+            .map(|(_, m)| *m)
+            .sum()
+    }
+
+    /// Total for one cloud across all categories.
+    pub fn cloud_total(&self, cloud: Cloud) -> Money {
+        self.totals
+            .iter()
+            .filter(|((c, _), _)| *c == cloud)
+            .map(|(_, m)| *m)
+            .sum()
+    }
+
+    /// Captures the current totals.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            totals: self.totals.clone(),
+        }
+    }
+
+    /// Spending since `since`, as a new snapshot containing only the deltas.
+    pub fn since(&self, since: &CostSnapshot) -> CostSnapshot {
+        let mut totals = BTreeMap::new();
+        for (key, now) in &self.totals {
+            let before = since.totals.get(key).copied().unwrap_or(Money::ZERO);
+            let delta = *now - before;
+            if !delta.is_zero() {
+                totals.insert(*key, delta);
+            }
+        }
+        CostSnapshot { totals }
+    }
+}
+
+impl CostSnapshot {
+    /// Total across all clouds and categories.
+    pub fn grand_total(&self) -> Money {
+        self.totals.values().copied().sum()
+    }
+
+    /// Total for one category.
+    pub fn category_total(&self, category: CostCategory) -> Money {
+        self.totals
+            .iter()
+            .filter(|((_, c), _)| *c == category)
+            .map(|(_, m)| *m)
+            .sum()
+    }
+
+    /// Total for one cloud.
+    pub fn cloud_total(&self, cloud: Cloud) -> Money {
+        self.totals
+            .iter()
+            .filter(|((c, _), _)| *c == cloud)
+            .map(|(_, m)| *m)
+            .sum()
+    }
+
+    /// Per-(cloud, category) entries in stable order.
+    pub fn entries(&self) -> impl Iterator<Item = (Cloud, CostCategory, Money)> + '_ {
+        self.totals.iter().map(|((cl, cat), m)| (*cl, *cat, *m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = CostLedger::new();
+        l.charge(Cloud::Aws, CostCategory::Egress, Money::from_dollars(0.02));
+        l.charge(Cloud::Aws, CostCategory::Egress, Money::from_dollars(0.03));
+        l.charge(
+            Cloud::Gcp,
+            CostCategory::FunctionCompute,
+            Money::from_dollars(0.01),
+        );
+        assert_eq!(l.grand_total(), Money::from_dollars(0.06));
+        assert_eq!(
+            l.category_total(CostCategory::Egress),
+            Money::from_dollars(0.05)
+        );
+        assert_eq!(l.cloud_total(Cloud::Aws), Money::from_dollars(0.05));
+        assert_eq!(l.cloud_total(Cloud::Azure), Money::ZERO);
+    }
+
+    #[test]
+    fn zero_charges_are_dropped() {
+        let mut l = CostLedger::new();
+        l.charge(Cloud::Aws, CostCategory::DbOps, Money::ZERO);
+        assert_eq!(l.snapshot().entries().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_an_action() {
+        let mut l = CostLedger::new();
+        l.charge(Cloud::Aws, CostCategory::Egress, Money::from_dollars(1.0));
+        let before = l.snapshot();
+        l.charge(Cloud::Aws, CostCategory::Egress, Money::from_dollars(0.25));
+        l.charge(Cloud::Azure, CostCategory::DbOps, Money::from_dollars(0.5));
+        let delta = l.since(&before);
+        assert_eq!(delta.grand_total(), Money::from_dollars(0.75));
+        assert_eq!(
+            delta.category_total(CostCategory::Egress),
+            Money::from_dollars(0.25)
+        );
+        assert_eq!(delta.cloud_total(Cloud::Azure), Money::from_dollars(0.5));
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_empty() {
+        let mut l = CostLedger::new();
+        l.charge(Cloud::Gcp, CostCategory::Workflow, Money::from_dollars(2.0));
+        let snap = l.snapshot();
+        assert_eq!(l.since(&snap).grand_total(), Money::ZERO);
+        assert_eq!(l.since(&snap).entries().count(), 0);
+    }
+
+    #[test]
+    fn categories_enumerate_uniquely() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in CostCategory::ALL {
+            assert!(seen.insert(format!("{c}")));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+}

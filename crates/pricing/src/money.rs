@@ -1,0 +1,183 @@
+//! Exact money arithmetic.
+//!
+//! Costs in the paper's tables are reported at 10^-4-dollar granularity and
+//! accumulate from per-request prices as small as $0.20 per million requests
+//! (2e-7 $ each). Floating-point accumulation across millions of metering
+//! events would drift, so [`Money`] is a signed fixed-point count of
+//! nano-dollars (1e-9 $), giving exact addition and ample range
+//! (±9.2 billion dollars).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A signed amount of money stored as nano-dollars.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Money(i64);
+
+/// Nano-dollars per dollar.
+const NANOS_PER_DOLLAR: i64 = 1_000_000_000;
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Constructs from raw nano-dollars.
+    pub const fn from_nanos(nanos: i64) -> Money {
+        Money(nanos)
+    }
+
+    /// Constructs from a dollar amount, rounding to the nearest nano-dollar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite input or magnitudes beyond the representable
+    /// range — both indicate a corrupted price catalog, not a data condition.
+    pub fn from_dollars(dollars: f64) -> Money {
+        assert!(dollars.is_finite(), "money from non-finite dollars");
+        let nanos = dollars * NANOS_PER_DOLLAR as f64;
+        assert!(
+            nanos.abs() < i64::MAX as f64,
+            "money overflow: {dollars} dollars"
+        );
+        Money(nanos.round() as i64)
+    }
+
+    /// The amount in raw nano-dollars.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// The amount in (possibly fractional) dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / NANOS_PER_DOLLAR as f64
+    }
+
+    /// The amount in units of 1e-4 dollars, as printed in the paper's tables.
+    pub fn as_1e4_dollars(self) -> f64 {
+        self.as_dollars() * 1e4
+    }
+
+    /// Multiplies a unit price by a possibly fractional quantity, rounding to
+    /// the nearest nano-dollar (metering semantics).
+    pub fn scale(self, quantity: f64) -> Money {
+        assert!(quantity.is_finite(), "scaling money by non-finite quantity");
+        Money((self.0 as f64 * quantity).round() as i64)
+    }
+
+    /// True if the amount is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow"))
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money underflow"))
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: u64) -> Money {
+        Money(self.0.checked_mul(rhs as i64).expect("money overflow"))
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.6}", self.as_dollars())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dollar_round_trips() {
+        assert_eq!(Money::from_dollars(1.5).as_dollars(), 1.5);
+        assert_eq!(Money::from_dollars(0.0000002).as_nanos(), 200);
+        assert_eq!(Money::from_dollars(-2.25).as_dollars(), -2.25);
+    }
+
+    #[test]
+    fn table_units() {
+        // $0.0212 prints as 212 in the paper's 1e-4 $ unit.
+        assert!((Money::from_dollars(0.0212).as_1e4_dollars() - 212.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        // One million per-request charges of $0.20/M must sum to exactly $0.20.
+        let per_request = Money::from_dollars(0.20 / 1_000_000.0);
+        let total: Money = std::iter::repeat(per_request).take(1_000_000).sum();
+        assert_eq!(total, Money::from_dollars(0.20));
+    }
+
+    #[test]
+    fn scale_meters_fractional_quantities() {
+        let per_gb = Money::from_dollars(0.09);
+        let one_mb = per_gb.scale(1.0 / 1024.0);
+        assert!((one_mb.as_dollars() - 0.09 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ops_and_ordering() {
+        let a = Money::from_dollars(2.0);
+        let b = Money::from_dollars(0.5);
+        assert_eq!(a - b, Money::from_dollars(1.5));
+        assert_eq!(b * 4, a);
+        assert_eq!(-b, Money::from_dollars(-0.5));
+        assert!(b < a);
+        assert!(Money::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Money::from_dollars(f64::NAN);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Money::from_dollars(0.027541).to_string(), "$0.027541");
+    }
+}

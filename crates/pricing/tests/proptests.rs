@@ -1,0 +1,97 @@
+//! Property-based tests of the money arithmetic and ledger accounting.
+
+use pricing::{Cloud, CostCategory, CostLedger, Geo, Money, PriceCatalog};
+use proptest::prelude::*;
+
+fn arb_money() -> impl Strategy<Value = Money> {
+    (-1_000_000_000_000i64..1_000_000_000_000).prop_map(Money::from_nanos)
+}
+
+fn arb_cloud() -> impl Strategy<Value = Cloud> {
+    prop_oneof![Just(Cloud::Aws), Just(Cloud::Azure), Just(Cloud::Gcp)]
+}
+
+fn arb_geo() -> impl Strategy<Value = Geo> {
+    prop_oneof![
+        Just(Geo::UsEast),
+        Just(Geo::UsWest),
+        Just(Geo::Canada),
+        Just(Geo::Europe),
+        Just(Geo::Uk),
+        Just(Geo::AsiaNortheast),
+        Just(Geo::AsiaSoutheast),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn money_addition_is_exact_and_commutative(a in arb_money(), b in arb_money()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!(a + Money::ZERO, a);
+    }
+
+    #[test]
+    fn money_scale_by_integer_matches_mul(a in 0i64..1_000_000_000, k in 0u64..1000) {
+        let m = Money::from_nanos(a);
+        prop_assert_eq!(m * k, m.scale(k as f64));
+    }
+
+    #[test]
+    fn egress_cost_is_linear_in_bytes(
+        src_cloud in arb_cloud(),
+        dst_cloud in arb_cloud(),
+        src_geo in arb_geo(),
+        dst_geo in arb_geo(),
+        gib in 1u64..64,
+    ) {
+        let catalog = PriceCatalog::paper_defaults();
+        let one = catalog.egress_cost(src_cloud, src_geo, dst_cloud, dst_geo, 1 << 30);
+        let many = catalog.egress_cost(src_cloud, src_geo, dst_cloud, dst_geo, gib << 30);
+        // Per-GiB linearity, tolerating nano-dollar rounding per call.
+        prop_assert!((many.as_nanos() - one.as_nanos() * gib as i64).abs() <= gib as i64);
+    }
+
+    #[test]
+    fn cross_cloud_is_never_cheaper_than_intra(
+        cloud in arb_cloud(),
+        other in arb_cloud(),
+        src_geo in arb_geo(),
+        dst_geo in arb_geo(),
+    ) {
+        prop_assume!(cloud != other);
+        let catalog = PriceCatalog::paper_defaults();
+        let intra = catalog.egress_cost(cloud, src_geo, cloud, dst_geo, 1 << 30);
+        let cross = catalog.egress_cost(cloud, src_geo, other, dst_geo, 1 << 30);
+        prop_assert!(cross >= intra, "cross {cross} < intra {intra}");
+    }
+
+    #[test]
+    fn ledger_snapshot_diff_partitions_spending(
+        charges in proptest::collection::vec(
+            (arb_cloud(), 0i64..10_000_000_000),
+            1..40,
+        ),
+        split_at in 0usize..40,
+    ) {
+        let split = split_at.min(charges.len());
+        let mut ledger = CostLedger::new();
+        for (cloud, nanos) in &charges[..split] {
+            ledger.charge(*cloud, CostCategory::Egress, Money::from_nanos(*nanos));
+        }
+        let snap = ledger.snapshot();
+        for (cloud, nanos) in &charges[split..] {
+            ledger.charge(*cloud, CostCategory::Egress, Money::from_nanos(*nanos));
+        }
+        let after: Money = charges[split..]
+            .iter()
+            .map(|(_, n)| Money::from_nanos(*n))
+            .sum();
+        prop_assert_eq!(ledger.since(&snap).grand_total(), after);
+        let before: Money = charges[..split]
+            .iter()
+            .map(|(_, n)| Money::from_nanos(*n))
+            .sum();
+        prop_assert_eq!(snap.grand_total(), before);
+    }
+}

@@ -1,0 +1,78 @@
+//! Deterministic random-number stream derivation.
+//!
+//! Every stochastic component of the simulation (each network link, each
+//! function instance, each trace generator) owns its own RNG stream derived
+//! from the master seed and a stable string label. Adding or removing one
+//! component therefore never perturbs the random draws seen by another, which
+//! keeps experiment outputs stable under code evolution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from a master seed and a stable label using FNV-1a.
+///
+/// FNV-1a is implemented inline (rather than using `std`'s `DefaultHasher`)
+/// because the standard hasher's algorithm is explicitly unspecified across
+/// releases, and experiment reproducibility must survive toolchain upgrades.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut hash = FNV_OFFSET ^ master.wrapping_mul(FNV_PRIME);
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // A final avalanche (SplitMix64 finalizer) decorrelates nearby labels.
+    let mut z = hash.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Creates a seeded [`StdRng`] for the given master seed and label.
+pub fn derive_rng(master: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_seed() {
+        assert_eq!(derive_seed(42, "link:a->b"), derive_seed(42, "link:a->b"));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        assert_ne!(derive_seed(42, "a"), derive_seed(42, "b"));
+        assert_ne!(derive_seed(42, "link:1"), derive_seed(42, "link:2"));
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+    }
+
+    #[test]
+    fn derived_rng_is_reproducible() {
+        let mut a = derive_rng(7, "x");
+        let mut b = derive_rng(7, "x");
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn nearby_labels_decorrelate() {
+        // The low bits of seeds for consecutive labels should not be equal —
+        // a weak but meaningful avalanche check.
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(9, &format!("n{i}"))).collect();
+        let mut low_bits = std::collections::HashSet::new();
+        for s in &seeds {
+            low_bits.insert(s & 0xffff);
+        }
+        assert!(low_bits.len() > 48, "low 16 bits collide too often");
+    }
+}

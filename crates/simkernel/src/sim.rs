@@ -1,0 +1,425 @@
+//! The discrete-event simulation executor.
+//!
+//! [`Sim`] owns a virtual clock, an ordered event queue, the simulated world
+//! state `W`, and the master RNG. Events are boxed `FnOnce(&mut Sim<W>)`
+//! continuations: multi-step behaviours (a replicator function claiming parts,
+//! downloading, uploading, ...) are written as methods that schedule their own
+//! follow-up events.
+//!
+//! Determinism contract: with the same seed and the same sequence of
+//! `schedule_*` calls, the simulation replays identically. Simultaneous events
+//! run in schedule order (a monotone sequence number breaks timestamp ties).
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use crate::rng::derive_rng;
+use crate::time::{SimDuration, SimTime};
+
+/// A handle that can cancel a scheduled event before it fires.
+///
+/// Cancellation is cooperative: the event stays in the queue but becomes a
+/// no-op when popped. This is O(1) and keeps the queue simple; cancelled
+/// events are not counted as executed.
+#[derive(Clone, Debug)]
+pub struct CancelToken(Rc<Cell<bool>>);
+
+impl CancelToken {
+    fn new() -> Self {
+        CancelToken(Rc::new(Cell::new(false)))
+    }
+
+    /// Cancels the associated event. Idempotent.
+    pub fn cancel(&self) {
+        self.0.set(true);
+    }
+
+    /// Returns true if [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.get()
+    }
+}
+
+type Action<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct QueuedEvent<W> {
+    at: SimTime,
+    seq: u64,
+    cancel: Option<CancelToken>,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for QueuedEvent<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for QueuedEvent<W> {}
+impl<W> PartialOrd for QueuedEvent<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for QueuedEvent<W> {
+    // `BinaryHeap` is a max-heap, so invert: the earliest (time, seq) pair is
+    // the greatest element.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Statistics about an executed simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events whose action ran.
+    pub executed: u64,
+    /// Events popped but skipped because their token was cancelled.
+    pub cancelled: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// `W` is the simulated world (services, state). Events receive `&mut Sim<W>`
+/// and reach the world through [`Sim::world`].
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QueuedEvent<W>>,
+    master_seed: u64,
+    rng: StdRng,
+    stats: RunStats,
+    /// The simulated world state, freely accessible to events.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    /// Creates a simulator at time zero with the given master seed and world.
+    pub fn new(master_seed: u64, world: W) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            master_seed,
+            rng: derive_rng(master_seed, "sim:master"),
+            stats: RunStats::default(),
+            world,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The master seed this simulation was created with.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Mutable access to the simulator-global RNG stream.
+    ///
+    /// Prefer [`Sim::fork_rng`] for per-component streams; the global stream
+    /// is for one-off draws where stream isolation does not matter.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Derives an independent, reproducible RNG stream for a component.
+    pub fn fork_rng(&self, label: &str) -> StdRng {
+        derive_rng(self.master_seed, label)
+    }
+
+    /// Number of events executed and cancelled so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Number of events currently pending (including cancelled-but-queued).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: scheduling into the
+    /// past is always a logic error and silently reordering it would corrupt
+    /// causality.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim<W>) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            cancel: None,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedules a cancellable event; returns its [`CancelToken`].
+    pub fn schedule_cancellable_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> CancelToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let token = CancelToken::new();
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            cancel: Some(token.clone()),
+            action: Box::new(action),
+        });
+        token
+    }
+
+    /// Schedules a cancellable event after `delay`; returns its token.
+    pub fn schedule_cancellable_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> CancelToken {
+        self.schedule_cancellable_at(self.now + delay, action)
+    }
+
+    /// Executes the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `false` if the queue was empty. Cancelled events are skipped
+    /// (the clock still advances past them) and the method keeps popping until
+    /// a live event runs or the queue drains.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.at >= self.now, "event queue yielded a past event");
+            self.now = ev.at;
+            if let Some(token) = &ev.cancel {
+                if token.is_cancelled() {
+                    self.stats.cancelled += 1;
+                    continue;
+                }
+            }
+            self.stats.executed += 1;
+            (ev.action)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs events until the queue is empty or `max_events` live events ran.
+    ///
+    /// Returns the number of live events executed by this call. The event cap
+    /// is a backstop against accidental non-terminating self-scheduling loops.
+    pub fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let start = self.stats.executed;
+        while self.stats.executed - start < max_events {
+            if !self.step() {
+                break;
+            }
+        }
+        self.stats.executed - start
+    }
+
+    /// Runs all events with timestamp `<= horizon`, then advances the clock to
+    /// `horizon` (even if idle). Events scheduled later stay queued.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let start = self.stats.executed;
+        loop {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if horizon > self.now {
+            self.now = horizon;
+        }
+        self.stats.executed - start
+    }
+
+    /// Runs until `pred(&sim.world)` becomes true (checked after every event)
+    /// or the queue drains. Returns true if the predicate was satisfied.
+    pub fn run_while_pending(&mut self, mut pred: impl FnMut(&W) -> bool) -> bool {
+        loop {
+            if pred(&self.world) {
+                return true;
+            }
+            if !self.step() {
+                return pred(&self.world);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, &'static str)>>>;
+
+    fn log_event(log: &Log, label: &'static str) -> impl FnOnce(&mut Sim<()>) {
+        let log = log.clone();
+        move |sim| log.borrow_mut().push((sim.now().as_nanos(), label))
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(1, ());
+        let log: Log = Rc::default();
+        sim.schedule_at(SimTime::from_nanos(30), log_event(&log, "c"));
+        sim.schedule_at(SimTime::from_nanos(10), log_event(&log, "a"));
+        sim.schedule_at(SimTime::from_nanos(20), log_event(&log, "b"));
+        sim.run_to_completion(100);
+        assert_eq!(*log.borrow(), vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.now(), SimTime::from_nanos(30));
+    }
+
+    #[test]
+    fn ties_break_in_schedule_order() {
+        let mut sim = Sim::new(1, ());
+        let log: Log = Rc::default();
+        for label in ["first", "second", "third"] {
+            sim.schedule_at(SimTime::from_nanos(5), log_event(&log, label));
+        }
+        sim.run_to_completion(100);
+        let labels: Vec<_> = log.borrow().iter().map(|(_, l)| *l).collect();
+        assert_eq!(labels, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_more_events() {
+        let mut sim = Sim::new(1, 0u64);
+        fn tick(sim: &mut Sim<u64>) {
+            sim.world += 1;
+            if sim.world < 5 {
+                sim.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        sim.schedule_in(SimDuration::from_secs(1), tick);
+        sim.run_to_completion(100);
+        assert_eq!(sim.world, 5);
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(1, ());
+        sim.schedule_at(SimTime::from_nanos(10), |_| {});
+        sim.step();
+        sim.schedule_at(SimTime::from_nanos(5), |_| {});
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut sim = Sim::new(1, 0u32);
+        let token = sim.schedule_cancellable_in(SimDuration::from_secs(1), |sim| sim.world += 1);
+        sim.schedule_in(SimDuration::from_secs(2), |sim| sim.world += 10);
+        token.cancel();
+        assert!(token.is_cancelled());
+        sim.run_to_completion(10);
+        assert_eq!(sim.world, 10);
+        assert_eq!(sim.stats().cancelled, 1);
+        assert_eq!(sim.stats().executed, 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut sim = Sim::new(1, 0u32);
+        sim.schedule_at(SimTime::from_nanos(10), |sim| sim.world += 1);
+        sim.schedule_at(SimTime::from_nanos(100), |sim| sim.world += 1);
+        let ran = sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(ran, 1);
+        assert_eq!(sim.world, 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_until(SimTime::from_nanos(200));
+        assert_eq!(sim.world, 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(200));
+    }
+
+    #[test]
+    fn run_to_completion_respects_event_cap() {
+        let mut sim = Sim::new(1, 0u64);
+        fn forever(sim: &mut Sim<u64>) {
+            sim.world += 1;
+            sim.schedule_in(SimDuration::from_nanos(1), forever);
+        }
+        sim.schedule_in(SimDuration::ZERO, forever);
+        let ran = sim.run_to_completion(1000);
+        assert_eq!(ran, 1000);
+        assert_eq!(sim.world, 1000);
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn run_while_pending_stops_on_predicate() {
+        let mut sim = Sim::new(1, 0u32);
+        for _ in 0..10 {
+            sim.schedule_in(SimDuration::from_secs(1), |sim| sim.world += 1);
+        }
+        let hit = sim.run_while_pending(|w| *w >= 3);
+        assert!(hit);
+        assert_eq!(sim.world, 3);
+    }
+
+    #[test]
+    fn run_while_pending_reports_failure_when_drained() {
+        let mut sim = Sim::new(1, 0u32);
+        sim.schedule_in(SimDuration::from_secs(1), |sim| sim.world += 1);
+        let hit = sim.run_while_pending(|w| *w >= 5);
+        assert!(!hit);
+        assert_eq!(sim.world, 1);
+    }
+
+    #[test]
+    fn deterministic_replay_with_same_seed() {
+        fn run(seed: u64) -> Vec<u64> {
+            use rand::Rng;
+            let mut sim = Sim::new(seed, Vec::new());
+            for i in 0..20 {
+                sim.schedule_in(SimDuration::from_millis(i), |sim| {
+                    let draw = sim.rng().gen::<u64>();
+                    sim.world.push(draw);
+                });
+            }
+            sim.run_to_completion(100);
+            sim.world
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn fork_rng_is_label_stable() {
+        use rand::Rng;
+        let sim = Sim::new(5, ());
+        let mut a = sim.fork_rng("component");
+        let mut b = sim.fork_rng("component");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

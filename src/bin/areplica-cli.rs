@@ -1,0 +1,232 @@
+//! `areplica-cli` — command-line interface to the AReplica reproduction,
+//! mirroring the paper's LambdaReplicaCLI artifact against the simulated
+//! multi-cloud world.
+//!
+//! ```text
+//! areplica-cli regions
+//! areplica-cli replicate --src aws:us-east-1 --dst azure:eastus --size 128MB [--slo 30] [--trials 5]
+//! areplica-cli trace --src aws:us-east-1 --dst aws:us-east-2 --minutes 10 --rate 5 [--slo 10]
+//! ```
+
+use areplica::prelude::*;
+use areplica::sim::world;
+use areplica::traces::{self, ReplayConfig, SynthConfig};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    match command.as_str() {
+        "regions" => cmd_regions(),
+        "replicate" => cmd_replicate(&opts),
+        "trace" => cmd_trace(&opts),
+        "-h" | "--help" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "areplica-cli — serverless cross-cloud object replication (simulated)\n\n\
+         USAGE:\n  areplica-cli regions\n  \
+         areplica-cli replicate --src <cloud:region> --dst <cloud:region> --size <N[KB|MB|GB]>\n    \
+         [--slo <seconds>] [--trials <n>] [--seed <n>] [--no-batching]\n  \
+         areplica-cli trace --src <cloud:region> --dst <cloud:region>\n    \
+         [--minutes <n>] [--rate <ops/s>] [--slo <seconds>] [--seed <n>]\n\n\
+         clouds: aws | azure | gcp (see `regions` for the region list)"
+    );
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_string();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            opts.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            opts.insert(key, "true".into());
+            i += 1;
+        }
+    }
+    opts
+}
+
+fn parse_size(s: &str) -> u64 {
+    let upper = s.to_uppercase();
+    let (num, mult) = if let Some(n) = upper.strip_suffix("GB") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = upper.strip_suffix("MB") {
+        (n, 1 << 20)
+    } else if let Some(n) = upper.strip_suffix("KB") {
+        (n, 1 << 10)
+    } else {
+        (upper.as_str(), 1)
+    };
+    let value: f64 = num.trim().parse().unwrap_or_else(|_| {
+        eprintln!("bad size: {s}");
+        exit(2);
+    });
+    (value * mult as f64) as u64
+}
+
+fn parse_region(sim: &CloudSim, spec: &str) -> RegionId {
+    let Some((cloud, name)) = spec.split_once(':') else {
+        eprintln!("region must be <cloud>:<name>, got {spec}");
+        exit(2);
+    };
+    let cloud = match cloud.to_lowercase().as_str() {
+        "aws" => Cloud::Aws,
+        "azure" => Cloud::Azure,
+        "gcp" => Cloud::Gcp,
+        other => {
+            eprintln!("unknown cloud: {other}");
+            exit(2);
+        }
+    };
+    sim.world.regions.lookup(cloud, name).unwrap_or_else(|| {
+        eprintln!("unknown region {name} on {cloud}; run `areplica-cli regions`");
+        exit(2);
+    })
+}
+
+fn cmd_regions() {
+    let sim = World::paper_sim(1);
+    println!("available regions:");
+    for id in sim.world.regions.ids() {
+        let meta = sim.world.regions.meta(id);
+        println!(
+            "  {}:{}  ({})",
+            meta.cloud.to_string().to_lowercase(),
+            meta.name,
+            meta.geo
+        );
+    }
+}
+
+fn seed_of(opts: &HashMap<String, String>) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2026)
+}
+
+fn cmd_replicate(opts: &HashMap<String, String>) {
+    let mut sim = World::paper_sim(seed_of(opts));
+    let src = parse_region(&sim, opts.get("src").map(String::as_str).unwrap_or_else(|| {
+        eprintln!("--src required");
+        exit(2)
+    }));
+    let dst = parse_region(&sim, opts.get("dst").map(String::as_str).unwrap_or_else(|| {
+        eprintln!("--dst required");
+        exit(2)
+    }));
+    let size = parse_size(opts.get("size").map(String::as_str).unwrap_or("1MB"));
+    let trials: usize = opts.get("trials").and_then(|s| s.parse().ok()).unwrap_or(3);
+    let slo = opts
+        .get("slo")
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(SimDuration::from_secs);
+
+    eprintln!(
+        "profiling {} -> {} ...",
+        sim.world.regions.label(src),
+        sim.world.regions.label(dst)
+    );
+    let mut rule = ReplicationRule::new(src, "cli-src", dst, "cli-dst");
+    rule.slo = slo;
+    if opts.contains_key("no-batching") {
+        rule.batching = false;
+    }
+    let service = AReplicaBuilder::new().rule(rule).install(&mut sim);
+
+    println!(
+        "{:<8} {:>12} {:>8} {:>6} {:>14}",
+        "trial", "delay", "funcs", "side", "cost"
+    );
+    for t in 0..trials {
+        let key = format!("cli-object-{t}");
+        let before = sim.world.ledger.snapshot();
+        let target = service.metrics().completions.len() + 1;
+        world::user_put(&mut sim, src, "cli-src", &key, size).expect("bucket exists");
+        while service.metrics().completions.len() < target && sim.step() {}
+        let (delay, n_funcs, side) = {
+            let m = service.metrics();
+            let rec = m.completions.last().expect("completion");
+            (rec.delay(), rec.n_funcs, rec.side)
+        };
+        let settle = sim.now() + SimDuration::from_secs(30);
+        sim.run_until(settle);
+        let cost = sim.world.ledger.since(&before).grand_total();
+        println!(
+            "{:<8} {:>12} {:>8} {:>6} {:>14}",
+            t,
+            format!("{delay}"),
+            n_funcs,
+            match side {
+                ExecSide::Source => "src",
+                ExecSide::Destination => "dst",
+            },
+            format!("{cost}"),
+        );
+    }
+    println!("\ntotal spend: {}", sim.world.ledger.grand_total());
+}
+
+fn cmd_trace(opts: &HashMap<String, String>) {
+    let mut sim = World::paper_sim(seed_of(opts));
+    let src = parse_region(&sim, opts.get("src").map(String::as_str).unwrap_or("aws:us-east-1"));
+    let dst = parse_region(&sim, opts.get("dst").map(String::as_str).unwrap_or("aws:us-east-2"));
+    let minutes: u64 = opts.get("minutes").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let slo = opts
+        .get("slo")
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(SimDuration::from_secs);
+
+    eprintln!("profiling + generating a {minutes}-minute trace at ~{rate} ops/s ...");
+    let mut rule = ReplicationRule::new(src, "cli-src", dst, "cli-dst");
+    rule.slo = slo;
+    let service = AReplicaBuilder::new().rule(rule).install(&mut sim);
+    let trace = traces::generate(
+        &SynthConfig {
+            duration: SimDuration::from_mins(minutes),
+            mean_ops_per_sec: rate,
+            ..SynthConfig::ibm_cos_like()
+        },
+        seed_of(opts) ^ 0xCE,
+    )
+    .writes_only();
+    let stats = traces::schedule(&mut sim, &trace, src, "cli-src", &ReplayConfig::default());
+    eprintln!("replaying {} PUTs / {} DELETEs ...", stats.puts, stats.deletes);
+    sim.run_to_completion(u64::MAX);
+
+    let m = service.metrics();
+    let mut delays: Vec<f64> = m.completions.iter().map(|c| c.delay().as_secs_f64()).collect();
+    delays.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if delays.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((delays.len() as f64 * p) as usize).min(delays.len() - 1);
+        delays[idx]
+    };
+    println!("replications: {}", m.completions.len());
+    println!("deletes propagated: {}", m.deletes_propagated);
+    println!("batched skips: {}", m.batched_skips);
+    println!(
+        "delay p50 {:.2}s | p99 {:.2}s | p99.99 {:.2}s | max {:.2}s",
+        pct(0.50),
+        pct(0.99),
+        pct(0.9999),
+        delays.last().copied().unwrap_or(f64::NAN)
+    );
+    println!("total spend: {}", sim.world.ledger.grand_total());
+}

@@ -1,0 +1,608 @@
+//! A fault-injecting [`Backend`] wrapper.
+//!
+//! [`Faulty`] decorates any backend with deterministic, seeded injection of
+//! the failure classes the engine's recovery machinery exists for:
+//!
+//! * **transient GET failures** — the ranged read never reaches the store
+//!   and the caller retries after a fixed backoff;
+//! * **transient PUT failures** — the bytes *do* land (an ambiguous PUT:
+//!   the store applied it but the client saw an error), the result is
+//!   discarded, and the caller re-uploads the same part, exercising the
+//!   idempotent replace-on-re-upload part semantics;
+//! * **invocation drops** — the invoke request is swallowed and a fake
+//!   [`InvocationId`] returned, as a lost async invocation;
+//! * **lease-holder death** — after the n-th successful part upload the
+//!   uploading function is crashed and its continuation dropped, leaving
+//!   the part's lease in-flight so peers (stale-lease re-claim) or the
+//!   watchdog (rescue replicator) must finish the task.
+//!
+//! Every fault decision is drawn from a single RNG seeded by
+//! [`FaultPlan::seed`] at the operation call site, so a given plan yields
+//! the same fault sequence on every run.
+//!
+//! Continuations are marshalled through a due-queue: callbacks handed to
+//! the inner backend only enqueue, and [`Clock::step`] drains the queue
+//! before advancing the inner backend, which is how a wrapper whose inner
+//! callbacks receive `&mut B` can resume engine code expecting
+//! `&mut Faulty<B>`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use cloudapi::clouddb::Item;
+use cloudapi::faas::{FailureReason, FnHandle, FnSpec, InvocationId, RetryPolicy};
+use cloudapi::objstore::{Content, ETag, ObjectStat, PutApplied, StoreError};
+use cloudapi::{Cloud, RegionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simkernel::{CancelToken, SimDuration, SimTime};
+
+use super::{
+    Backend, Clock, Exec, FnBody, FunctionRuntime, KvStore, NotifHandler, ObjectStore, RngSource,
+};
+
+/// Which faults to inject, with what probability, and when.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the fault-decision RNG.
+    pub seed: u64,
+    /// Probability that a data-plane PUT (`put_object`, `upload_part`)
+    /// lands but reports failure.
+    pub put_failure_rate: f64,
+    /// Probability that a data-plane ranged GET fails transiently.
+    pub get_failure_rate: f64,
+    /// Probability that an `invoke` request is silently lost.
+    pub invocation_drop_rate: f64,
+    /// Client-side backoff before retrying a faulted GET or PUT.
+    pub retry_backoff: SimDuration,
+    /// Crash the uploading function right after its n-th successful
+    /// `upload_part` (counted across the whole run), dropping its
+    /// continuation.
+    pub kill_lease_holder_after_parts: Option<u32>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_17,
+            put_failure_rate: 0.0,
+            get_failure_rate: 0.0,
+            invocation_drop_rate: 0.0,
+            retry_backoff: SimDuration::from_millis(250),
+            kill_lease_holder_after_parts: None,
+        }
+    }
+}
+
+/// Counts of the faults actually injected so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// PUTs that landed but reported failure.
+    pub injected_put_faults: u64,
+    /// GETs failed before reaching the store.
+    pub injected_get_faults: u64,
+    /// Invoke requests swallowed.
+    pub dropped_invocations: u64,
+    /// Functions crashed mid-upload.
+    pub lease_holder_kills: u64,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    completed_uploads: u32,
+    fake_invocations: u64,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            rng: StdRng::seed_from_u64(plan.seed),
+            plan,
+            completed_uploads: 0,
+            fake_invocations: 0,
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+type Due<B> = Rc<RefCell<VecDeque<Box<dyn FnOnce(&mut Faulty<B>)>>>>;
+
+/// A backend that injects the faults described by a [`FaultPlan`] into the
+/// backend it wraps. See the module docs for the injection semantics.
+pub struct Faulty<B: Backend> {
+    inner: B,
+    due: Due<B>,
+    state: Rc<RefCell<FaultState>>,
+}
+
+impl<B: Backend> Faulty<B> {
+    /// Wraps `inner`, injecting faults per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        Faulty {
+            inner,
+            due: Rc::new(RefCell::new(VecDeque::new())),
+            state: Rc::new(RefCell::new(FaultState::new(plan))),
+        }
+    }
+
+    /// The faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.borrow().stats
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The wrapped backend, mutably.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    fn draw(&self, rate_of: impl FnOnce(&FaultPlan) -> f64) -> bool {
+        let mut st = self.state.borrow_mut();
+        let rate = rate_of(&st.plan);
+        // Guard so a zero-rate plan performs no draws at all and therefore
+        // cannot perturb the fault-RNG stream of the rates that are set.
+        rate > 0.0 && st.rng.gen_bool(rate)
+    }
+
+    /// Enqueues the continuation `cb(result)` for the next [`Clock::step`].
+    fn resume_with<T: 'static>(due: &Due<B>, cb: impl FnOnce(&mut Self, T) + 'static, result: T) {
+        due.borrow_mut()
+            .push_back(Box::new(move |this| cb(this, result)));
+    }
+}
+
+impl<B: Backend> Clock for Faulty<B> {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn schedule_in(&mut self, delay: SimDuration, cb: impl FnOnce(&mut Self) + 'static) {
+        let due = self.due.clone();
+        self.inner.schedule_in(delay, move |_inner| {
+            due.borrow_mut().push_back(Box::new(cb));
+        });
+    }
+
+    fn step(&mut self) -> bool {
+        let next = self.due.borrow_mut().pop_front();
+        match next {
+            Some(cb) => {
+                cb(self);
+                true
+            }
+            None => self.inner.step(),
+        }
+    }
+
+    fn run_to_completion(&mut self, max_events: u64) -> u64 {
+        let mut executed = 0;
+        while executed < max_events && self.step() {
+            executed += 1;
+        }
+        executed
+    }
+}
+
+impl<B: Backend> RngSource for Faulty<B> {
+    fn derive_rng(&mut self, label: &str) -> StdRng {
+        self.inner.derive_rng(label)
+    }
+}
+
+impl<B: Backend> ObjectStore for Faulty<B> {
+    fn create_bucket(&mut self, region: RegionId, bucket: &str) {
+        self.inner.create_bucket(region, bucket);
+    }
+
+    fn subscribe_bucket(
+        &mut self,
+        region: RegionId,
+        bucket: &str,
+        handler: NotifHandler<Self>,
+    ) -> Result<(), StoreError> {
+        let due = self.due.clone();
+        self.inner.subscribe_bucket(
+            region,
+            bucket,
+            Rc::new(move |_inner, region, ev| {
+                let handler = handler.clone();
+                due.borrow_mut()
+                    .push_back(Box::new(move |this| handler(this, region, ev)));
+            }),
+        )
+    }
+
+    fn stat_now(
+        &self,
+        region: RegionId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<ObjectStat, StoreError> {
+        self.inner.stat_now(region, bucket, key)
+    }
+
+    fn read_full_now(
+        &self,
+        region: RegionId,
+        bucket: &str,
+        key: &str,
+    ) -> Result<(Content, ETag), StoreError> {
+        self.inner.read_full_now(region, bucket, key)
+    }
+
+    fn abort_multipart_now(&mut self, region: RegionId, upload_id: u64) -> Result<(), StoreError> {
+        self.inner.abort_multipart_now(region, upload_id)
+    }
+
+    fn user_put(
+        &mut self,
+        region: RegionId,
+        bucket: &str,
+        key: &str,
+        size: u64,
+    ) -> Result<PutApplied, StoreError> {
+        self.inner.user_put(region, bucket, key, size)
+    }
+
+    fn user_put_content(
+        &mut self,
+        region: RegionId,
+        bucket: &str,
+        key: &str,
+        content: Content,
+    ) -> Result<PutApplied, StoreError> {
+        self.inner.user_put_content(region, bucket, key, content)
+    }
+
+    fn stat_object(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        key: String,
+        cb: impl FnOnce(&mut Self, Result<ObjectStat, StoreError>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .stat_object(exec, region, bucket, key, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+
+    fn get_object_range(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        key: String,
+        offset: u64,
+        len: u64,
+        if_match: Option<ETag>,
+        cb: impl FnOnce(&mut Self, Result<(Content, ETag), StoreError>) + 'static,
+    ) {
+        if self.draw(|p| p.get_failure_rate) {
+            let backoff = {
+                let mut st = self.state.borrow_mut();
+                st.stats.injected_get_faults += 1;
+                st.plan.retry_backoff
+            };
+            self.schedule_in(backoff, move |this| {
+                this.get_object_range(exec, region, bucket, key, offset, len, if_match, cb);
+            });
+            return;
+        }
+        let due = self.due.clone();
+        self.inner.get_object_range(
+            exec,
+            region,
+            bucket,
+            key,
+            offset,
+            len,
+            if_match,
+            move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            },
+        );
+    }
+
+    fn put_object(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        key: String,
+        content: Content,
+        cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
+    ) {
+        if self.draw(|p| p.put_failure_rate) {
+            let backoff = {
+                let mut st = self.state.borrow_mut();
+                st.stats.injected_put_faults += 1;
+                st.plan.retry_backoff
+            };
+            // Ambiguous PUT: the store applies the write, the client sees an
+            // error and retries the full operation.
+            self.inner.put_object(
+                exec,
+                region,
+                bucket.clone(),
+                key.clone(),
+                content.clone(),
+                |_inner, _res| {},
+            );
+            self.schedule_in(backoff, move |this| {
+                this.put_object(exec, region, bucket, key, content, cb);
+            });
+            return;
+        }
+        let due = self.due.clone();
+        self.inner
+            .put_object(exec, region, bucket, key, content, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+
+    fn delete_object(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        key: String,
+        cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .delete_object(exec, region, bucket, key, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+
+    fn copy_object(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        src_key: String,
+        dst_key: String,
+        if_match: Option<ETag>,
+        cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner.copy_object(
+            exec,
+            region,
+            bucket,
+            src_key,
+            dst_key,
+            if_match,
+            move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            },
+        );
+    }
+
+    fn create_multipart(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        bucket: String,
+        key: String,
+        cb: impl FnOnce(&mut Self, Result<u64, StoreError>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .create_multipart(exec, region, bucket, key, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+
+    fn upload_part(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        upload_id: u64,
+        part_number: u32,
+        content: Content,
+        cb: impl FnOnce(&mut Self, Result<(), StoreError>) + 'static,
+    ) {
+        if self.draw(|p| p.put_failure_rate) {
+            let backoff = {
+                let mut st = self.state.borrow_mut();
+                st.stats.injected_put_faults += 1;
+                st.plan.retry_backoff
+            };
+            // Ambiguous PUT: the part lands, the client sees an error and
+            // re-uploads — part re-upload must replace, not duplicate.
+            self.inner.upload_part(
+                exec,
+                region,
+                upload_id,
+                part_number,
+                content.clone(),
+                |_inner, _res| {},
+            );
+            self.schedule_in(backoff, move |this| {
+                this.upload_part(exec, region, upload_id, part_number, content, cb);
+            });
+            return;
+        }
+        let due = self.due.clone();
+        let state = self.state.clone();
+        self.inner.upload_part(
+            exec,
+            region,
+            upload_id,
+            part_number,
+            content,
+            move |_inner, res| {
+                due.clone().borrow_mut().push_back(Box::new(move |this| {
+                    if res.is_ok() {
+                        let kill = {
+                            let mut st = state.borrow_mut();
+                            match (st.plan.kill_lease_holder_after_parts, exec) {
+                                (Some(n), Exec::Function(_)) => {
+                                    st.completed_uploads += 1;
+                                    st.completed_uploads == n
+                                }
+                                _ => false,
+                            }
+                        };
+                        if kill {
+                            if let Exec::Function(handle) = exec {
+                                state.borrow_mut().stats.lease_holder_kills += 1;
+                                this.fail_function(handle, FailureReason::Crash);
+                                // The continuation dies with its function:
+                                // the part's lease stays in-flight until a
+                                // peer re-claims it stale or the watchdog
+                                // dispatches a rescue replicator.
+                                return;
+                            }
+                        }
+                    }
+                    cb(this, res);
+                }));
+            },
+        );
+    }
+
+    fn complete_multipart(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        upload_id: u64,
+        cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .complete_multipart(exec, region, upload_id, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+}
+
+impl<B: Backend> KvStore for Faulty<B> {
+    fn db_get(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        table: String,
+        key: String,
+        cb: impl FnOnce(&mut Self, Option<Item>) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .db_get(exec, region, table, key, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+
+    fn db_transact<T: 'static>(
+        &mut self,
+        exec: Exec,
+        region: RegionId,
+        table: String,
+        key: String,
+        f: impl FnOnce(&mut Option<Item>) -> T + 'static,
+        cb: impl FnOnce(&mut Self, T) + 'static,
+    ) {
+        let due = self.due.clone();
+        self.inner
+            .db_transact(exec, region, table, key, f, move |_inner, res| {
+                Faulty::resume_with(&due, cb, res);
+            });
+    }
+}
+
+impl<B: Backend> FunctionRuntime for Faulty<B> {
+    fn default_fn_spec(&self, region: RegionId) -> FnSpec {
+        self.inner.default_fn_spec(region)
+    }
+
+    fn invoke_after(
+        &mut self,
+        delay: SimDuration,
+        region: RegionId,
+        spec: FnSpec,
+        body: FnBody<Self>,
+        policy: RetryPolicy,
+    ) -> InvocationId {
+        if self.draw(|p| p.invocation_drop_rate) {
+            let mut st = self.state.borrow_mut();
+            st.stats.dropped_invocations += 1;
+            st.fake_invocations += 1;
+            // A lost async invoke: the caller gets an id that will never
+            // run. High ids keep clear of anything the inner backend mints.
+            return InvocationId(u64::MAX - st.fake_invocations);
+        }
+        let due = self.due.clone();
+        self.inner.invoke_after(
+            delay,
+            region,
+            spec,
+            Rc::new(move |_inner: &mut B, handle| {
+                let body = body.clone();
+                due.borrow_mut()
+                    .push_back(Box::new(move |this: &mut Faulty<B>| body(this, handle)));
+            }),
+            policy,
+        )
+    }
+
+    fn finish_function(&mut self, handle: FnHandle) {
+        self.inner.finish_function(handle);
+    }
+
+    fn fail_function(&mut self, handle: FnHandle, reason: FailureReason) {
+        self.inner.fail_function(handle, reason);
+    }
+
+    fn remaining_exec_time(&self, handle: FnHandle) -> Option<SimDuration> {
+        self.inner.remaining_exec_time(handle)
+    }
+
+    fn sample_invoke_latency(&mut self, region: RegionId) -> SimDuration {
+        self.inner.sample_invoke_latency(region)
+    }
+}
+
+impl<B: Backend> Backend for Faulty<B> {
+    fn cloud_of(&self, region: RegionId) -> Cloud {
+        self.inner.cloud_of(region)
+    }
+
+    fn sample_transfer_setup(&mut self, cloud: Cloud) -> SimDuration {
+        self.inner.sample_transfer_setup(cloud)
+    }
+
+    fn workflow_delay(
+        &mut self,
+        region: RegionId,
+        delay: SimDuration,
+        cb: impl FnOnce(&mut Self) + 'static,
+    ) -> CancelToken {
+        let due = self.due.clone();
+        self.inner.workflow_delay(region, delay, move |_inner| {
+            due.borrow_mut().push_back(Box::new(cb));
+        })
+    }
+
+    fn profiling_sandbox(&self, seed: u64) -> Self {
+        // Profiling measures the healthy backend: the sandbox injects no
+        // faults, whatever the production plan says.
+        Faulty::new(
+            self.inner.profiling_sandbox(seed),
+            FaultPlan {
+                seed,
+                ..FaultPlan::default()
+            },
+        )
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use cloudsim::objstore::ETag;
+use cloudapi::objstore::ETag;
 use simkernel::{CancelToken, SimDuration, SimTime};
 
 /// Safety margin subtracted from the deadline in addition to the predicted
@@ -87,7 +87,8 @@ impl Batcher {
         deadline: SimTime,
         t_rep: SimDuration,
     ) -> BatchDecision {
-        let must_start_by = deadline.saturating_since(SimTime::ZERO)
+        let must_start_by = deadline
+            .saturating_since(SimTime::ZERO)
             .saturating_sub(t_rep)
             .saturating_sub(BATCH_EPSILON);
         let fire_at = SimTime::from_nanos(must_start_by.as_nanos());

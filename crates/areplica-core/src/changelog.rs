@@ -11,10 +11,11 @@
 //! destination-side apply re-validates them (`If-Match`), so a stale
 //! destination falls back to full replication.
 
-use cloudsim::clouddb::{Item, Value};
-use cloudsim::objstore::{Content, ETag};
-use cloudsim::world::{self, CloudSim, Executor};
-use cloudsim::RegionId;
+use cloudapi::clouddb::{Item, Value};
+use cloudapi::objstore::{Content, ETag};
+use cloudapi::RegionId;
+
+use crate::backend::{Backend, Exec};
 
 /// The DB table holding changelog hints (in the source region).
 pub const CHANGELOG_TABLE: &str = "areplica_changelog";
@@ -94,18 +95,16 @@ pub fn decode(item: &Item) -> Option<ChangeOp> {
 /// pipeline can find it.
 ///
 /// `cb` receives the new version's ETag.
-pub fn user_copy(
-    sim: &mut CloudSim,
+pub fn user_copy<B: Backend>(
+    sim: &mut B,
     region: RegionId,
     bucket: String,
     src_key: String,
     dst_key: String,
-    cb: impl FnOnce(&mut CloudSim, ETag) + 'static,
+    cb: impl FnOnce(&mut B, ETag) + 'static,
 ) {
     let stat = sim
-        .world
-        .objstore(region)
-        .stat(&bucket, &src_key)
+        .stat_now(region, &bucket, &src_key)
         .expect("copy source must exist");
     // A server-side copy produces byte-identical content, so the new
     // version's ETag equals the source's.
@@ -114,12 +113,11 @@ pub fn user_copy(
         src_key: src_key.clone(),
         src_etag: stat.etag,
     };
-    let exec = Executor::Platform {
+    let exec = Exec::Platform {
         region,
         mbps: 1000.0,
     };
-    world::db_transact(
-        sim,
+    sim.db_transact(
         exec,
         region,
         CHANGELOG_TABLE.into(),
@@ -128,8 +126,7 @@ pub fn user_copy(
             *slot = Some(encode(&op));
         },
         move |sim, ()| {
-            world::copy_object(
-                sim,
+            sim.copy_object(
                 exec,
                 region,
                 bucket,
@@ -147,22 +144,20 @@ pub fn user_copy(
 
 /// User-side helper: concatenates existing objects into `dst_key`,
 /// registering the changelog hint first.
-pub fn user_concat(
-    sim: &mut CloudSim,
+pub fn user_concat<B: Backend>(
+    sim: &mut B,
     region: RegionId,
     bucket: String,
     src_keys: Vec<String>,
     dst_key: String,
-    cb: impl FnOnce(&mut CloudSim, ETag) + 'static,
+    cb: impl FnOnce(&mut B, ETag) + 'static,
 ) {
     assert!(!src_keys.is_empty());
     let mut sources = Vec::with_capacity(src_keys.len());
     let mut contents: Vec<Content> = Vec::with_capacity(src_keys.len());
     for k in &src_keys {
         let (content, etag) = sim
-            .world
-            .objstore(region)
-            .read_full(&bucket, k)
+            .read_full_now(region, &bucket, k)
             .expect("concat sources must exist");
         sources.push((k.clone(), etag));
         contents.push(content);
@@ -171,12 +166,11 @@ pub fn user_concat(
     let new_etag = ETag::of(&assembled);
     let hint_key = entry_key(&bucket, &dst_key, new_etag);
     let op = ChangeOp::Concat { sources };
-    let exec = Executor::Platform {
+    let exec = Exec::Platform {
         region,
         mbps: 1000.0,
     };
-    world::db_transact(
-        sim,
+    sim.db_transact(
         exec,
         region,
         CHANGELOG_TABLE.into(),
@@ -185,7 +179,8 @@ pub fn user_concat(
             *slot = Some(encode(&op));
         },
         move |sim, ()| {
-            let applied = world::user_put_content(sim, region, &bucket, &dst_key, assembled)
+            let applied = sim
+                .user_put_content(region, &bucket, &dst_key, assembled)
                 .expect("concat put");
             cb(sim, applied.etag);
         },
@@ -197,19 +192,18 @@ pub fn user_concat(
 /// Verifies every source version at the destination and applies the
 /// operation server-side. `cb` receives `Ok(etag)` on success or `Err(())`
 /// when the destination is stale (caller falls back to full replication).
-pub fn apply_at_destination(
-    sim: &mut CloudSim,
-    exec: Executor,
+pub fn apply_at_destination<B: Backend>(
+    sim: &mut B,
+    exec: Exec,
     dst_region: RegionId,
     dst_bucket: String,
     dst_key: String,
     op: ChangeOp,
-    cb: impl FnOnce(&mut CloudSim, Result<ETag, ()>) + 'static,
+    cb: impl FnOnce(&mut B, Result<ETag, ()>) + 'static,
 ) {
     match op {
         ChangeOp::Copy { src_key, src_etag } => {
-            world::copy_object(
-                sim,
+            sim.copy_object(
                 exec,
                 dst_region,
                 dst_bucket,
@@ -225,8 +219,7 @@ pub fn apply_at_destination(
         ChangeOp::Concat { sources } => {
             // Server-side validation + assembly, modelled as one control-
             // plane operation per source (like S3 UploadPartCopy).
-            world::stat_object(
-                sim,
+            sim.stat_object(
                 exec,
                 dst_region,
                 dst_bucket.clone(),
@@ -234,7 +227,7 @@ pub fn apply_at_destination(
                 move |sim, _| {
                     let mut contents = Vec::with_capacity(sources.len());
                     for (key, expect) in &sources {
-                        match sim.world.objstore(dst_region).read_full(&dst_bucket, key) {
+                        match sim.read_full_now(dst_region, &dst_bucket, key) {
                             Ok((content, etag)) if etag == *expect => contents.push(content),
                             _ => {
                                 cb(sim, Err(()));
@@ -243,8 +236,7 @@ pub fn apply_at_destination(
                         }
                     }
                     let assembled = Content::concat(contents.iter());
-                    world::put_object(
-                        sim,
+                    sim.put_object(
                         exec,
                         dst_region,
                         dst_bucket,

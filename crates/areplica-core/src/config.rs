@@ -1,6 +1,6 @@
 //! AReplica configuration: replication rules, SLOs, and engine constants.
 
-use cloudsim::RegionId;
+use cloudapi::RegionId;
 use simkernel::SimDuration;
 
 /// The default data-part size (§5.1: "a part size of 8 MB strikes an
@@ -165,7 +165,7 @@ impl EngineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
 
     #[test]
     fn rule_builder_defaults() {

@@ -22,17 +22,20 @@
 //!
 //! The ablation mode [`SchedulingMode::FairDispatch`] assigns each replicator
 //! a fixed equal share instead (Figure 12/17's comparison baseline).
+//!
+//! All cloud operations go through the [`crate::backend`] traits; the engine
+//! is generic over any [`Backend`].
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use cloudsim::clouddb::{Item, Value};
-use cloudsim::faas::{self, FnHandle, RetryPolicy};
-use cloudsim::objstore::{ETag, StoreError};
-use cloudsim::world::{self, CloudSim, Executor};
-use cloudsim::RegionId;
+use cloudapi::clouddb::{Item, Value};
+use cloudapi::faas::{FnHandle, RetryPolicy};
+use cloudapi::objstore::{ETag, StoreError};
+use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
 
+use crate::backend::{Backend, Exec, FnBody};
 use crate::config::{EngineConfig, SchedulingMode};
 use crate::model::ExecSide;
 use crate::planner::Plan;
@@ -125,25 +128,25 @@ pub struct TaskOutcome {
 }
 
 /// Completion callback.
-pub type OnDone = Rc<dyn Fn(&mut CloudSim, TaskOutcome)>;
+pub type OnDone<B> = Rc<dyn Fn(&mut B, TaskOutcome)>;
 
 /// Called when the orchestrator's own work is finished and its invocation
 /// may complete (after the local transfer, or once remote replicators are
 /// dispatched).
-pub type OnDispatched = Box<dyn FnOnce(&mut CloudSim)>;
+pub type OnDispatched<B> = Box<dyn FnOnce(&mut B)>;
 
-struct TaskCtx {
+struct TaskCtx<B: Backend> {
     task: TaskSpec,
     cfg: EngineConfig,
     plan: Plan,
     exec_region: RegionId,
-    on_done: OnDone,
+    on_done: OnDone<B>,
     done: Cell<bool>,
     stats: Rc<RefCell<Vec<ReplicatorStat>>>,
 }
 
-impl TaskCtx {
-    fn finish_once(&self, sim: &mut CloudSim, status: TaskStatus) {
+impl<B: Backend> TaskCtx<B> {
+    fn finish_once(&self, sim: &mut B, status: TaskStatus) {
         if self.done.replace(true) {
             return;
         }
@@ -165,14 +168,14 @@ impl TaskCtx {
 /// from inside an orchestrator invocation; local plans replicate through it.
 /// Without a handle (tests, baselines), local plans run on a platform
 /// executor at the source.
-pub fn execute(
-    sim: &mut CloudSim,
+pub fn execute<B: Backend>(
+    sim: &mut B,
     cfg: EngineConfig,
     task: TaskSpec,
     plan: Plan,
     orch: Option<FnHandle>,
-    on_done: OnDone,
-    on_dispatched: OnDispatched,
+    on_done: OnDone<B>,
+    on_dispatched: OnDispatched<B>,
 ) {
     let exec_region = plan.side.region(task.src_region, task.dst_region);
     let ctx = Rc::new(TaskCtx {
@@ -187,16 +190,16 @@ pub fn execute(
 
     if plan.local {
         let exec = match orch {
-            Some(h) => Executor::Function(h),
-            None => Executor::Platform {
+            Some(h) => Exec::Function(h),
+            None => Exec::Platform {
                 region: ctx.task.src_region,
                 mbps: 600.0,
             },
         };
         // The orchestrator already paid its own startup; it still needs the
         // storage-client setup before moving bytes.
-        let src_cloud = sim.world.regions.cloud(ctx.task.src_region);
-        let setup = world::sample_transfer_setup(&mut sim.world, src_cloud);
+        let src_cloud = sim.cloud_of(ctx.task.src_region);
+        let setup = sim.sample_transfer_setup(src_cloud);
         let ctx2 = ctx.clone();
         sim.schedule_in(setup, move |sim| {
             // The orchestrator is released once its own transfer loop exits.
@@ -205,7 +208,7 @@ pub fn execute(
                 exec,
                 ctx2,
                 0,
-                Some(Box::new(move |sim: &mut CloudSim, _chunks| {
+                Some(Box::new(move |sim: &mut B, _chunks| {
                     on_dispatched(sim);
                 })),
             );
@@ -222,48 +225,48 @@ pub fn execute(
 }
 
 /// Remote single-replicator path: one function runs the streamed loop.
-fn invoke_single_replicator(sim: &mut CloudSim, ctx: Rc<TaskCtx>) {
+fn invoke_single_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>) {
     let region = ctx.exec_region;
-    let spec = faas::default_spec(&sim.world, region);
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
+    let spec = sim.default_fn_spec(region);
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
         let ctx = ctx.clone();
         let started = sim.now();
-        let cloud = sim.world.regions.cloud(handle.region);
-        let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+        let cloud = sim.cloud_of(handle.region);
+        let setup = sim.sample_transfer_setup(cloud);
         sim.schedule_in(setup, move |sim| {
             let done_stats = ctx.stats.clone();
             let ctx2 = ctx.clone();
             replicate_streamed(
                 sim,
-                Executor::Function(handle),
+                Exec::Function(handle),
                 ctx2,
                 0,
-                Some(Box::new(move |sim: &mut CloudSim, chunks: u32| {
+                Some(Box::new(move |sim: &mut B, chunks: u32| {
                     done_stats.borrow_mut().push(ReplicatorStat {
                         started,
                         finished: sim.now(),
                         chunks,
                     });
-                    faas::finish(sim, handle);
+                    sim.finish_function(handle);
                 })),
             );
         });
     });
-    faas::invoke(sim, region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, RetryPolicy::default());
 }
 
-type StreamExit = Box<dyn FnOnce(&mut CloudSim, u32)>;
+type StreamExit<B> = Box<dyn FnOnce(&mut B, u32)>;
 
 /// Streamed replication: sequential chunk loop, multipart when multi-chunk.
 ///
 /// `chunk` is the next chunk index; `exit` runs when the loop ends (for
 /// function-hosted replicas: record stats and `finish`).
-fn replicate_streamed(
-    sim: &mut CloudSim,
-    exec: Executor,
-    ctx: Rc<TaskCtx>,
+fn replicate_streamed<B: Backend>(
+    sim: &mut B,
+    exec: Exec,
+    ctx: Rc<TaskCtx<B>>,
     chunk: u32,
-    exit: Option<StreamExit>,
+    exit: Option<StreamExit<B>>,
 ) {
     let num_parts = ctx.cfg.num_parts(ctx.task.size);
     if num_parts == 1 {
@@ -272,8 +275,7 @@ fn replicate_streamed(
         // Multi-chunk: open a multipart upload first.
         let ctx2 = ctx.clone();
         debug_assert_eq!(chunk, 0);
-        world::create_multipart(
-            sim,
+        sim.create_multipart(
             exec,
             ctx.task.dst_region,
             ctx.task.dst_bucket.clone(),
@@ -286,11 +288,15 @@ fn replicate_streamed(
     }
 }
 
-fn stream_single_chunk(sim: &mut CloudSim, exec: Executor, ctx: Rc<TaskCtx>, exit: Option<StreamExit>) {
+fn stream_single_chunk<B: Backend>(
+    sim: &mut B,
+    exec: Exec,
+    ctx: Rc<TaskCtx<B>>,
+    exit: Option<StreamExit<B>>,
+) {
     let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
     let ctx2 = ctx.clone();
-    world::get_object_range(
-        sim,
+    sim.get_object_range(
         exec,
         ctx.task.src_region,
         ctx.task.src_bucket.clone(),
@@ -301,8 +307,7 @@ fn stream_single_chunk(sim: &mut CloudSim, exec: Executor, ctx: Rc<TaskCtx>, exi
         move |sim, got| match got {
             Ok((content, read_etag)) => {
                 let ctx3 = ctx2.clone();
-                world::put_object(
-                    sim,
+                sim.put_object(
                     exec,
                     ctx2.task.dst_region,
                     ctx2.task.dst_bucket.clone(),
@@ -327,43 +332,31 @@ fn stream_single_chunk(sim: &mut CloudSim, exec: Executor, ctx: Rc<TaskCtx>, exi
     );
 }
 
-fn stream_chunk_loop(
-    sim: &mut CloudSim,
-    exec: Executor,
-    ctx: Rc<TaskCtx>,
+fn stream_chunk_loop<B: Backend>(
+    sim: &mut B,
+    exec: Exec,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     chunk: u32,
     num_parts: u32,
-    exit: Option<StreamExit>,
+    exit: Option<StreamExit<B>>,
 ) {
     if chunk >= num_parts {
         let ctx2 = ctx.clone();
-        world::complete_multipart(
-            sim,
-            exec,
-            ctx.task.dst_region,
-            upload_id,
-            move |sim, done| {
-                let applied = done.expect("multipart completion");
-                ctx2.finish_once(
-                    sim,
-                    TaskStatus::Replicated {
-                        etag: applied.etag,
-                    },
-                );
-                if let Some(exit) = exit {
-                    exit(sim, num_parts);
-                }
-            },
-        );
+        sim.complete_multipart(exec, ctx.task.dst_region, upload_id, move |sim, done| {
+            let applied = done.expect("multipart completion");
+            ctx2.finish_once(sim, TaskStatus::Replicated { etag: applied.etag });
+            if let Some(exit) = exit {
+                exit(sim, num_parts);
+            }
+        });
         return;
     }
     let offset = chunk as u64 * ctx.cfg.part_size;
     let len = ctx.cfg.part_size.min(ctx.task.size - offset);
     let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
     let ctx2 = ctx.clone();
-    world::get_object_range(
-        sim,
+    sim.get_object_range(
         exec,
         ctx.task.src_region,
         ctx.task.src_bucket.clone(),
@@ -374,8 +367,7 @@ fn stream_chunk_loop(
         move |sim, got| match got {
             Ok((content, _etag)) => {
                 let ctx3 = ctx2.clone();
-                world::upload_part(
-                    sim,
+                sim.upload_part(
                     exec,
                     ctx2.task.dst_region,
                     upload_id,
@@ -397,7 +389,7 @@ fn stream_chunk_loop(
     );
 }
 
-fn abort_from_error(sim: &mut CloudSim, ctx: &Rc<TaskCtx>, e: StoreError) {
+fn abort_from_error<B: Backend>(sim: &mut B, ctx: &Rc<TaskCtx<B>>, e: StoreError) {
     let status = match e {
         StoreError::PreconditionFailed { current } => TaskStatus::AbortedEtagMismatch {
             current: Some(current),
@@ -435,9 +427,10 @@ fn pool_item(num_parts: u32, scheduling: SchedulingMode) -> Item {
     // Fair dispatch assigns parts statically at invocation, so the shared
     // pending pool stays empty; only the completion set is shared.
     let pending = match scheduling {
-        SchedulingMode::PartGranularity => {
-            (0..num_parts).rev().map(|p| Value::Uint(p as u64)).collect()
-        }
+        SchedulingMode::PartGranularity => (0..num_parts)
+            .rev()
+            .map(|p| Value::Uint(p as u64))
+            .collect(),
         SchedulingMode::FairDispatch => vec![],
     };
     item.insert("pending".into(), Value::List(pending));
@@ -580,23 +573,22 @@ fn abort_tx() -> impl FnOnce(&mut Option<Item>) -> bool {
     }
 }
 
-fn start_distributed(
-    sim: &mut CloudSim,
-    ctx: Rc<TaskCtx>,
+fn start_distributed<B: Backend>(
+    sim: &mut B,
+    ctx: Rc<TaskCtx<B>>,
     orch: Option<FnHandle>,
-    on_dispatched: OnDispatched,
+    on_dispatched: OnDispatched<B>,
 ) {
     let prep_exec = match orch {
-        Some(h) => Executor::Function(h),
-        None => Executor::Platform {
+        Some(h) => Exec::Function(h),
+        None => Exec::Platform {
             region: ctx.task.src_region,
             mbps: 600.0,
         },
     };
     let ctx2 = ctx.clone();
     // 1. Open the multipart upload at the destination.
-    world::create_multipart(
-        sim,
+    sim.create_multipart(
         prep_exec,
         ctx.task.dst_region,
         ctx.task.dst_bucket.clone(),
@@ -610,8 +602,7 @@ fn start_distributed(
             let db_region = ctx2.exec_region;
             let task_id = ctx2.task.task_id();
             let ctx3 = ctx2.clone();
-            world::db_transact(
-                sim,
+            sim.db_transact(
                 prep_exec,
                 db_region,
                 TASK_TABLE.into(),
@@ -634,27 +625,30 @@ fn start_distributed(
     );
 }
 
-fn invoke_replicators(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, num_parts: u32) {
+fn invoke_replicators<B: Backend>(
+    sim: &mut B,
+    ctx: Rc<TaskCtx<B>>,
+    upload_id: u64,
+    num_parts: u32,
+) {
     let region = ctx.exec_region;
-    let spec = faas::default_spec(&sim.world, region);
+    let spec = sim.default_fn_spec(region);
     let n = ctx.plan.n;
     let mut stagger = SimDuration::ZERO;
     for k in 0..n {
-        stagger += world::sample_invoke_latency(&mut sim.world, region);
+        stagger += sim.sample_invoke_latency(region);
         // Fair dispatch pre-computes each replicator's fixed share.
         let fair_parts: Option<Vec<u32>> = match ctx.cfg.scheduling {
             SchedulingMode::PartGranularity => None,
-            SchedulingMode::FairDispatch => {
-                Some((0..num_parts).filter(|p| p % n == k).collect())
-            }
+            SchedulingMode::FairDispatch => Some((0..num_parts).filter(|p| p % n == k).collect()),
         };
         let ctx2 = ctx.clone();
-        let body: faas::FnBody = Rc::new(move |sim, handle| {
+        let body: FnBody<B> = Rc::new(move |sim, handle| {
             let ctx = ctx2.clone();
             let fair = fair_parts.clone();
             let started = sim.now();
-            let cloud = sim.world.regions.cloud(handle.region);
-            let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+            let cloud = sim.cloud_of(handle.region);
+            let setup = sim.sample_transfer_setup(cloud);
             sim.schedule_in(setup, move |sim| {
                 let progress = Rc::new(Cell::new(0u32));
                 match fair {
@@ -665,14 +659,14 @@ fn invoke_replicators(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, num_
                 }
             });
         });
-        faas::invoke_after(sim, stagger, region, spec, body, RetryPolicy::default());
+        sim.invoke_after(stagger, region, spec, body, RetryPolicy::default());
     }
 }
 
-fn record_and_finish(
-    sim: &mut CloudSim,
+fn record_and_finish<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: &Rc<TaskCtx>,
+    ctx: &Rc<TaskCtx<B>>,
     started: SimTime,
     progress: &Rc<Cell<u32>>,
 ) {
@@ -681,15 +675,15 @@ fn record_and_finish(
         finished: sim.now(),
         chunks: progress.get(),
     });
-    faas::finish(sim, handle);
+    sim.finish_function(handle);
 }
 
 /// The decentralized claim loop (Algorithm 1, REPLICATOR).
 #[allow(clippy::too_many_arguments)]
-fn claim_loop(
-    sim: &mut CloudSim,
+fn claim_loop<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     started: SimTime,
     progress: Rc<Cell<u32>>,
@@ -697,7 +691,7 @@ fn claim_loop(
     // Stop claiming when the execution limit looms: a platform retry (or a
     // peer, via the lease) takes over.
     let now = sim.now();
-    match sim.world.faas.remaining_time(handle, now) {
+    match sim.remaining_exec_time(handle) {
         Some(remaining) if remaining > CLAIM_HEADROOM => {}
         _ => {
             record_and_finish(sim, handle, &ctx, started, &progress);
@@ -707,9 +701,8 @@ fn claim_loop(
     let db_region = ctx.exec_region;
     let task_id = ctx.task.task_id();
     let ctx2 = ctx.clone();
-    world::db_transact(
-        sim,
-        Executor::Function(handle),
+    sim.db_transact(
+        Exec::Function(handle),
         db_region,
         TASK_TABLE.into(),
         task_id,
@@ -730,10 +723,10 @@ fn claim_loop(
 
 /// Fair-dispatch loop: fixed part list per replicator (ablation baseline).
 #[allow(clippy::too_many_arguments)]
-fn fair_loop(
-    sim: &mut CloudSim,
+fn fair_loop<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     started: SimTime,
     progress: Rc<Cell<u32>>,
@@ -746,49 +739,55 @@ fn fair_loop(
     }
     let part = parts[idx];
     let ctx2 = ctx.clone();
-    let after: AfterPart = Box::new(move |sim, handle, ctx, upload_id, started, progress| {
-        fair_loop(sim, handle, ctx, upload_id, started, progress, parts, idx + 1)
+    let after: AfterPart<B> = Box::new(move |sim, handle, ctx, upload_id, started, progress| {
+        fair_loop(
+            sim,
+            handle,
+            ctx,
+            upload_id,
+            started,
+            progress,
+            parts,
+            idx + 1,
+        )
     });
     replicate_part_inner(sim, handle, ctx2, upload_id, part, started, progress, after);
 }
 
-type AfterPart = Box<
-    dyn FnOnce(&mut CloudSim, FnHandle, Rc<TaskCtx>, u64, SimTime, Rc<Cell<u32>>),
->;
+type AfterPart<B> = Box<dyn FnOnce(&mut B, FnHandle, Rc<TaskCtx<B>>, u64, SimTime, Rc<Cell<u32>>)>;
 
-fn replicate_part(
-    sim: &mut CloudSim,
+fn replicate_part<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     part: u32,
     started: SimTime,
     progress: Rc<Cell<u32>>,
 ) {
-    let after: AfterPart = Box::new(claim_loop);
+    let after: AfterPart<B> = Box::new(claim_loop);
     replicate_part_inner(sim, handle, ctx, upload_id, part, started, progress, after);
 }
 
 /// Downloads and uploads one part, updates the pool, and concludes the task
 /// when the last part lands (Algorithm 1 lines 10–13).
 #[allow(clippy::too_many_arguments)]
-fn replicate_part_inner(
-    sim: &mut CloudSim,
+fn replicate_part_inner<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     part: u32,
     started: SimTime,
     progress: Rc<Cell<u32>>,
-    after: AfterPart,
+    after: AfterPart<B>,
 ) {
     let offset = part as u64 * ctx.cfg.part_size;
     let len = ctx.cfg.part_size.min(ctx.task.size - offset);
     let if_match = ctx.cfg.validate_etags.then_some(ctx.task.etag);
-    let exec = Executor::Function(handle);
+    let exec = Exec::Function(handle);
     let ctx2 = ctx.clone();
-    world::get_object_range(
-        sim,
+    sim.get_object_range(
         exec,
         ctx.task.src_region,
         ctx.task.src_bucket.clone(),
@@ -799,8 +798,7 @@ fn replicate_part_inner(
         move |sim, got| match got {
             Ok((content, _etag)) => {
                 let ctx3 = ctx2.clone();
-                world::upload_part(
-                    sim,
+                sim.upload_part(
                     exec,
                     ctx2.task.dst_region,
                     upload_id,
@@ -818,8 +816,7 @@ fn replicate_part_inner(
                         let db_region = ctx3.exec_region;
                         let task_id = ctx3.task.task_id();
                         let ctx4 = ctx3.clone();
-                        world::db_transact(
-                            sim,
+                        sim.db_transact(
                             exec,
                             db_region,
                             TASK_TABLE.into(),
@@ -853,64 +850,52 @@ fn replicate_part_inner(
 
 /// The replicator that delivers the last part completes the multipart upload
 /// and concludes the task.
-fn conclude_distributed(
-    sim: &mut CloudSim,
+fn conclude_distributed<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     upload_id: u64,
     started: SimTime,
     progress: Rc<Cell<u32>>,
 ) {
-    let exec = Executor::Function(handle);
+    let exec = Exec::Function(handle);
     let ctx2 = ctx.clone();
-    world::complete_multipart(
-        sim,
-        exec,
-        ctx.task.dst_region,
-        upload_id,
-        move |sim, done| {
-            match done {
-                Ok(applied) => {
-                    ctx2.finish_once(
-                        sim,
-                        TaskStatus::Replicated {
-                            etag: applied.etag,
-                        },
-                    );
-                    // Clean up the pool so stragglers and the watchdog see
-                    // a terminal state.
-                    let db_region = ctx2.exec_region;
-                    let task_id = ctx2.task.task_id();
-                    let exec_p = Executor::Platform {
-                        region: db_region,
-                        mbps: 1000.0,
-                    };
-                    world::db_transact(
-                        sim,
-                        exec_p,
-                        db_region,
-                        TASK_TABLE.into(),
-                        task_id,
-                        |slot| {
-                            *slot = None;
-                        },
-                        |_, ()| {},
-                    );
-                }
-                // A peer (or an earlier incarnation) already completed the
-                // upload; nothing to conclude.
-                Err(StoreError::NoSuchUpload) => {}
-                Err(e) => panic!("unexpected multipart completion error: {e}"),
+    sim.complete_multipart(exec, ctx.task.dst_region, upload_id, move |sim, done| {
+        match done {
+            Ok(applied) => {
+                ctx2.finish_once(sim, TaskStatus::Replicated { etag: applied.etag });
+                // Clean up the pool so stragglers and the watchdog see
+                // a terminal state.
+                let db_region = ctx2.exec_region;
+                let task_id = ctx2.task.task_id();
+                let exec_p = Exec::Platform {
+                    region: db_region,
+                    mbps: 1000.0,
+                };
+                sim.db_transact(
+                    exec_p,
+                    db_region,
+                    TASK_TABLE.into(),
+                    task_id,
+                    |slot| {
+                        *slot = None;
+                    },
+                    |_, ()| {},
+                );
             }
-            record_and_finish(sim, handle, &ctx2, started, &progress);
-        },
-    );
+            // A peer (or an earlier incarnation) already completed the
+            // upload; nothing to conclude.
+            Err(StoreError::NoSuchUpload) => {}
+            Err(e) => panic!("unexpected multipart completion error: {e}"),
+        }
+        record_and_finish(sim, handle, &ctx2, started, &progress);
+    });
 }
 
-fn handle_part_error(
-    sim: &mut CloudSim,
+fn handle_part_error<B: Backend>(
+    sim: &mut B,
     handle: FnHandle,
-    ctx: Rc<TaskCtx>,
+    ctx: Rc<TaskCtx<B>>,
     e: StoreError,
     started: SimTime,
     progress: Rc<Cell<u32>>,
@@ -925,9 +910,8 @@ fn handle_part_error(
     let db_region = ctx.exec_region;
     let task_id = ctx.task.task_id();
     let ctx2 = ctx.clone();
-    world::db_transact(
-        sim,
-        Executor::Function(handle),
+    sim.db_transact(
+        Exec::Function(handle),
         db_region,
         TASK_TABLE.into(),
         task_id,
@@ -940,7 +924,6 @@ fn handle_part_error(
         },
     );
 }
-
 
 /// How often the platform-side watchdog inspects a distributed task.
 const WATCHDOG_INTERVAL: SimDuration = SimDuration::from_secs(90);
@@ -956,25 +939,24 @@ const WATCHDOG_MAX_CHECKS: u32 = 40;
 /// leases that nobody will ever re-claim. The watchdog notices a pool that
 /// still exists after a full lease window and invokes one rescue replicator,
 /// whose claim loop picks up the stale parts.
-fn schedule_watchdog(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, checks: u32) {
+fn schedule_watchdog<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, checks: u32) {
     sim.schedule_in(WATCHDOG_INTERVAL, move |sim| {
         watchdog_check(sim, ctx, upload_id, checks);
     });
 }
 
-fn watchdog_check(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, checks: u32) {
+fn watchdog_check<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, checks: u32) {
     if ctx.done.get() || checks >= WATCHDOG_MAX_CHECKS {
         return;
     }
     let db_region = ctx.exec_region;
     let task_id = ctx.task.task_id();
-    let exec = Executor::Platform {
+    let exec = Exec::Platform {
         region: db_region,
         mbps: 1000.0,
     };
     let ctx2 = ctx.clone();
-    world::db_get(
-        sim,
+    sim.db_get(
         exec,
         db_region,
         TASK_TABLE.into(),
@@ -993,36 +975,36 @@ fn watchdog_check(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64, checks: 
 }
 
 /// Invokes one extra replicator to drain stale leases of a stalled task.
-fn invoke_rescue_replicator(sim: &mut CloudSim, ctx: Rc<TaskCtx>, upload_id: u64) {
+fn invoke_rescue_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64) {
     let region = ctx.exec_region;
-    let spec = faas::default_spec(&sim.world, region);
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
+    let spec = sim.default_fn_spec(region);
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
         let ctx = ctx.clone();
         let started = sim.now();
-        let cloud = sim.world.regions.cloud(handle.region);
-        let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+        let cloud = sim.cloud_of(handle.region);
+        let setup = sim.sample_transfer_setup(cloud);
         sim.schedule_in(setup, move |sim| {
             let progress = Rc::new(Cell::new(0u32));
             claim_loop(sim, handle, ctx, upload_id, started, progress);
         });
     });
-    faas::invoke(sim, region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, RetryPolicy::default());
 }
 
 /// Executes a two-hop relay plan (§6's overlay extension): the object is
 /// staged in `relay_bucket` at the relay region, then re-replicated to the
 /// destination. Pays egress twice; used only when the overlay planner found
 /// a sufficiently faster route.
-pub fn execute_relay(
-    sim: &mut CloudSim,
+pub fn execute_relay<B: Backend>(
+    sim: &mut B,
     cfg: EngineConfig,
     task: TaskSpec,
     plan: crate::overlay::RelayPlan,
-    on_done: OnDone,
+    on_done: OnDone<B>,
 ) {
     let relay_region = plan.relay;
     let relay_bucket = "areplica-relay-staging".to_string();
-    sim.world.objstore_mut(relay_region).create_bucket(&relay_bucket);
+    sim.create_bucket(relay_region, &relay_bucket);
 
     let first = TaskSpec {
         src_region: task.src_region,
@@ -1043,15 +1025,13 @@ pub fn execute_relay(
         first,
         plan.first_hop,
         None,
-        Rc::new(move |sim, outcome: TaskOutcome| {
+        Rc::new(move |sim: &mut B, outcome: TaskOutcome| {
             match outcome.status {
                 TaskStatus::Replicated { etag } => {
                     // Second hop: from the staged copy. Its write sequence in
                     // the relay bucket identifies the staged version.
                     let staged = sim
-                        .world
-                        .objstore(relay_region)
-                        .stat(&relay_bucket, &task.key)
+                        .stat_now(relay_region, &relay_bucket, &task.key)
                         .expect("staged object exists");
                     debug_assert_eq!(staged.etag, etag);
                     let second = TaskSpec {

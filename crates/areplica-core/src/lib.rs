@@ -13,30 +13,20 @@
 //! * **opportunistic replication reduction**: [`changelog`] propagation and
 //!   SLO-bounded [`batching`] (Algorithm 4, §5.4).
 //!
-//! [`AReplica`] wires it all into a deployable service over a
-//! [`cloudsim::World`]. The library is written against cloudsim's
-//! operation surface (object stores, KV databases, FaaS runtimes), which a
-//! real deployment would back with the providers' SDKs.
-//!
-//! ```no_run
-//! use areplica_core::{AReplicaBuilder, ReplicationRule};
-//! use cloudsim::{Cloud, World};
-//! use cloudsim::world::user_put;
-//!
-//! let mut sim = World::paper_sim(7);
-//! let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
-//! let dst = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
-//! let service = AReplicaBuilder::new()
-//!     .rule(ReplicationRule::new(src, "photos", dst, "photos-mirror"))
-//!     .install(&mut sim);
-//! user_put(&mut sim, src, "photos", "cat.jpg", 1 << 20).unwrap();
-//! sim.run_to_completion(1_000_000);
-//! assert_eq!(service.metrics().completions.len(), 1);
-//! ```
+//! The library is written against the provider-neutral operation surface in
+//! [`backend`] — object stores, KV databases, FaaS runtimes, clock and
+//! randomness — so the same engine runs over any [`backend::Backend`]
+//! implementation. The default `cloudsim` feature ships [`backend::sim`], an
+//! adapter backing those traits with the discrete-event cloud simulator; a
+//! real deployment would back them with the providers' SDKs instead.
+//! [`AReplica`] wires everything into a deployable service over any backend.
+//! See [`backend::sim`] for a runnable end-to-end example and
+//! [`backend::faulty`] for deterministic fault injection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batching;
 pub mod changelog;
 pub mod config;
@@ -50,10 +40,13 @@ pub mod planner;
 pub mod profiler;
 pub mod service;
 
+#[cfg(feature = "cloudsim")]
+pub use backend::sim::build_model_for;
+pub use backend::{Backend, Clock, Exec, FunctionRuntime, KvStore, ObjectStore, RngSource};
 pub use config::{EngineConfig, ReplicationRule, SchedulingMode};
 pub use metrics::{CompletionRecord, Metrics};
 pub use model::{ExecSide, PathKey, PerfModel};
 pub use overlay::{generate_routed_plan, RelayPlan, RoutedPlan};
 pub use planner::{generate_plan, generate_plan_with_caps, Plan, SideCaps};
 pub use profiler::ProfilerConfig;
-pub use service::{build_model_for, AReplica, AReplicaBuilder};
+pub use service::{AReplica, AReplicaBuilder};

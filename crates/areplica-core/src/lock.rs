@@ -8,11 +8,11 @@
 //! re-triggered for it.
 //!
 //! The functions here build the transaction closures applied atomically by
-//! [`cloudsim::world::db_transact`]; they are pure and unit-testable against
-//! a bare [`cloudsim::clouddb::KvDb`].
+//! [`crate::backend::KvStore::db_transact`]; they are pure and unit-testable
+//! against a bare [`cloudapi::clouddb::KvDb`].
 
-use cloudsim::clouddb::{Item, Value};
-use cloudsim::objstore::ETag;
+use cloudapi::clouddb::{Item, Value};
+use cloudapi::objstore::ETag;
 
 /// The DB table holding replication locks.
 pub const LOCK_TABLE: &str = "areplica_locks";
@@ -68,10 +68,7 @@ fn clear_pending(item: &mut Item) {
 pub fn try_lock_tx(etag: ETag, seq: u64) -> impl FnOnce(&mut Option<Item>) -> LockOutcome {
     move |slot| {
         let item = slot.get_or_insert_with(Item::new);
-        let locked = item
-            .get("locked")
-            .and_then(Value::as_bool)
-            .unwrap_or(false);
+        let locked = item.get("locked").and_then(Value::as_bool).unwrap_or(false);
         let holder_seq = item.get("holder_seq").and_then(Value::as_uint);
         if !locked || holder_seq == Some(seq) {
             item.insert("locked".into(), Value::Bool(true));
@@ -81,8 +78,8 @@ pub fn try_lock_tx(etag: ETag, seq: u64) -> impl FnOnce(&mut Option<Item>) -> Lo
             // Record as pending only versions newer than both the holder's
             // (notifications can be delivered out of order) and any already-
             // pending version.
-            let newer_than_holder = holder_seq.map_or(true, |h| seq > h);
-            let newer_than_pending = read_pending(item).map_or(true, |p| p.seq < seq);
+            let newer_than_holder = holder_seq.is_none_or(|h| seq > h);
+            let newer_than_pending = read_pending(item).is_none_or(|p| p.seq < seq);
             if newer_than_holder && newer_than_pending {
                 write_pending(item, PendingVersion { etag, seq });
             }
@@ -125,7 +122,7 @@ pub fn is_locked(item: Option<&Item>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsim::clouddb::KvDb;
+    use cloudapi::clouddb::KvDb;
 
     fn lock(db: &mut KvDb, key: &str, etag: u64, seq: u64) -> LockOutcome {
         db.transact(LOCK_TABLE, key, try_lock_tx(ETag(etag), seq))
@@ -161,7 +158,13 @@ mod tests {
         lock(&mut db, "k", 1, 1);
         assert_eq!(lock(&mut db, "k", 2, 2), LockOutcome::Busy);
         let pending = unlock(&mut db, "k", Some(1)).expect("pending version");
-        assert_eq!(pending, PendingVersion { etag: ETag(2), seq: 2 });
+        assert_eq!(
+            pending,
+            PendingVersion {
+                etag: ETag(2),
+                seq: 2
+            }
+        );
         // Pending was consumed.
         lock(&mut db, "k", 2, 2);
         assert_eq!(unlock(&mut db, "k", Some(2)), None);
@@ -218,7 +221,10 @@ mod tests {
         lock(&mut db, "k", 3, 3);
         let pending = unlock(&mut db, "k", Some(1)).unwrap();
         assert_eq!(pending.seq, 3);
-        assert_eq!(lock(&mut db, "k", pending.etag.0, pending.seq), LockOutcome::Acquired);
+        assert_eq!(
+            lock(&mut db, "k", pending.etag.0, pending.seq),
+            LockOutcome::Acquired
+        );
         assert_eq!(unlock(&mut db, "k", Some(3)), None);
         assert!(!is_locked(db.get(LOCK_TABLE, "k").as_ref()));
     }

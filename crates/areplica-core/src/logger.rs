@@ -65,7 +65,7 @@ impl OnlineLogger {
         predicted_s: f64,
         actual_s: f64,
     ) -> Option<f64> {
-        if !(predicted_s > 0.0) || !(actual_s > 0.0) {
+        if predicted_s.is_nan() || actual_s.is_nan() || predicted_s <= 0.0 || actual_s <= 0.0 {
             return None;
         }
         self.observations += 1;
@@ -100,7 +100,7 @@ impl OnlineLogger {
 mod tests {
     use super::*;
     use crate::model::{ExecSide, LocParams, PathParams};
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
     use stats::Dist;
 
     fn setup() -> (PerfModel, PathKey) {

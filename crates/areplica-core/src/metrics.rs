@@ -4,7 +4,7 @@
 //! completion of a PUT request \[to\] a successful retrieval of the version or
 //! its subsequent versions in the destination region" (§8 Metrics).
 
-use cloudsim::objstore::ETag;
+use cloudapi::objstore::ETag;
 use simkernel::{Histogram, SimDuration, SimTime, TimeSeries};
 
 use crate::model::ExecSide;
@@ -68,7 +68,8 @@ impl Metrics {
     pub fn record_completion(&mut self, rec: CompletionRecord) {
         let delay = rec.delay();
         self.delays.record_duration(delay);
-        self.delay_series.push(rec.completed_at, delay.as_secs_f64());
+        self.delay_series
+            .push(rec.completed_at, delay.as_secs_f64());
         if rec.via_changelog {
             self.changelog_applied += 1;
         }
@@ -80,11 +81,7 @@ impl Metrics {
         if self.completions.is_empty() {
             return 1.0;
         }
-        let ok = self
-            .completions
-            .iter()
-            .filter(|r| r.delay() <= slo)
-            .count();
+        let ok = self.completions.iter().filter(|r| r.delay() <= slo).count();
         ok as f64 / self.completions.len() as f64
     }
 }

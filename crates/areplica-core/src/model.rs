@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use cloudsim::RegionId;
+use cloudapi::RegionId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simkernel::SimDuration;
@@ -203,7 +203,9 @@ impl PerfModel {
     /// profiled — the conservative choice is handled by callers budgeting
     /// `SLO - T_n` from the event timestamp instead).
     pub fn notif_delay_quantile(&self, region: RegionId, q: f64) -> f64 {
-        self.notif.get(&region).map_or(0.0, |d| d.quantile(q).max(0.0))
+        self.notif
+            .get(&region)
+            .map_or(0.0, |d| d.quantile(q).max(0.0))
     }
 
     /// True when a path has been profiled.
@@ -219,10 +221,7 @@ impl PerfModel {
         if local {
             return Ok(Dist::Constant(0.0));
         }
-        let p = self
-            .loc
-            .get(&loc)
-            .ok_or(ModelError::UnknownLocation(loc))?;
+        let p = self.loc.get(&loc).ok_or(ModelError::UnknownLocation(loc))?;
         if n <= 1 {
             Ok(sum_as_normal(&[p.invoke.clone(), p.cold.clone()]))
         } else {
@@ -246,7 +245,12 @@ impl PerfModel {
 
     /// `T_transfer` for `n` parallel replicators: the max over instances of
     /// `S + Σ_{⌈size/(c·n)⌉} C′`, via cached Monte Carlo or Gumbel EVT.
-    pub fn t_transfer_parallel(&mut self, path: PathKey, size: u64, n: u32) -> Result<Dist, ModelError> {
+    pub fn t_transfer_parallel(
+        &mut self,
+        path: PathKey,
+        size: u64,
+        n: u32,
+    ) -> Result<Dist, ModelError> {
         assert!(n >= 2, "use t_transfer_single for n = 1");
         let chunks_total = size.div_ceil(self.chunk_size).max(1);
         let chunks_per_fn = chunks_total.div_ceil(n as u64).max(1);
@@ -260,10 +264,7 @@ impl PerfModel {
         }
         let p = self.path.get(&path).ok_or(ModelError::UnknownPath(path))?;
         let per_instance = inflate_instance_cv(
-            sum_as_normal(&[
-                p.setup.clone(),
-                p.chunk_distributed.iid_sum(chunks_per_fn),
-            ]),
+            sum_as_normal(&[p.setup.clone(), p.chunk_distributed.iid_sum(chunks_per_fn)]),
             p.instance_cv,
         );
         let dist = if (n as usize) >= GUMBEL_THRESHOLD_N {
@@ -271,9 +272,7 @@ impl PerfModel {
         } else {
             // A derived, deterministic RNG per cache key keeps bootstrap
             // reproducible regardless of query order.
-            let mut rng = StdRng::seed_from_u64(
-                self.mc_seed ^ (n as u64) << 32 ^ chunks_per_fn,
-            );
+            let mut rng = StdRng::seed_from_u64(self.mc_seed ^ (n as u64) << 32 ^ chunks_per_fn);
             Dist::Empirical(stats::monte_carlo_max(
                 &per_instance,
                 n as usize,
@@ -326,9 +325,9 @@ impl PerfModel {
         local: bool,
         p: f64,
     ) -> Result<SimDuration, ModelError> {
-        Ok(SimDuration::from_secs_f64(self.t_rep_quantile(
-            path, size, n, local, p,
-        )?))
+        Ok(SimDuration::from_secs_f64(
+            self.t_rep_quantile(path, size, n, local, p)?,
+        ))
     }
 
     /// Scales a path's chunk parameters by `factor` (online logger drift
@@ -386,7 +385,7 @@ fn add_normal(base: &Dist, mu: f64, sigma: f64) -> Dist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
 
     fn regions() -> RegionRegistry {
         RegionRegistry::paper_regions()
@@ -474,11 +473,11 @@ mod tests {
         let (mut m, path) = test_model(&r);
         let size = 1 << 30; // 128 chunks
         let single = m.t_transfer_single(path, size).unwrap().quantile(0.99);
-        let par16 = m.t_transfer_parallel(path, size, 16).unwrap().quantile(0.99);
-        assert!(
-            par16 < single / 4.0,
-            "16-way {par16} vs single {single}"
-        );
+        let par16 = m
+            .t_transfer_parallel(path, size, 16)
+            .unwrap()
+            .quantile(0.99);
+        assert!(par16 < single / 4.0, "16-way {par16} vs single {single}");
     }
 
     #[test]
@@ -532,7 +531,10 @@ mod tests {
 
     #[test]
     fn gumbel_plus_normal_keeps_mean_and_variance() {
-        let g = Dist::Gumbel { mu: 10.0, beta: 2.0 };
+        let g = Dist::Gumbel {
+            mu: 10.0,
+            beta: 2.0,
+        };
         let combined = add_normal(&g, 3.0, 1.5);
         assert!((combined.mean() - (g.mean() + 3.0)).abs() < 1e-9);
         let var_expected = g.std_dev().powi(2) + 1.5f64.powi(2);
@@ -547,7 +549,10 @@ mod tests {
         m.rescale_path_chunks(path, 2.0);
         assert_eq!(m.cached_max_dists(), 0);
         let after = m.t_rep_quantile(path, 1 << 30, 16, false, 0.9).unwrap();
-        assert!(after > before * 1.4, "rescale had no effect: {before} -> {after}");
+        assert!(
+            after > before * 1.4,
+            "rescale had no effect: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! sequentially, so the predicted time composes as a sum, and each hop's
 //! percentile budget is split proportionally to its predicted share.
 
-use cloudsim::RegionId;
+use cloudapi::RegionId;
 use simkernel::SimDuration;
 
 use crate::config::EngineConfig;
@@ -102,7 +102,7 @@ pub fn generate_routed_plan(
             continue;
         };
         let predicted = first_hop.predicted + second_hop.predicted;
-        if best_relay.map_or(true, |b| predicted < b.predicted) {
+        if best_relay.is_none_or(|b| predicted < b.predicted) {
             best_relay = Some(RelayPlan {
                 relay,
                 first_hop,
@@ -114,8 +114,7 @@ pub fn generate_routed_plan(
 
     match best_relay {
         Some(relay)
-            if relay.predicted.as_secs_f64() * RELAY_ADVANTAGE
-                < direct.predicted.as_secs_f64() =>
+            if relay.predicted.as_secs_f64() * RELAY_ADVANTAGE < direct.predicted.as_secs_f64() =>
         {
             Ok(RoutedPlan::Relay(relay))
         }
@@ -127,7 +126,7 @@ pub fn generate_routed_plan(
 mod tests {
     use super::*;
     use crate::model::{ExecSide, LocParams, PathKey, PathParams};
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
     use stats::Dist;
 
     /// A model where the direct path crawls but both relay hops are fast.
@@ -150,7 +149,11 @@ mod tests {
         let set = |m: &mut PerfModel, a: RegionId, b: RegionId, chunk_s: f64| {
             for side in ExecSide::BOTH {
                 m.set_path(
-                    PathKey { src: a, dst: b, side },
+                    PathKey {
+                        src: a,
+                        dst: b,
+                        side,
+                    },
                     PathParams::new(
                         Dist::normal(0.25, 0.05),
                         Dist::normal(chunk_s, chunk_s * 0.15),
@@ -246,7 +249,11 @@ mod tests {
         let set = |m: &mut PerfModel, a: RegionId, b: RegionId, chunk_s: f64| {
             for side in ExecSide::BOTH {
                 m.set_path(
-                    PathKey { src: a, dst: b, side },
+                    PathKey {
+                        src: a,
+                        dst: b,
+                        side,
+                    },
                     PathParams::new(
                         Dist::normal(0.25, 0.05),
                         Dist::normal(chunk_s, chunk_s * 0.15),

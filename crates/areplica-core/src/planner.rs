@@ -10,7 +10,7 @@ use simkernel::SimDuration;
 
 use crate::config::EngineConfig;
 use crate::model::{ExecSide, ModelError, PathKey, PerfModel};
-use cloudsim::RegionId;
+use cloudapi::RegionId;
 
 /// A replication plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,7 +116,7 @@ pub fn generate_plan_with_caps(
                 predicted,
                 slo_met,
             };
-            if best.map_or(true, |b| candidate.predicted < b.predicted) {
+            if best.is_none_or(|b| candidate.predicted < b.predicted) {
                 best = Some(candidate);
             }
             if slo_met {
@@ -141,7 +141,7 @@ pub fn generate_plan_with_caps(
 mod tests {
     use super::*;
     use crate::model::{LocParams, PathParams};
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
     use stats::Dist;
 
     fn setup() -> (PerfModel, RegionId, RegionId) {
@@ -161,7 +161,11 @@ mod tests {
         }
         // Source-side functions are twice as fast per chunk.
         m.set_path(
-            PathKey { src, dst, side: ExecSide::Source },
+            PathKey {
+                src,
+                dst,
+                side: ExecSide::Source,
+            },
             PathParams::new(
                 Dist::normal(0.25, 0.05),
                 Dist::normal(0.15, 0.03),
@@ -169,7 +173,11 @@ mod tests {
             ),
         );
         m.set_path(
-            PathKey { src, dst, side: ExecSide::Destination },
+            PathKey {
+                src,
+                dst,
+                side: ExecSide::Destination,
+            },
             PathParams::new(
                 Dist::normal(0.30, 0.06),
                 Dist::normal(0.30, 0.06),
@@ -183,8 +191,7 @@ mod tests {
     fn small_object_is_handled_locally() {
         let (mut m, src, dst) = setup();
         let cfg = EngineConfig::default();
-        let plan =
-            generate_plan(&mut m, &cfg, src, dst, 1 << 20, None, 0.99).unwrap();
+        let plan = generate_plan(&mut m, &cfg, src, dst, 1 << 20, None, 0.99).unwrap();
         assert_eq!(plan.n, 1);
         assert!(plan.local, "1 MB should be replicated by the orchestrator");
         assert_eq!(plan.side, ExecSide::Source);
@@ -283,7 +290,11 @@ mod tests {
         let cfg = EngineConfig::default();
         // Make destination-side functions dramatically faster.
         m.set_path(
-            PathKey { src, dst, side: ExecSide::Destination },
+            PathKey {
+                src,
+                dst,
+                side: ExecSide::Destination,
+            },
             PathParams::new(
                 Dist::normal(0.05, 0.01),
                 Dist::normal(0.02, 0.005),
@@ -309,7 +320,7 @@ mod tests {
 mod cap_tests {
     use super::*;
     use crate::model::{LocParams, PathParams};
-    use cloudsim::{Cloud, RegionRegistry};
+    use cloudapi::{Cloud, RegionRegistry};
     use stats::Dist;
 
     fn setup() -> (PerfModel, RegionId, RegionId) {
@@ -345,10 +356,8 @@ mod cap_tests {
         let (mut m, src, dst) = setup();
         let cfg = EngineConfig::default();
         let caps = SideCaps { src: 4, dst: 4 };
-        let plan = generate_plan_with_caps(
-            &mut m, &cfg, src, dst, 1 << 30, None, 0.99, caps,
-        )
-        .unwrap();
+        let plan =
+            generate_plan_with_caps(&mut m, &cfg, src, dst, 1 << 30, None, 0.99, caps).unwrap();
         assert!(plan.n <= 4, "quota must cap parallelism, got {}", plan.n);
     }
 
@@ -359,10 +368,8 @@ mod cap_tests {
         // The source account has no concurrency left at all: every plan must
         // run at the destination.
         let caps = SideCaps { src: 0, dst: 64 };
-        let plan = generate_plan_with_caps(
-            &mut m, &cfg, src, dst, 256 << 20, None, 0.99, caps,
-        )
-        .unwrap();
+        let plan =
+            generate_plan_with_caps(&mut m, &cfg, src, dst, 256 << 20, None, 0.99, caps).unwrap();
         assert_eq!(plan.side, ExecSide::Destination);
         assert!(!plan.local);
     }
@@ -373,7 +380,14 @@ mod cap_tests {
         let cfg = EngineConfig::default();
         let a = generate_plan(&mut m, &cfg, src, dst, 1 << 30, None, 0.9).unwrap();
         let b = generate_plan_with_caps(
-            &mut m, &cfg, src, dst, 1 << 30, None, 0.9, SideCaps::UNLIMITED,
+            &mut m,
+            &cfg,
+            src,
+            dst,
+            1 << 30,
+            None,
+            0.9,
+            SideCaps::UNLIMITED,
         )
         .unwrap();
         assert_eq!(a, b);

@@ -4,7 +4,7 @@
 //! a new cloud region ... it requires offline profiling to collect necessary
 //! performance metrics." The profiler runs a set of test cases — real
 //! invocations and transfers through the same pipeline the engine uses —
-//! inside a *sandbox* simulation (a fresh world with the same ground truth),
+//! against a *sandbox* backend (see [`Backend::profiling_sandbox`]),
 //! measures `I`, `D`, `S`, `C`, `C′`, and the notification delay, and fits
 //! them into a [`PerfModel`].
 //!
@@ -18,13 +18,11 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use cloudsim::faas::{self, FnSpec, RetryPolicy};
-use cloudsim::world::{self, CloudSim, Executor};
-use cloudsim::{Cloud, RegionId, RegionRegistry, World, WorldParams};
-use pricing::PriceCatalog;
-use simkernel::Sim;
+use cloudapi::faas::{FnHandle, FnSpec, RetryPolicy};
+use cloudapi::{Cloud, RegionId};
 use stats::{fit_auto, Dist};
 
+use crate::backend::{Backend, Exec, FnBody};
 use crate::model::{ExecSide, LocParams, PathKey, PathParams, PerfModel};
 
 /// Profiling budget and knobs.
@@ -76,9 +74,12 @@ pub fn documented_scheduler_period(cloud: Cloud) -> f64 {
 }
 
 type Samples = Rc<RefCell<Vec<f64>>>;
-type Job = Box<dyn FnOnce(&mut CloudSim, Box<dyn FnOnce(&mut CloudSim)>)>;
+/// A one-shot continuation cell consumed by a re-runnable body.
+type OnceCont<B> = Rc<RefCell<Option<Box<dyn FnOnce(&mut B)>>>>;
 
-fn run_job_chain(sim: &mut CloudSim, queue: Rc<RefCell<VecDeque<Job>>>) {
+type Job<B> = Box<dyn FnOnce(&mut B, Box<dyn FnOnce(&mut B)>)>;
+
+fn run_job_chain<B: Backend>(sim: &mut B, queue: Rc<RefCell<VecDeque<Job<B>>>>) {
     let job = queue.borrow_mut().pop_front();
     if let Some(job) = job {
         job(
@@ -93,16 +94,15 @@ fn run_job_chain(sim: &mut CloudSim, queue: Rc<RefCell<VecDeque<Job>>>) {
 /// Profiles the given `(src, dst)` pairs (both execution sides each) plus
 /// every involved region's invocation behaviour, and returns the fitted
 /// model.
-pub fn build_model(
-    regions: &RegionRegistry,
-    params: &WorldParams,
-    catalog: &PriceCatalog,
+///
+/// `sim` should be a fresh sandbox backend (from
+/// [`Backend::profiling_sandbox`]); profiling drives it to completion and
+/// leaves probe buckets behind.
+pub fn build_model<B: Backend>(
+    sim: &mut B,
     pairs: &[(RegionId, RegionId)],
     cfg: &ProfilerConfig,
 ) -> PerfModel {
-    let world = World::new(cfg.seed, regions.clone(), params.clone(), catalog.clone());
-    let mut sim = Sim::new(cfg.seed, world);
-
     // Collect the distinct regions to profile.
     let mut locs: Vec<RegionId> = Vec::new();
     let mut srcs: Vec<RegionId> = Vec::new();
@@ -117,16 +117,19 @@ pub fn build_model(
         }
     }
 
-    let queue: Rc<RefCell<VecDeque<Job>>> = Rc::new(RefCell::new(VecDeque::new()));
+    let queue: Rc<RefCell<VecDeque<Job<B>>>> = Rc::new(RefCell::new(VecDeque::new()));
 
     // Per-region invocation profiling.
     let mut loc_collectors = Vec::new();
     for &region in &locs {
         let warm: Samples = Rc::default();
         let cold: Samples = Rc::default();
-        queue
-            .borrow_mut()
-            .push_back(profile_invocations_job(region, cfg.clone(), warm.clone(), cold.clone()));
+        queue.borrow_mut().push_back(profile_invocations_job(
+            region,
+            cfg.clone(),
+            warm.clone(),
+            cold.clone(),
+        ));
         loc_collectors.push((region, warm, cold));
     }
 
@@ -134,9 +137,11 @@ pub fn build_model(
     let mut notif_collectors = Vec::new();
     for &region in &srcs {
         let samples: Samples = Rc::default();
-        queue
-            .borrow_mut()
-            .push_back(profile_notifications_job(region, cfg.clone(), samples.clone()));
+        queue.borrow_mut().push_back(profile_notifications_job(
+            region,
+            cfg.clone(),
+            samples.clone(),
+        ));
         notif_collectors.push((region, samples));
     }
 
@@ -160,13 +165,13 @@ pub fn build_model(
         }
     }
 
-    run_job_chain(&mut sim, queue);
+    run_job_chain(sim, queue);
     sim.run_to_completion(50_000_000);
 
     // Fit everything into the model.
     let mut model = PerfModel::new(cfg.chunk_size, cfg.mc_trials, cfg.seed ^ 0x5eed);
     for (region, warm, cold) in loc_collectors {
-        let cloud = sim.world.regions.cloud(region);
+        let cloud = sim.cloud_of(region);
         let invoke = fit_auto(&warm.borrow()).expect("warm samples");
         let period = documented_scheduler_period(cloud);
         // Cold samples measured (invoke -> body start) include I, the tick
@@ -237,14 +242,14 @@ fn between_instance_cv(samples: &[f64], group: usize) -> f64 {
 }
 
 /// Measures warm `I` and cold `I + wait + D` for one region.
-fn profile_invocations_job(
+fn profile_invocations_job<B: Backend>(
     region: RegionId,
     cfg: ProfilerConfig,
     warm: Samples,
     cold: Samples,
-) -> Job {
+) -> Job<B> {
     Box::new(move |sim, done| {
-        let base = faas::default_spec(&sim.world, region);
+        let base = sim.default_fn_spec(region);
         // Cold starts: a distinct memory size per attempt defeats warm reuse.
         // Sequence: cold_samples cold invocations, then warm_samples + 1
         // invocations on one more distinct size (first cold discarded, rest
@@ -254,15 +259,15 @@ fn profile_invocations_job(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_invocation_seq(
-    sim: &mut CloudSim,
+fn run_invocation_seq<B: Backend>(
+    sim: &mut B,
     region: RegionId,
     base: FnSpec,
     cfg: ProfilerConfig,
     warm: Samples,
     cold: Samples,
     idx: usize,
-    done: Box<dyn FnOnce(&mut CloudSim)>,
+    done: Box<dyn FnOnce(&mut B)>,
 ) {
     let total = cfg.cold_samples + cfg.warm_samples + 1;
     if idx >= total {
@@ -285,9 +290,8 @@ fn run_invocation_seq(
     // The chain continuation lives in a one-shot cell captured by the
     // (re-runnable) body; profiling is strictly sequential so it is consumed
     // exactly once.
-    let done_cell: Rc<RefCell<Option<Box<dyn FnOnce(&mut CloudSim)>>>> =
-        Rc::new(RefCell::new(Some(done)));
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
+    let done_cell: OnceCont<B> = Rc::new(RefCell::new(Some(done)));
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
         let elapsed = (sim.now() - invoked_at).as_secs_f64();
         if is_cold_phase {
             cold2.borrow_mut().push(elapsed);
@@ -295,7 +299,7 @@ fn run_invocation_seq(
             // Warm measurement (the first warm-phase invocation was cold).
             warm2.borrow_mut().push(elapsed);
         }
-        faas::finish(sim, handle);
+        sim.finish_function(handle);
         let taken = done_cell.borrow_mut().take();
         if let Some(done) = taken {
             run_invocation_seq(
@@ -310,41 +314,51 @@ fn run_invocation_seq(
             );
         }
     });
-    faas::invoke(sim, region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, RetryPolicy::default());
 }
 
 /// Measures notification delivery delay for one region.
-fn profile_notifications_job(region: RegionId, cfg: ProfilerConfig, samples: Samples) -> Job {
+fn profile_notifications_job<B: Backend>(
+    region: RegionId,
+    cfg: ProfilerConfig,
+    samples: Samples,
+) -> Job<B> {
     Box::new(move |sim, done| {
         let bucket = format!("areplica-profile-notif-{}", region.index());
-        sim.world.objstore_mut(region).create_bucket(&bucket);
+        sim.create_bucket(region, &bucket);
         let samples2 = samples.clone();
         let remaining = Rc::new(RefCell::new(cfg.notif_samples));
         let done_cell = Rc::new(RefCell::new(Some(done)));
         let bucket2 = bucket.clone();
-        let target = sim.world.register_handler(Rc::new(move |sim, _region, ev| {
-            let delay = (sim.now() - ev.event_time).as_secs_f64();
-            samples2.borrow_mut().push(delay);
-            let mut rem = remaining.borrow_mut();
-            *rem -= 1;
-            if *rem == 0 {
-                if let Some(done) = done_cell.borrow_mut().take() {
-                    done(sim);
+        sim.subscribe_bucket(
+            region,
+            &bucket,
+            Rc::new(move |sim: &mut B, _region, ev| {
+                let delay = (sim.now() - ev.event_time).as_secs_f64();
+                samples2.borrow_mut().push(delay);
+                let mut rem = remaining.borrow_mut();
+                *rem -= 1;
+                if *rem == 0 {
+                    if let Some(done) = done_cell.borrow_mut().take() {
+                        done(sim);
+                    }
+                } else {
+                    let key = format!("probe-{}", *rem);
+                    drop(rem);
+                    sim.user_put(_region, &bucket2, &key, 1024)
+                        .expect("probe put");
                 }
-            } else {
-                let key = format!("probe-{}", *rem);
-                drop(rem);
-                world::user_put(sim, _region, &bucket2, &key, 1024).expect("probe put");
-            }
-        }));
-        world::subscribe_bucket(&mut sim.world, region, &bucket, target).expect("subscribe");
-        world::user_put(sim, region, &bucket, "probe-first", 1024).expect("probe put");
+            }),
+        )
+        .expect("subscribe");
+        sim.user_put(region, &bucket, "probe-first", 1024)
+            .expect("probe put");
     })
 }
 
 /// Measures `S`, `C`, and `C′` for one path/side.
 #[allow(clippy::too_many_arguments)]
-fn profile_path_job(
+fn profile_path_job<B: Backend>(
     src: RegionId,
     dst: RegionId,
     side: ExecSide,
@@ -352,15 +366,16 @@ fn profile_path_job(
     s_out: Samples,
     c_out: Samples,
     c_dist_out: Samples,
-) -> Job {
+) -> Job<B> {
     Box::new(move |sim, done| {
         let loc = side.region(src, dst);
         let src_bucket = format!("areplica-profile-src-{}", src.index());
         let dst_bucket = format!("areplica-profile-dst-{}", dst.index());
-        sim.world.objstore_mut(src).create_bucket(&src_bucket);
-        sim.world.objstore_mut(dst).create_bucket(&dst_bucket);
+        sim.create_bucket(src, &src_bucket);
+        sim.create_bucket(dst, &dst_bucket);
         let probe_size = cfg.chunk_size * cfg.chunks_per_invocation;
-        world::user_put(sim, src, &src_bucket, "probe-object", probe_size).expect("probe object");
+        sim.user_put(src, &src_bucket, "probe-object", probe_size)
+            .expect("probe object");
 
         run_transfer_seq(
             sim,
@@ -394,11 +409,11 @@ struct TransferJob {
     c_dist_out: Samples,
 }
 
-fn run_transfer_seq(
-    sim: &mut CloudSim,
+fn run_transfer_seq<B: Backend>(
+    sim: &mut B,
     job: TransferJob,
     iteration: usize,
-    done: Box<dyn FnOnce(&mut CloudSim)>,
+    done: Box<dyn FnOnce(&mut B)>,
 ) {
     if iteration >= job.cfg.transfer_samples {
         done(sim);
@@ -411,29 +426,29 @@ fn run_transfer_seq(
     // instance's bias, and the spread across samples is exactly the
     // between-instance variability the model's `instance_cv` captures.
     // (+1 MB steps keep the NIC-vs-memory effect below 1%.)
-    let mut spec = faas::default_spec(&sim.world, loc);
+    let mut spec = sim.default_fn_spec(loc);
     spec.config.memory_mb += iteration as u32 + 1;
     let job2 = job.clone();
-    let done_cell: TransferDone = Rc::new(RefCell::new(Some((done, iteration))));
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
+    let done_cell: TransferDone<B> = Rc::new(RefCell::new(Some((done, iteration))));
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
         let job = job2.clone();
         let done_cell = done_cell.clone();
         let started = sim.now();
-        let cloud = sim.world.regions.cloud(handle.region);
-        let setup = world::sample_transfer_setup(&mut sim.world, cloud);
+        let cloud = sim.cloud_of(handle.region);
+        let setup = sim.sample_transfer_setup(cloud);
         sim.schedule_in(setup, move |sim| {
             job.s_out
                 .borrow_mut()
                 .push((sim.now() - started).as_secs_f64());
-            let exec = Executor::Function(handle);
+            let exec = Exec::Function(handle);
             let job2 = job.clone();
             let done_cell = done_cell.clone();
-            world::create_multipart(
-                sim,
+            let probe_key = format!("probe-copy-{}", sim.now().as_nanos());
+            sim.create_multipart(
                 exec,
                 job.dst,
                 job.dst_bucket.clone(),
-                format!("probe-copy-{}", sim.now().as_nanos()),
+                probe_key,
                 move |sim, upload| {
                     let upload_id = upload.expect("profile multipart");
                     measure_chunks(sim, handle, job2, upload_id, 0, false, done_cell);
@@ -441,23 +456,23 @@ fn run_transfer_seq(
             );
         });
     });
-    faas::invoke(sim, loc, spec, body, RetryPolicy::default());
+    sim.invoke(loc, spec, body, RetryPolicy::default());
 }
 
 /// Measures one chunk (GET + upload_part, optionally bracketed by the two
 /// DB accesses of distributed mode), then recurses; flips from the `C` phase
 /// to the `C′` phase and finally chains the next invocation.
-type TransferDone = Rc<RefCell<Option<(Box<dyn FnOnce(&mut CloudSim)>, usize)>>>;
+type TransferDone<B> = Rc<RefCell<Option<(Box<dyn FnOnce(&mut B)>, usize)>>>;
 
 #[allow(clippy::too_many_arguments)]
-fn measure_chunks(
-    sim: &mut CloudSim,
-    handle: faas::FnHandle,
+fn measure_chunks<B: Backend>(
+    sim: &mut B,
+    handle: FnHandle,
     job: TransferJob,
     upload_id: u64,
     chunk: u64,
     with_db: bool,
-    done_cell: TransferDone,
+    done_cell: TransferDone<B>,
 ) {
     if chunk >= job.cfg.chunks_per_invocation {
         if !with_db {
@@ -465,16 +480,15 @@ fn measure_chunks(
             measure_chunks(sim, handle, job, upload_id, 0, true, done_cell);
         } else {
             // Done with this invocation: clean up and chain.
-            let exec = Executor::Function(handle);
-            world::stat_object(
-                sim,
+            let exec = Exec::Function(handle);
+            sim.stat_object(
                 exec,
                 job.dst,
                 job.dst_bucket.clone(),
                 "probe-cleanup".into(),
                 move |sim, _| {
-                    sim.world.objstore_mut(job.dst).abort_multipart(upload_id).ok();
-                    faas::finish(sim, handle);
+                    sim.abort_multipart_now(job.dst, upload_id).ok();
+                    sim.finish_function(handle);
                     let taken = done_cell.borrow_mut().take();
                     if let Some((done, iteration)) = taken {
                         run_transfer_seq(sim, job, iteration + 1, done);
@@ -484,15 +498,14 @@ fn measure_chunks(
         }
         return;
     }
-    let exec = Executor::Function(handle);
+    let exec = Exec::Function(handle);
     let t0 = sim.now();
     let job2 = job.clone();
-    let transfer = move |sim: &mut CloudSim| {
+    let transfer = move |sim: &mut B| {
         let done_cell = done_cell.clone();
         let job = job2.clone();
         let offset = chunk * job.cfg.chunk_size;
-        world::get_object_range(
-            sim,
+        sim.get_object_range(
             exec,
             job.src,
             job.src_bucket.clone(),
@@ -503,8 +516,7 @@ fn measure_chunks(
             move |sim, got| {
                 let (content, _) = got.expect("probe read");
                 let job2 = job.clone();
-                world::upload_part(
-                    sim,
+                sim.upload_part(
                     exec,
                     job.dst,
                     upload_id,
@@ -513,7 +525,7 @@ fn measure_chunks(
                     move |sim, up| {
                         up.expect("probe upload");
                         let job_db = job2.clone();
-                        let finish = move |sim: &mut CloudSim| {
+                        let finish = move |sim: &mut B| {
                             let elapsed = (sim.now() - t0).as_secs_f64();
                             let out = if with_db {
                                 &job2.c_dist_out
@@ -534,8 +546,7 @@ fn measure_chunks(
                         if with_db {
                             // The status-update DB access of Algorithm 1.
                             let job3 = job_db.clone();
-                            world::db_transact(
-                                sim,
+                            sim.db_transact(
                                 exec,
                                 job_db.loc,
                                 "areplica_profile".into(),
@@ -556,8 +567,7 @@ fn measure_chunks(
     };
     if with_db {
         // The claim DB access of Algorithm 1.
-        world::db_transact(
-            sim,
+        sim.db_transact(
             exec,
             job.loc,
             "areplica_profile".into(),

@@ -14,17 +14,20 @@
 //! 5. the engine executes the plan (Algorithm 1);
 //! 6. on completion the lock is released, pending versions re-trigger, the
 //!    delay is recorded, and the logger updates the model.
+//!
+//! The service is generic over any [`Backend`]: `install` wires the rules'
+//! buckets and notifications through the backend traits, and every closure
+//! in the pipeline takes `&mut B`.
 
 use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 
-use cloudsim::faas::{self, FnHandle, RetryPolicy};
-use cloudsim::objstore::{ETag, EventKind, ObjectEvent, StoreError};
-use cloudsim::world::{self, CloudSim, Executor};
-use cloudsim::{RegionId, RegionRegistry, WorldParams};
-use pricing::PriceCatalog;
+use cloudapi::faas::{FnHandle, RetryPolicy};
+use cloudapi::objstore::{ETag, EventKind, ObjectEvent, StoreError};
+use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
 
+use crate::backend::{Backend, Exec, FnBody};
 use crate::batching::{BatchDecision, Batcher};
 use crate::changelog;
 use crate::config::{EngineConfig, ReplicationRule};
@@ -60,22 +63,12 @@ pub struct AReplica {
 }
 
 /// Builder for [`AReplica`].
+#[derive(Default)]
 pub struct AReplicaBuilder {
     rules: Vec<ReplicationRule>,
     cfg: EngineConfig,
     model: Option<PerfModel>,
     profiler_cfg: ProfilerConfig,
-}
-
-impl Default for AReplicaBuilder {
-    fn default() -> Self {
-        AReplicaBuilder {
-            rules: Vec::new(),
-            cfg: EngineConfig::default(),
-            model: None,
-            profiler_cfg: ProfilerConfig::default(),
-        }
-    }
 }
 
 impl AReplicaBuilder {
@@ -110,22 +103,17 @@ impl AReplicaBuilder {
 
     /// Profiles (if needed), creates buckets, subscribes notifications, and
     /// returns the running service.
-    pub fn install(mut self, sim: &mut CloudSim) -> AReplica {
+    pub fn install<B: Backend>(mut self, sim: &mut B) -> AReplica {
         assert!(!self.rules.is_empty(), "at least one rule required");
-        // Offline profiling in a sandbox world with the same ground truth.
+        // Offline profiling in a sandbox backend with the same ground truth.
         let model = self.model.take().unwrap_or_else(|| {
             let pairs: Vec<(RegionId, RegionId)> = self
                 .rules
                 .iter()
                 .map(|r| (r.src_region, r.dst_region))
                 .collect();
-            build_model_for(
-                &sim.world.regions.clone(),
-                &sim.world.params.clone(),
-                &sim.world.catalog.clone(),
-                &pairs,
-                &self.profiler_cfg,
-            )
+            let mut sandbox = sim.profiling_sandbox(self.profiler_cfg.seed);
+            profiler::build_model(&mut sandbox, &pairs, &self.profiler_cfg)
         });
         self.profiler_cfg.chunk_size = self.cfg.part_size;
 
@@ -150,32 +138,21 @@ impl AReplicaBuilder {
                     r.dst_bucket.clone(),
                 )
             };
-            sim.world.objstore_mut(src_region).create_bucket(&src_bucket);
-            sim.world.objstore_mut(dst_region).create_bucket(&dst_bucket);
+            sim.create_bucket(src_region, &src_bucket);
+            sim.create_bucket(dst_region, &dst_bucket);
             let st = state.clone();
-            let target = sim
-                .world
-                .register_handler(Rc::new(move |sim, _region, ev| {
+            sim.subscribe_bucket(
+                src_region,
+                &src_bucket,
+                Rc::new(move |sim, _region, ev| {
                     on_object_event(sim, st.clone(), rule_idx, ev);
-                }));
-            world::subscribe_bucket(&mut sim.world, src_region, &src_bucket, target)
-                .expect("bucket just created");
+                }),
+            )
+            .expect("bucket just created");
         }
 
         AReplica { state }
     }
-}
-
-/// Profiles the given pairs against a sandbox world (exposed for benches
-/// that reuse one model across many experiments).
-pub fn build_model_for(
-    regions: &RegionRegistry,
-    params: &WorldParams,
-    catalog: &PriceCatalog,
-    pairs: &[(RegionId, RegionId)],
-    cfg: &ProfilerConfig,
-) -> PerfModel {
-    profiler::build_model(regions, params, catalog, pairs, cfg)
 }
 
 impl AReplica {
@@ -204,7 +181,7 @@ impl AReplica {
 // Event pipeline.
 // ---------------------------------------------------------------------------
 
-fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent) {
+fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectEvent) {
     if ev.kind == EventKind::Delete {
         trigger_delete(sim, st, rule_idx, ev.key, ev.etag, ev.seq);
         return;
@@ -216,8 +193,7 @@ fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent)
         match (rule.batching, rule.slo) {
             (true, Some(slo)) => {
                 let deadline = ev.event_time + slo;
-                let (src, dst, percentile) =
-                    (rule.src_region, rule.dst_region, rule.percentile);
+                let (src, dst, percentile) = (rule.src_region, rule.dst_region, rule.percentile);
                 let cfg = s.cfg.clone();
                 let margin = rule.safety_margin;
                 let t_rep = {
@@ -227,17 +203,23 @@ fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent)
                         .unwrap_or(SimDuration::from_secs(3600))
                 };
                 let now = sim.now();
-                Some(
-                    s.batchers[rule_idx]
-                        .on_event(&ev.key, ev.etag, now, deadline, t_rep),
-                )
+                Some(s.batchers[rule_idx].on_event(&ev.key, ev.etag, now, deadline, t_rep))
             }
             _ => None,
         }
     };
     match decision {
         None => {
-            trigger_replication(sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, ev.event_time);
+            trigger_replication(
+                sim,
+                st,
+                rule_idx,
+                ev.key,
+                ev.etag,
+                ev.seq,
+                ev.size,
+                ev.event_time,
+            );
         }
         Some(BatchDecision::ReplicateNow {
             absorbed,
@@ -256,7 +238,9 @@ fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent)
                     _ => ev.event_time,
                 }
             };
-            trigger_replication(sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, event_time);
+            trigger_replication(
+                sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, event_time,
+            );
         }
         Some(BatchDecision::Buffered { fire_at, arm_timer }) => {
             if arm_timer {
@@ -267,7 +251,7 @@ fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent)
                 let st2 = st.clone();
                 let key2 = key.clone();
                 let delay = fire_at.saturating_since(sim.now());
-                let token = world::workflow_delay(sim, src_region, delay, move |sim| {
+                let token = sim.workflow_delay(src_region, delay, move |sim| {
                     on_batch_timer(sim, st2, rule_idx, key2);
                 });
                 st.borrow_mut().batchers[rule_idx].set_timer(&key, token);
@@ -277,14 +261,16 @@ fn on_object_event(sim: &mut CloudSim, st: St, rule_idx: usize, ev: ObjectEvent)
 }
 
 /// A batching timer fired: replicate the newest version of the key.
-fn on_batch_timer(sim: &mut CloudSim, st: St, rule_idx: usize, key: String) {
+fn on_batch_timer<B: Backend>(sim: &mut B, st: St, rule_idx: usize, key: String) {
     let (src_region, src_bucket, earliest_event) = {
         let mut s = st.borrow_mut();
         let drained = s.batchers[rule_idx].take_pending(&key);
         let slo = s.rules[rule_idx].slo;
         let earliest_event = match (&drained, slo) {
             (Some(d), Some(slo)) => Some(SimTime::from_nanos(
-                d.earliest_deadline.as_nanos().saturating_sub(slo.as_nanos()),
+                d.earliest_deadline
+                    .as_nanos()
+                    .saturating_sub(slo.as_nanos()),
             )),
             _ => None,
         };
@@ -294,26 +280,21 @@ fn on_batch_timer(sim: &mut CloudSim, st: St, rule_idx: usize, key: String) {
     };
     // Replicate whatever is newest *now* (Algorithm 4 line 6). Delay
     // accounting runs from the earliest buffered version's PUT.
-    let stat = sim.world.objstore(src_region).stat(&src_bucket, &key);
+    let stat = sim.stat_now(src_region, &src_bucket, &key);
     if let Ok(stat) = stat {
-        let event_time = earliest_event.unwrap_or(stat.created_at).min(stat.created_at);
+        let event_time = earliest_event
+            .unwrap_or(stat.created_at)
+            .min(stat.created_at);
         trigger_replication(
-            sim,
-            st,
-            rule_idx,
-            key,
-            stat.etag,
-            stat.seq,
-            stat.size,
-            event_time,
+            sim, st, rule_idx, key, stat.etag, stat.seq, stat.size, event_time,
         );
     }
 }
 
 /// Invokes an orchestrator function at the source region for one version.
 #[allow(clippy::too_many_arguments)]
-fn trigger_replication(
-    sim: &mut CloudSim,
+fn trigger_replication<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     key: String,
@@ -323,8 +304,8 @@ fn trigger_replication(
     event_time: SimTime,
 ) {
     let src_region = st.borrow().rules[rule_idx].src_region;
-    let spec = faas::default_spec(&sim.world, src_region);
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
+    let spec = sim.default_fn_spec(src_region);
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
         orchestrate(
             sim,
             st.clone(),
@@ -337,13 +318,13 @@ fn trigger_replication(
             event_time,
         );
     });
-    faas::invoke(sim, src_region, spec, body, RetryPolicy::default());
+    sim.invoke(src_region, spec, body, RetryPolicy::default());
 }
 
 /// The orchestrator function body.
 #[allow(clippy::too_many_arguments)]
-fn orchestrate(
-    sim: &mut CloudSim,
+fn orchestrate<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     handle: FnHandle,
@@ -358,11 +339,10 @@ fn orchestrate(
         let r = &s.rules[rule_idx];
         (r.src_region, r.src_bucket.clone())
     };
-    let exec = Executor::Function(handle);
+    let exec = Exec::Function(handle);
     let lock_key = format!("{src_bucket}/{key}");
     let st2 = st.clone();
-    world::db_transact(
-        sim,
+    sim.db_transact(
         exec,
         src_region,
         lock::LOCK_TABLE.into(),
@@ -371,12 +351,10 @@ fn orchestrate(
         move |sim, outcome| match outcome {
             LockOutcome::Busy => {
                 // A concurrent task holds the lock; our version is pending.
-                faas::finish(sim, handle);
+                sim.finish_function(handle);
             }
             LockOutcome::Acquired => {
-                maybe_apply_changelog(
-                    sim, st2, rule_idx, handle, key, etag, seq, size, event_time,
-                );
+                maybe_apply_changelog(sim, st2, rule_idx, handle, key, etag, seq, size, event_time);
             }
         },
     );
@@ -384,8 +362,8 @@ fn orchestrate(
 
 /// Checks for a changelog hint before falling back to full replication.
 #[allow(clippy::too_many_arguments)]
-fn maybe_apply_changelog(
-    sim: &mut CloudSim,
+fn maybe_apply_changelog<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     handle: FnHandle,
@@ -410,11 +388,10 @@ fn maybe_apply_changelog(
         plan_and_execute(sim, st, rule_idx, handle, key, etag, seq, size, event_time);
         return;
     }
-    let exec = Executor::Function(handle);
+    let exec = Exec::Function(handle);
     let hint_key = changelog::entry_key(&src_bucket, &key, etag);
     let st2 = st.clone();
-    world::db_get(
-        sim,
+    sim.db_get(
         exec,
         src_region,
         changelog::CHANGELOG_TABLE.into(),
@@ -446,7 +423,7 @@ fn maybe_apply_changelog(
                                     None,
                                     true,
                                 );
-                                faas::finish(sim, handle);
+                                sim.finish_function(handle);
                             }
                             Err(()) => {
                                 // Destination stale: full replication.
@@ -458,9 +435,7 @@ fn maybe_apply_changelog(
                     );
                 }
                 None => {
-                    plan_and_execute(
-                        sim, st2, rule_idx, handle, key, etag, seq, size, event_time,
-                    );
+                    plan_and_execute(sim, st2, rule_idx, handle, key, etag, seq, size, event_time);
                 }
             }
         },
@@ -469,8 +444,8 @@ fn maybe_apply_changelog(
 
 /// Plans and dispatches the replication (Algorithm 3 → Algorithm 1).
 #[allow(clippy::too_many_arguments)]
-fn plan_and_execute(
-    sim: &mut CloudSim,
+fn plan_and_execute<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     handle: FnHandle,
@@ -550,7 +525,7 @@ fn plan_and_execute(
     let st2 = st.clone();
     let cfg = st.borrow().cfg.clone();
     let plan_made_at = now;
-    let on_done: engine::OnDone = Rc::new(move |sim, outcome: TaskOutcome| {
+    let on_done: engine::OnDone<B> = Rc::new(move |sim, outcome: TaskOutcome| {
         let st3 = st2.clone();
         let key2 = outcome_key(&outcome, &key);
         let actual = sim.now().saturating_since(plan_made_at);
@@ -578,7 +553,7 @@ fn plan_and_execute(
         plan,
         Some(handle),
         on_done,
-        Box::new(move |sim| faas::finish(sim, release_handle)),
+        Box::new(move |sim: &mut B| sim.finish_function(release_handle)),
     );
 }
 
@@ -589,8 +564,8 @@ fn outcome_key(_outcome: &TaskOutcome, key: &str) -> String {
 /// Terminal bookkeeping: metrics, the online logger, unlock, and pending /
 /// abort re-triggers.
 #[allow(clippy::too_many_arguments)]
-fn conclude(
-    sim: &mut CloudSim,
+fn conclude<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     key: String,
@@ -651,7 +626,7 @@ fn conclude(
         (r.src_region, r.src_bucket.clone())
     };
     let lock_key = format!("{src_bucket}/{key}");
-    let exec = Executor::Platform {
+    let exec = Exec::Platform {
         region: src_region,
         mbps: 1000.0,
     };
@@ -660,8 +635,7 @@ fn conclude(
         TaskStatus::AbortedEtagMismatch { current } => current,
         _ => None,
     };
-    world::db_transact(
-        sim,
+    sim.db_transact(
         exec,
         src_region,
         lock::LOCK_TABLE.into(),
@@ -681,8 +655,8 @@ fn conclude(
 }
 
 /// Stats the source for the version's size and re-triggers replication.
-fn retrigger_for_version(
-    sim: &mut CloudSim,
+fn retrigger_for_version<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     key: String,
@@ -695,7 +669,7 @@ fn retrigger_for_version(
         let r = &s.rules[rule_idx];
         (r.src_region, r.src_bucket.clone())
     };
-    match sim.world.objstore(src_region).stat(&src_bucket, &key) {
+    match sim.stat_now(src_region, &src_bucket, &key) {
         Ok(stat) => {
             // Replicate whatever is current; measure delay from its PUT.
             trigger_replication(
@@ -717,8 +691,8 @@ fn retrigger_for_version(
 
 /// DELETE propagation: serialize through the same lock, remove at the
 /// destination.
-fn trigger_delete(
-    sim: &mut CloudSim,
+fn trigger_delete<B: Backend>(
+    sim: &mut B,
     st: St,
     rule_idx: usize,
     key: String,
@@ -735,30 +709,28 @@ fn trigger_delete(
             r.dst_bucket.clone(),
         )
     };
-    let spec = faas::default_spec(&sim.world, src_region);
+    let spec = sim.default_fn_spec(src_region);
     let st2 = st.clone();
-    let body: faas::FnBody = Rc::new(move |sim, handle| {
-        let exec = Executor::Function(handle);
+    let body: FnBody<B> = Rc::new(move |sim, handle| {
+        let exec = Exec::Function(handle);
         let lock_key = format!("{src_bucket}/{}", key);
         let st3 = st2.clone();
         let key2 = key.clone();
         let dst_bucket2 = dst_bucket.clone();
         let src_bucket2 = src_bucket.clone();
-        world::db_transact(
-            sim,
+        sim.db_transact(
             exec,
             src_region,
             lock::LOCK_TABLE.into(),
             lock_key.clone(),
             lock::try_lock_tx(etag, seq),
             move |sim, outcome| match outcome {
-                LockOutcome::Busy => faas::finish(sim, handle),
+                LockOutcome::Busy => sim.finish_function(handle),
                 LockOutcome::Acquired => {
                     let st4 = st3.clone();
                     let key3 = key2.clone();
                     let src_bucket3 = src_bucket2.clone();
-                    world::delete_object(
-                        sim,
+                    sim.delete_object(
                         exec,
                         dst_region,
                         dst_bucket2.clone(),
@@ -773,13 +745,12 @@ fn trigger_delete(
                             // Unlock; a pending PUT that raced the delete
                             // re-triggers replication.
                             let lock_key = format!("{src_bucket3}/{key3}");
-                            let exec_p = Executor::Platform {
+                            let exec_p = Exec::Platform {
                                 region: src_region,
                                 mbps: 1000.0,
                             };
                             let st5 = st4.clone();
-                            world::db_transact(
-                                sim,
+                            sim.db_transact(
                                 exec_p,
                                 src_region,
                                 lock::LOCK_TABLE.into(),
@@ -799,12 +770,12 @@ fn trigger_delete(
                                     }
                                 },
                             );
-                            faas::finish(sim, handle);
+                            sim.finish_function(handle);
                         },
                     );
                 }
             },
         );
     });
-    faas::invoke(sim, src_region, spec, body, RetryPolicy::default());
+    sim.invoke(src_region, spec, body, RetryPolicy::default());
 }

@@ -66,8 +66,13 @@ fn assert_replica_matches(sim: &CloudSim, src: RegionId, dst: RegionId, key: &st
 
 #[test]
 fn small_object_replicates_end_to_end() {
-    let (mut sim, service, src, dst) =
-        setup(1, (Cloud::Aws, "us-east-1"), (Cloud::Aws, "ca-central-1"), |r| r, EngineConfig::default());
+    let (mut sim, service, src, dst) = setup(
+        1,
+        (Cloud::Aws, "us-east-1"),
+        (Cloud::Aws, "ca-central-1"),
+        |r| r,
+        EngineConfig::default(),
+    );
     world::user_put(&mut sim, src, "src-bucket", "small.bin", 1 << 20).unwrap();
     sim.run_to_completion(1_000_000);
     assert_replica_matches(&sim, src, dst, "small.bin");
@@ -95,7 +100,11 @@ fn large_object_uses_distributed_replication() {
     let m = service.metrics();
     assert_eq!(m.completions.len(), 1);
     let rec = &m.completions[0];
-    assert!(rec.n_funcs >= 2, "expected parallelism, got {}", rec.n_funcs);
+    assert!(
+        rec.n_funcs >= 2,
+        "expected parallelism, got {}",
+        rec.n_funcs
+    );
     let delay = rec.delay().as_secs_f64();
     assert!(delay < 60.0, "256 MB took {delay}s");
     // Distributed replication actually balanced work across instances.
@@ -130,7 +139,11 @@ fn rapid_overwrites_converge_to_newest_version() {
     }
     sim.run_to_completion(2_000_000);
     assert_replica_matches(&sim, src, dst, "hot.bin");
-    let stat = sim.world.objstore(dst).stat("dst-bucket", "hot.bin").unwrap();
+    let stat = sim
+        .world
+        .objstore(dst)
+        .stat("dst-bucket", "hot.bin")
+        .unwrap();
     assert_eq!(stat.size, (1 << 20) + 4, "newest version must win");
     let m = service.metrics();
     assert!(!m.completions.is_empty());
@@ -154,7 +167,11 @@ fn concurrent_update_during_large_replication_stays_consistent() {
     // Whatever happened, the destination must equal the final source version
     // and must not be a Figure-14 hybrid.
     assert_replica_matches(&sim, src, dst, "racy.bin");
-    let stat = sim.world.objstore(dst).stat("dst-bucket", "racy.bin").unwrap();
+    let stat = sim
+        .world
+        .objstore(dst)
+        .stat("dst-bucket", "racy.bin")
+        .unwrap();
     assert_eq!(stat.size, 220 << 20);
 }
 
@@ -164,8 +181,10 @@ fn validation_disabled_can_corrupt_ablation() {
     // can produce a destination object stitched from two source versions.
     // (Not guaranteed every run — but with validation ON this must NEVER
     // happen, which is what the previous test asserts.)
-    let mut engine = EngineConfig::default();
-    engine.validate_etags = false;
+    let engine = EngineConfig {
+        validate_etags: false,
+        ..EngineConfig::default()
+    };
     let (mut sim, _service, src, dst) = setup(
         5,
         (Cloud::Aws, "us-east-1"),
@@ -365,11 +384,17 @@ fn fair_dispatch_is_slower_on_variable_clouds() {
     let run = |mode: SchedulingMode, seed: u64| -> f64 {
         let mut sim = World::paper_sim(seed);
         let src = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
-        let dst = sim.world.regions.lookup(Cloud::Gcp, "asia-northeast1").unwrap();
+        let dst = sim
+            .world
+            .regions
+            .lookup(Cloud::Gcp, "asia-northeast1")
+            .unwrap();
         sim.world.objstore_mut(src).create_bucket("src-bucket");
         sim.world.objstore_mut(dst).create_bucket("dst-bucket");
-        let mut engine_cfg = EngineConfig::default();
-        engine_cfg.scheduling = mode;
+        let engine_cfg = EngineConfig {
+            scheduling: mode,
+            ..EngineConfig::default()
+        };
         let mut total = 0.0;
         let trials = 5;
         for trial in 0..trials {
@@ -469,7 +494,10 @@ fn debug_crash_injection() {
     println!("completions: {}", service.metrics().completions.len());
     println!("aborted: {}", service.metrics().aborted_retries);
     let exec_region = src;
-    println!("task table at src: {}", sim.world.db(exec_region).table_len("areplica_tasks"));
+    println!(
+        "task table at src: {}",
+        sim.world.db(exec_region).table_len("areplica_tasks")
+    );
     println!("now: {}", sim.now());
     println!("pending events: {}", sim.pending_events());
 }
@@ -534,7 +562,11 @@ fn profiler_fits_parameters_near_ground_truth() {
     // The fitted chunk time implies a plausible bandwidth: an 8 MB chunk is
     // a local download plus a WAN upload at a few hundred Mbps.
     let path = model
-        .path_params(PathKey { src, dst, side: ExecSide::Source })
+        .path_params(PathKey {
+            src,
+            dst,
+            side: ExecSide::Source,
+        })
         .expect("profiled");
     let chunk_s = path.chunk.mean();
     let implied_mbps = 8.0 * 8.0 / chunk_s; // 8 MB in megabits / seconds

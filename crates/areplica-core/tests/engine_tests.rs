@@ -74,8 +74,18 @@ fn streamed_single_chunk_direct_put() {
     let task = task_for(&mut s, "tiny", 4 << 20);
     let out = run_task(&mut s, task, plan(1, true), EngineConfig::default());
     assert!(matches!(out.status, TaskStatus::Replicated { .. }));
-    let (a, _) = s.sim.world.objstore(s.src).read_full("src", "tiny").unwrap();
-    let (b, _) = s.sim.world.objstore(s.dst).read_full("dst", "tiny").unwrap();
+    let (a, _) = s
+        .sim
+        .world
+        .objstore(s.src)
+        .read_full("src", "tiny")
+        .unwrap();
+    let (b, _) = s
+        .sim
+        .world
+        .objstore(s.dst)
+        .read_full("dst", "tiny")
+        .unwrap();
     assert!(a.same_bytes(&b));
 }
 
@@ -114,8 +124,10 @@ fn distributed_replication_balances_chunks() {
 #[test]
 fn fair_dispatch_assigns_equal_shares() {
     let mut s = setup(44);
-    let mut cfg = EngineConfig::default();
-    cfg.scheduling = SchedulingMode::FairDispatch;
+    let cfg = EngineConfig {
+        scheduling: SchedulingMode::FairDispatch,
+        ..EngineConfig::default()
+    };
     let task = task_for(&mut s, "fair", 256 << 20); // 32 chunks
     let out = run_task(&mut s, task, plan(8, false), cfg);
     assert!(matches!(out.status, TaskStatus::Replicated { .. }));
@@ -134,9 +146,10 @@ fn abort_on_source_overwrite_midway() {
     let task = task_for(&mut s, "racy", 512 << 20);
     // Overwrite the source shortly after the task starts.
     let src = s.src;
-    s.sim.schedule_at(SimTime::from_nanos(1_500_000_000), move |sim| {
-        world::user_put(sim, src, "src", "racy", 600 << 20).unwrap();
-    });
+    s.sim
+        .schedule_at(SimTime::from_nanos(1_500_000_000), move |sim| {
+            world::user_put(sim, src, "src", "racy", 600 << 20).unwrap();
+        });
     let out = run_task(&mut s, task, plan(4, false), EngineConfig::default());
     match out.status {
         TaskStatus::AbortedEtagMismatch { current } => {
@@ -156,9 +169,10 @@ fn source_deletion_midway_reports_gone() {
     let mut s = setup(46);
     let task = task_for(&mut s, "vanish", 256 << 20);
     let src = s.src;
-    s.sim.schedule_at(SimTime::from_nanos(1_500_000_000), move |sim| {
-        world::user_delete(sim, src, "src", "vanish").unwrap();
-    });
+    s.sim
+        .schedule_at(SimTime::from_nanos(1_500_000_000), move |sim| {
+            world::user_delete(sim, src, "src", "vanish").unwrap();
+        });
     let out = run_task(&mut s, task, plan(4, false), EngineConfig::default());
     assert!(matches!(
         out.status,
@@ -186,14 +200,28 @@ fn watchdog_rescues_task_after_total_replicator_loss() {
         Box::new(|_| {}),
     );
     // Stop crashing after the initial fleet dies so the rescue can work.
-    s.sim.schedule_at(SimTime::from_nanos(20_000_000_000), |sim| {
-        sim.world.params.crash_probability = 0.0;
-    });
+    s.sim
+        .schedule_at(SimTime::from_nanos(20_000_000_000), |sim| {
+            sim.world.params.crash_probability = 0.0;
+        });
     s.sim.run_to_completion(100_000_000);
-    let o = out.borrow().clone().expect("watchdog must conclude the task");
+    let o = out
+        .borrow()
+        .clone()
+        .expect("watchdog must conclude the task");
     assert!(matches!(o.status, TaskStatus::Replicated { .. }));
-    let (a, _) = s.sim.world.objstore(s.src).read_full("src", "doomed").unwrap();
-    let (b, _) = s.sim.world.objstore(s.dst).read_full("dst", "doomed").unwrap();
+    let (a, _) = s
+        .sim
+        .world
+        .objstore(s.src)
+        .read_full("src", "doomed")
+        .unwrap();
+    let (b, _) = s
+        .sim
+        .world
+        .objstore(s.dst)
+        .read_full("dst", "doomed")
+        .unwrap();
     assert!(a.same_bytes(&b));
 }
 
@@ -223,7 +251,12 @@ fn zero_byte_object_replicates() {
     let out = run_task(&mut s, task, plan(1, true), EngineConfig::default());
     assert!(matches!(out.status, TaskStatus::Replicated { .. }));
     assert_eq!(
-        s.sim.world.objstore(s.dst).stat("dst", "empty").unwrap().size,
+        s.sim
+            .world
+            .objstore(s.dst)
+            .stat("dst", "empty")
+            .unwrap()
+            .size,
         0
     );
 }
@@ -233,8 +266,16 @@ fn relay_execution_routes_through_intermediate_region() {
     use areplica_core::overlay::RelayPlan;
 
     let mut sim = World::paper_sim(77);
-    let src = sim.world.regions.lookup(Cloud::Azure, "southeastasia").unwrap();
-    let dst = sim.world.regions.lookup(Cloud::Gcp, "europe-west6").unwrap();
+    let src = sim
+        .world
+        .regions
+        .lookup(Cloud::Azure, "southeastasia")
+        .unwrap();
+    let dst = sim
+        .world
+        .regions
+        .lookup(Cloud::Gcp, "europe-west6")
+        .unwrap();
     let relay = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
     sim.world.objstore_mut(src).create_bucket("src");
     sim.world.objstore_mut(dst).create_bucket("dst");
@@ -283,8 +324,16 @@ fn relay_execution_routes_through_intermediate_region() {
     assert!(matches!(o.status, TaskStatus::Replicated { .. }));
 
     // Destination matches the source byte-for-byte.
-    let (a, ae) = sim.world.objstore(src).read_full("src", "model.bin").unwrap();
-    let (b, be) = sim.world.objstore(dst).read_full("dst", "model.bin").unwrap();
+    let (a, ae) = sim
+        .world
+        .objstore(src)
+        .read_full("src", "model.bin")
+        .unwrap();
+    let (b, be) = sim
+        .world
+        .objstore(dst)
+        .read_full("dst", "model.bin")
+        .unwrap();
     assert!(a.same_bytes(&b));
     assert_eq!(ae, be);
     // The staged copy exists at the relay.

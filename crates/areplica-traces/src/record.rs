@@ -296,7 +296,10 @@ mod tests {
     fn writes_only_filters_reads() {
         let w = sample().writes_only();
         assert_eq!(w.len(), 3);
-        assert!(w.records.iter().all(|r| !matches!(r.op, TraceOp::Get | TraceOp::Head)));
+        assert!(w
+            .records
+            .iter()
+            .all(|r| !matches!(r.op, TraceOp::Get | TraceOp::Head)));
     }
 
     #[test]

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(stats.deletes, 2);
         sim.run_to_completion(1000);
         assert!(sim.world.objstore(region).stat("bkt", "x").is_err());
-        assert_eq!(sim.world.objstore(region).stat("bkt", "y").unwrap().size, 30);
+        assert_eq!(
+            sim.world.objstore(region).stat("bkt", "y").unwrap().size,
+            30
+        );
     }
 
     #[test]

@@ -181,7 +181,9 @@ pub fn generate(cfg: &SynthConfig, seed: u64) -> Trace {
 
     for minute in 0..minutes {
         log_rate_dev = cfg.rate_ar1 * log_rate_dev
-            + cfg.rate_sigma * (1.0 - cfg.rate_ar1 * cfg.rate_ar1).sqrt() * sample_std_normal(&mut rng);
+            + cfg.rate_sigma
+                * (1.0 - cfg.rate_ar1 * cfg.rate_ar1).sqrt()
+                * sample_std_normal(&mut rng);
         if burst_left == 0 && rng.gen_range(0.0f64..1.0) < cfg.burst_prob {
             burst_left = cfg.burst_minutes;
             burst_mult = cfg.burst_multiplier.sample_nonneg(&mut rng).max(1.0);

@@ -135,12 +135,28 @@ impl ManagedReplication {
         let dst_cloud = sim.world.regions.cloud(dst_region);
         match cfg.kind {
             ManagedKind::S3Rtc => {
-                assert_eq!(src_cloud, Cloud::Aws, "S3 RTC replicates between AWS buckets");
-                assert_eq!(dst_cloud, Cloud::Aws, "S3 RTC replicates between AWS buckets");
+                assert_eq!(
+                    src_cloud,
+                    Cloud::Aws,
+                    "S3 RTC replicates between AWS buckets"
+                );
+                assert_eq!(
+                    dst_cloud,
+                    Cloud::Aws,
+                    "S3 RTC replicates between AWS buckets"
+                );
             }
             ManagedKind::AzRep => {
-                assert_eq!(src_cloud, Cloud::Azure, "AZ Rep replicates between Azure buckets");
-                assert_eq!(dst_cloud, Cloud::Azure, "AZ Rep replicates between Azure buckets");
+                assert_eq!(
+                    src_cloud,
+                    Cloud::Azure,
+                    "AZ Rep replicates between Azure buckets"
+                );
+                assert_eq!(
+                    dst_cloud,
+                    Cloud::Azure,
+                    "AZ Rep replicates between Azure buckets"
+                );
             }
         }
         sim.world.objstore_mut(src_region).create_bucket(src_bucket);
@@ -263,10 +279,7 @@ fn replicate_version(
         // services replicate every version (versioning is on), but for delay
         // accounting we follow the paper's definition (the version or a
         // newer one is retrievable).
-        let read = sim
-            .world
-            .objstore(src_region)
-            .read_full(&src_bucket, &key);
+        let read = sim.world.objstore(src_region).read_full(&src_bucket, &key);
         let Ok((content, current_etag)) = read else {
             return; // deleted meanwhile
         };

@@ -267,13 +267,7 @@ fn pump(sim: &mut CloudSim, st: St, src: RegionId, dst: RegionId) {
     run_job(sim, st, src, dst, job);
 }
 
-fn arm_idle_shutdown(
-    sim: &mut CloudSim,
-    s: &mut SkyState,
-    src: RegionId,
-    dst: RegionId,
-    st: St,
-) {
+fn arm_idle_shutdown(sim: &mut CloudSim, s: &mut SkyState, src: RegionId, dst: RegionId, st: St) {
     let keep = s.cfg.keep_alive;
     let pair = s.pairs.get_mut(&(src, dst)).expect("pair exists");
     match keep {
@@ -313,10 +307,7 @@ fn run_job(sim: &mut CloudSim, st: St, src: RegionId, dst: RegionId, job: Job) {
     sim.schedule_in(overhead, move |sim| {
         let now = sim.now();
         st.borrow_mut().timeline.push((now, "transfer_start"));
-        let stat = sim
-            .world
-            .objstore(src)
-            .stat(&job.src_bucket, &job.key);
+        let stat = sim.world.objstore(src).stat(&job.src_bucket, &job.key);
         let Ok(stat) = stat else {
             // Object deleted before the job ran; report completion.
             let now = sim.now();
@@ -421,15 +412,36 @@ fn relay_share(
         return;
     }
     // Leg 1: bucket -> source gateway (local).
-    world::run_leg(sim, Executor::Vm(src_vm), src, Direction::Download, len, move |sim| {
-        // Leg 2: source gateway -> destination gateway (WAN; egress billed).
-        world::run_leg(sim, Executor::Vm(src_vm), dst, Direction::Upload, len, move |sim| {
-            // Leg 3: destination gateway -> bucket (local).
-            world::run_leg(sim, Executor::Vm(dst_vm), dst, Direction::Upload, len, move |sim| {
-                done(sim);
-            });
-        });
-    });
+    world::run_leg(
+        sim,
+        Executor::Vm(src_vm),
+        src,
+        Direction::Download,
+        len,
+        move |sim| {
+            // Leg 2: source gateway -> destination gateway (WAN; egress billed).
+            world::run_leg(
+                sim,
+                Executor::Vm(src_vm),
+                dst,
+                Direction::Upload,
+                len,
+                move |sim| {
+                    // Leg 3: destination gateway -> bucket (local).
+                    world::run_leg(
+                        sim,
+                        Executor::Vm(dst_vm),
+                        dst,
+                        Direction::Upload,
+                        len,
+                        move |sim| {
+                            done(sim);
+                        },
+                    );
+                },
+            );
+        },
+    );
 }
 
 /// Convenience used by experiments: replicate and wait for completion in a

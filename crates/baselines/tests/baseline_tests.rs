@@ -28,9 +28,17 @@ fn skyplane_single_object_breakdown() {
     let sky = Skyplane::new(SkyplaneConfig::default());
     let result: Rc<RefCell<Option<baselines::SkyplaneResult>>> = Rc::default();
     let r2 = result.clone();
-    sky.replicate(&mut sim, use1, "src", use2, "dst", "obj", Rc::new(move |_, r| {
-        *r2.borrow_mut() = Some(r);
-    }));
+    sky.replicate(
+        &mut sim,
+        use1,
+        "src",
+        use2,
+        "dst",
+        "obj",
+        Rc::new(move |_, r| {
+            *r2.borrow_mut() = Some(r);
+        }),
+    );
     sim.run_to_completion(100_000);
     let r = result.borrow().expect("job completed");
     let delay = (r.completed - r.submitted).as_secs_f64();
@@ -54,7 +62,7 @@ fn skyplane_single_object_breakdown() {
 
 #[test]
 fn skyplane_keep_alive_amortizes_provisioning() {
-    let mut run = |keep_alive: Option<SimDuration>| -> (f64, f64) {
+    let run = |keep_alive: Option<SimDuration>| -> (f64, f64) {
         let mut sim = World::paper_sim(22);
         let use1 = region(&sim, Cloud::Aws, "us-east-1");
         let use2 = region(&sim, Cloud::Aws, "us-east-2");
@@ -74,11 +82,19 @@ fn skyplane_keep_alive_amortizes_provisioning() {
             sim.schedule_at(SimTime::from_nanos(i * 30_000_000_000), move |sim| {
                 world::user_put(sim, use1, "src", &key, 1 << 20).unwrap();
                 let delays3 = delays2.clone();
-                sky_state.replicate(sim, use1, "src", use2, "dst", &key, Rc::new(move |_, r| {
-                    delays3
-                        .borrow_mut()
-                        .push((r.completed - r.submitted).as_secs_f64());
-                }));
+                sky_state.replicate(
+                    sim,
+                    use1,
+                    "src",
+                    use2,
+                    "dst",
+                    &key,
+                    Rc::new(move |_, r| {
+                        delays3
+                            .borrow_mut()
+                            .push((r.completed - r.submitted).as_secs_f64());
+                    }),
+                );
             });
         }
         sim.run_to_completion(1_000_000);
@@ -133,7 +149,12 @@ fn s3_rtc_delay_envelope_and_cost() {
     assert!(mean > 12.0 && mean < 30.0, "mean delay {mean}");
     // RTC surcharge was billed.
     assert!(sim.world.ledger.category_total(CostCategory::RtcFee) > Money::ZERO);
-    assert!(sim.world.ledger.category_total(CostCategory::StorageCapacity) > Money::ZERO);
+    assert!(
+        sim.world
+            .ledger
+            .category_total(CostCategory::StorageCapacity)
+            > Money::ZERO
+    );
 }
 
 #[test]
@@ -194,7 +215,11 @@ fn az_rep_is_slow_but_cheap() {
     assert!(mean > 55.0 && mean < 75.0, "mean {mean}");
     // Free of replication charges (no egress billed to the service user, no
     // RTC fee).
-    assert!(sim.world.ledger.category_total(CostCategory::RtcFee).is_zero());
+    assert!(sim
+        .world
+        .ledger
+        .category_total(CostCategory::RtcFee)
+        .is_zero());
 }
 
 #[test]

@@ -39,7 +39,7 @@ fn quick() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_event_throughput

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::hint::black_box;
 use stats::{gumbel_max_of_normals, monte_carlo_max, Dist};
+use std::hint::black_box;
 
 fn bench_max_of_n(c: &mut Criterion) {
     let parent = Dist::normal(10.0, 2.0);
@@ -40,7 +40,7 @@ fn quick() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_max_of_n

@@ -6,8 +6,8 @@ use areplica_core::model::{ExecSide, LocParams, PathKey, PathParams, PerfModel};
 use areplica_core::{generate_plan, EngineConfig};
 use cloudsim::{Cloud, RegionRegistry};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use stats::Dist;
+use std::hint::black_box;
 
 fn build_model() -> (PerfModel, cloudsim::RegionId, cloudsim::RegionId) {
     let regions = RegionRegistry::paper_regions();
@@ -79,7 +79,7 @@ fn quick() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
 }
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_planner

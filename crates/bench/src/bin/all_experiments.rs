@@ -18,15 +18,24 @@ fn main() {
     };
     run("fig02_put_sizes", &ex::fig02_put_sizes::run);
     run("fig03_throughput", &ex::fig03_throughput::run);
-    run("fig04_skyplane_breakdown", &ex::fig04_skyplane_breakdown::run);
+    run(
+        "fig04_skyplane_breakdown",
+        &ex::fig04_skyplane_breakdown::run,
+    );
     run("fig05_skyplane_dynamic", &ex::fig05_skyplane_dynamic::run);
     run("fig06_bandwidth_config", &ex::fig06_bandwidth_config::run);
     run("fig07_scaling", &ex::fig07_scaling::run);
     run("fig08_asymmetry", &ex::fig08_asymmetry::run);
     run("fig09_variability", &ex::fig09_variability::run);
-    run("table1_aws", &|| ex::tables_delay_cost::run(1, (cloudsim::Cloud::Aws, "us-east-1")));
-    run("table2_azure", &|| ex::tables_delay_cost::run(2, (cloudsim::Cloud::Azure, "eastus")));
-    run("table3_gcp", &|| ex::tables_delay_cost::run(3, (cloudsim::Cloud::Gcp, "us-east1")));
+    run("table1_aws", &|| {
+        ex::tables_delay_cost::run(1, (cloudsim::Cloud::Aws, "us-east-1"))
+    });
+    run("table2_azure", &|| {
+        ex::tables_delay_cost::run(2, (cloudsim::Cloud::Azure, "eastus"))
+    });
+    run("table3_gcp", &|| {
+        ex::tables_delay_cost::run(3, (cloudsim::Cloud::Gcp, "us-east1"))
+    });
     run("fig16_bulk", &ex::fig16_bulk::run);
     run("fig17_scheduling_ablation", &ex::fig17_scheduling::run);
     run("fig18_model_accuracy", &ex::fig18_19_model_accuracy::run);

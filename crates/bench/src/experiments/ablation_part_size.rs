@@ -20,11 +20,17 @@ use crate::runners::fresh_sim;
 fn run_part_size(part_size: u64, trials: usize, seed_offset: u64) -> (f64, f64, u64) {
     let mut sim = fresh_sim(seed_offset);
     let src = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
-    let dst = sim.world.regions.lookup(Cloud::Gcp, "asia-northeast1").unwrap();
+    let dst = sim
+        .world
+        .regions
+        .lookup(Cloud::Gcp, "asia-northeast1")
+        .unwrap();
     sim.world.objstore_mut(src).create_bucket("src");
     sim.world.objstore_mut(dst).create_bucket("dst");
-    let mut cfg = EngineConfig::default();
-    cfg.part_size = part_size;
+    let cfg = EngineConfig {
+        part_size,
+        ..EngineConfig::default()
+    };
     let size: u64 = 1 << 30;
     let mut times = Vec::new();
     let before = sim.world.ledger.snapshot();
@@ -69,7 +75,9 @@ fn run_part_size(part_size: u64, trials: usize, seed_offset: u64) -> (f64, f64, 
     sim.run_until(settle);
     let spent = sim.world.ledger.since(&before);
     let db_requests = spent.category_total(CostCategory::DbOps).as_dollars()
-        + spent.category_total(CostCategory::StorageRequests).as_dollars();
+        + spent
+            .category_total(CostCategory::StorageRequests)
+            .as_dollars();
     (
         mean(&times),
         db_requests / trials as f64,

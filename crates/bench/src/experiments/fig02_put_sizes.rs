@@ -34,7 +34,10 @@ pub fn run() -> String {
     let mut total_bytes = 0u64;
     for r in &trace.records {
         if let TraceOp::Put { size } = r.op {
-            let idx = edges.iter().position(|(hi, _)| size < *hi).unwrap_or(edges.len() - 1);
+            let idx = edges
+                .iter()
+                .position(|(hi, _)| size < *hi)
+                .unwrap_or(edges.len() - 1);
             counts[idx] += 1;
             bytes[idx] += size;
             total_count += 1;

@@ -25,9 +25,17 @@ pub fn run() -> String {
     let sky = Skyplane::new(SkyplaneConfig::default());
     let done: Rc<RefCell<Option<baselines::SkyplaneResult>>> = Rc::default();
     let d2 = done.clone();
-    sky.replicate(&mut sim, use1, "src", use2, "dst", "obj-10mb", Rc::new(move |_, r| {
-        *d2.borrow_mut() = Some(r);
-    }));
+    sky.replicate(
+        &mut sim,
+        use1,
+        "src",
+        use2,
+        "dst",
+        "obj-10mb",
+        Rc::new(move |_, r| {
+            *d2.borrow_mut() = Some(r);
+        }),
+    );
     sim.run_to_completion(1_000_000);
     let result = done.borrow().expect("job completed");
 
@@ -68,8 +76,16 @@ pub fn run() -> String {
         ]);
     }
 
-    let vm = sim.world.ledger.category_total(CostCategory::VmCompute).as_dollars();
-    let egress = sim.world.ledger.category_total(CostCategory::Egress).as_dollars();
+    let vm = sim
+        .world
+        .ledger
+        .category_total(CostCategory::VmCompute)
+        .as_dollars();
+    let egress = sim
+        .world
+        .ledger
+        .category_total(CostCategory::Egress)
+        .as_dollars();
     let requests = sim
         .world
         .ledger
@@ -77,7 +93,11 @@ pub fn run() -> String {
         .as_dollars();
     let total_cost = vm + egress + requests;
     let mut cost_table = Table::new(["component", "dollars", "share %"]);
-    for (label, c) in [("VM", vm), ("Data transfer", egress), ("S3 requests", requests)] {
+    for (label, c) in [
+        ("VM", vm),
+        ("Data transfer", egress),
+        ("S3 requests", requests),
+    ] {
         cost_table.row([
             label.to_string(),
             format!("{c:.6}"),

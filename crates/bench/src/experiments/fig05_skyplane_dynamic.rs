@@ -8,8 +8,8 @@ use std::rc::Rc;
 
 use areplica_traces::{generate, SynthConfig, TraceOp};
 use baselines::{Skyplane, SkyplaneConfig};
-use cloudsim::{Cloud, RegionId};
 use cloudsim::world::{self, CloudSim};
+use cloudsim::{Cloud, RegionId};
 use pricing::CostCategory;
 use simkernel::{SimDuration, SimTime};
 use stats::Dist;
@@ -92,11 +92,19 @@ fn schedule_replication(
     key: &str,
     delays: Rc<RefCell<Vec<f64>>>,
 ) {
-    sky.replicate(sim, src, "src", dst, "dst", key, Rc::new(move |_, r| {
-        delays
-            .borrow_mut()
-            .push((r.completed - r.submitted).as_secs_f64());
-    }));
+    sky.replicate(
+        sim,
+        src,
+        "src",
+        dst,
+        "dst",
+        key,
+        Rc::new(move |_, r| {
+            delays
+                .borrow_mut()
+                .push((r.completed - r.submitted).as_secs_f64());
+        }),
+    );
 }
 
 /// Runs the experiment and returns the report.
@@ -136,7 +144,10 @@ pub fn run() -> String {
             format!("{:.1}", percentile(&o.delays, 90.0)),
             format!("{:.1}", o.delays.iter().copied().fold(0.0, f64::max)),
             format!("{:.4}", o.vm_cost),
-            format!("{:+.1}%", 100.0 * (o.vm_cost - keepalive_cost) / keepalive_cost),
+            format!(
+                "{:+.1}%",
+                100.0 * (o.vm_cost - keepalive_cost) / keepalive_cost
+            ),
         ]);
     }
     let mean_delay = mean(&outcomes[2].delays);

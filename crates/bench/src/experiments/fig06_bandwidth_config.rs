@@ -31,7 +31,10 @@ pub fn run() -> String {
         Cloud::Aws,
         "us-east-1",
         &[128, 256, 512, 1024, 1769, 2048, 4096, 8192],
-        |mem| FnConfig { memory_mb: mem, vcpus: mem as f64 / 1769.0 },
+        |mem| FnConfig {
+            memory_mb: mem,
+            vcpus: mem as f64 / 1769.0,
+        },
         &peers_aws,
     ));
 
@@ -48,7 +51,10 @@ pub fn run() -> String {
         Cloud::Azure,
         "eastus",
         &[2048, 3072, 4096],
-        |mem| FnConfig { memory_mb: mem, vcpus: 1.0 },
+        |mem| FnConfig {
+            memory_mb: mem,
+            vcpus: 1.0,
+        },
         &peers_azure,
     ));
 
@@ -65,7 +71,10 @@ pub fn run() -> String {
         Cloud::Gcp,
         "us-east1",
         &[1, 2, 4, 8],
-        |cpus| FnConfig { memory_mb: 1024, vcpus: cpus as f64 },
+        |cpus| FnConfig {
+            memory_mb: 1024,
+            vcpus: cpus as f64,
+        },
         &peers_gcp,
     ));
 

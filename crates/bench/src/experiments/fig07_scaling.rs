@@ -26,7 +26,11 @@ struct Link {
 fn aggregate_mbps(seed_offset: u64, link: &Link, n: u32, bytes: u64) -> f64 {
     let mut sim = fresh_sim(seed_offset);
     let exec_region = sim.world.regions.lookup(link.exec.0, link.exec.1).unwrap();
-    let remote = sim.world.regions.lookup(link.remote.0, link.remote.1).unwrap();
+    let remote = sim
+        .world
+        .regions
+        .lookup(link.remote.0, link.remote.1)
+        .unwrap();
     let spec = faas::default_spec(&sim.world, exec_region);
     let finished: Rc<RefCell<Vec<(SimTime, SimTime)>>> = Rc::default();
     for _ in 0..n {
@@ -66,22 +70,66 @@ fn region_of(sim: &CloudSim, cloud: Cloud, name: &str) -> RegionId {
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let links = [
-        Link { label: "AWS download (eu-west-1)", exec: (Cloud::Aws, "us-east-1"), remote: (Cloud::Aws, "eu-west-1"), dir: Direction::Download },
-        Link { label: "AWS upload fast (ca-central-1)", exec: (Cloud::Aws, "us-east-1"), remote: (Cloud::Aws, "ca-central-1"), dir: Direction::Upload },
-        Link { label: "AWS upload slow (ap-northeast-1)", exec: (Cloud::Aws, "us-east-1"), remote: (Cloud::Aws, "ap-northeast-1"), dir: Direction::Upload },
-        Link { label: "Azure download (AWS us-east-1)", exec: (Cloud::Azure, "eastus"), remote: (Cloud::Aws, "us-east-1"), dir: Direction::Download },
-        Link { label: "Azure upload fast (westus2)", exec: (Cloud::Azure, "eastus"), remote: (Cloud::Azure, "westus2"), dir: Direction::Upload },
-        Link { label: "Azure upload slow (southeastasia)", exec: (Cloud::Azure, "eastus"), remote: (Cloud::Azure, "southeastasia"), dir: Direction::Upload },
-        Link { label: "GCP download (AWS us-east-1)", exec: (Cloud::Gcp, "us-east1"), remote: (Cloud::Aws, "us-east-1"), dir: Direction::Download },
-        Link { label: "GCP upload fast (us-west1)", exec: (Cloud::Gcp, "us-east1"), remote: (Cloud::Gcp, "us-west1"), dir: Direction::Upload },
-        Link { label: "GCP upload slow (asia-northeast1)", exec: (Cloud::Gcp, "us-east1"), remote: (Cloud::Gcp, "asia-northeast1"), dir: Direction::Upload },
+        Link {
+            label: "AWS download (eu-west-1)",
+            exec: (Cloud::Aws, "us-east-1"),
+            remote: (Cloud::Aws, "eu-west-1"),
+            dir: Direction::Download,
+        },
+        Link {
+            label: "AWS upload fast (ca-central-1)",
+            exec: (Cloud::Aws, "us-east-1"),
+            remote: (Cloud::Aws, "ca-central-1"),
+            dir: Direction::Upload,
+        },
+        Link {
+            label: "AWS upload slow (ap-northeast-1)",
+            exec: (Cloud::Aws, "us-east-1"),
+            remote: (Cloud::Aws, "ap-northeast-1"),
+            dir: Direction::Upload,
+        },
+        Link {
+            label: "Azure download (AWS us-east-1)",
+            exec: (Cloud::Azure, "eastus"),
+            remote: (Cloud::Aws, "us-east-1"),
+            dir: Direction::Download,
+        },
+        Link {
+            label: "Azure upload fast (westus2)",
+            exec: (Cloud::Azure, "eastus"),
+            remote: (Cloud::Azure, "westus2"),
+            dir: Direction::Upload,
+        },
+        Link {
+            label: "Azure upload slow (southeastasia)",
+            exec: (Cloud::Azure, "eastus"),
+            remote: (Cloud::Azure, "southeastasia"),
+            dir: Direction::Upload,
+        },
+        Link {
+            label: "GCP download (AWS us-east-1)",
+            exec: (Cloud::Gcp, "us-east1"),
+            remote: (Cloud::Aws, "us-east-1"),
+            dir: Direction::Download,
+        },
+        Link {
+            label: "GCP upload fast (us-west1)",
+            exec: (Cloud::Gcp, "us-east1"),
+            remote: (Cloud::Gcp, "us-west1"),
+            dir: Direction::Upload,
+        },
+        Link {
+            label: "GCP upload slow (asia-northeast1)",
+            exec: (Cloud::Gcp, "us-east1"),
+            remote: (Cloud::Gcp, "asia-northeast1"),
+            dir: Direction::Upload,
+        },
     ];
     let counts = [1u32, 2, 4, 8, 16, 32, 64];
     let bytes: u64 = 64 << 20;
 
     let mut table = Table::new(
-        std::iter::once("link".to_string())
-            .chain(counts.iter().map(|n| format!("n={n}"))),
+        std::iter::once("link".to_string()).chain(counts.iter().map(|n| format!("n={n}"))),
     );
     let mut linearity_notes = String::new();
     for (i, link) in links.iter().enumerate() {

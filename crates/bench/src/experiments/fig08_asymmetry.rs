@@ -19,7 +19,13 @@ use crate::runners::fresh_sim;
 
 /// Measures the end-to-end replication time of a 1 GB object with 16
 /// replicators on the given side.
-fn measure(seed_offset: u64, src: (Cloud, &str), dst: (Cloud, &str), side: ExecSide, trials: usize) -> f64 {
+fn measure(
+    seed_offset: u64,
+    src: (Cloud, &str),
+    dst: (Cloud, &str),
+    side: ExecSide,
+    trials: usize,
+) -> f64 {
     let mut sim = fresh_sim(seed_offset);
     let src_r = sim.world.regions.lookup(src.0, src.1).unwrap();
     let dst_r = sim.world.regions.lookup(dst.0, dst.1).unwrap();

@@ -16,6 +16,9 @@ use crate::harness::{mean, Table};
 use crate::runners::fresh_sim;
 
 /// Runs the experiment and returns the report.
+/// Per-instance `(time, Mbps)` samples for each chunk transfer.
+type Traces = Rc<RefCell<Vec<Vec<(f64, f64)>>>>;
+
 pub fn run() -> String {
     let mut sim = fresh_sim(0x09);
     // Run the instances on Azure (the high-variability cloud) downloading
@@ -27,18 +30,33 @@ pub fn run() -> String {
     let chunk: u64 = 32 << 20;
 
     // Each instance records (time, Mbps) per chunk transfer.
-    let traces: Rc<RefCell<Vec<Vec<(f64, f64)>>>> = Rc::new(RefCell::new(vec![Vec::new(); 5]));
+    let traces: Traces = Rc::new(RefCell::new(vec![Vec::new(); 5]));
     for instance_idx in 0..5usize {
         let traces = traces.clone();
         let body: faas::FnBody = Rc::new(move |sim: &mut CloudSim, handle| {
-            transfer_loop(sim, handle, instance_idx, traces.clone(), aws, chunk, horizon);
+            transfer_loop(
+                sim,
+                handle,
+                instance_idx,
+                traces.clone(),
+                aws,
+                chunk,
+                horizon,
+            );
         });
         faas::invoke(&mut sim, azure, spec, body, RetryPolicy::default());
     }
     sim.run_to_completion(1_000_000);
 
     let traces = traces.borrow();
-    let mut table = Table::new(["instance", "chunks", "mean Mbps", "min", "max", "10s-bucket Mbps (0..60s)"]);
+    let mut table = Table::new([
+        "instance",
+        "chunks",
+        "mean Mbps",
+        "min",
+        "max",
+        "10s-bucket Mbps (0..60s)",
+    ]);
     let mut means = Vec::new();
     for (i, t) in traces.iter().enumerate() {
         let rates: Vec<f64> = t.iter().map(|(_, r)| *r).collect();
@@ -69,8 +87,8 @@ pub fn run() -> String {
             series.join(" "),
         ]);
     }
-    let spread = means.iter().copied().fold(0.0, f64::max)
-        / means.iter().copied().fold(f64::MAX, f64::min);
+    let spread =
+        means.iter().copied().fold(0.0, f64::max) / means.iter().copied().fold(f64::MAX, f64::min);
     format!(
         "Figure 9 — per-instance bandwidth variability (5 Azure-eastus instances\n\
          repeatedly downloading 32 MB chunks from AWS us-east-1 for 60 s)\n\n{}\n\
@@ -85,7 +103,7 @@ fn transfer_loop(
     sim: &mut CloudSim,
     handle: faas::FnHandle,
     idx: usize,
-    traces: Rc<RefCell<Vec<Vec<(f64, f64)>>>>,
+    traces: Traces,
     remote: cloudsim::RegionId,
     chunk: u64,
     horizon: SimTime,

@@ -18,14 +18,29 @@ use simkernel::SimDuration;
 use crate::harness::Table;
 use crate::runners::fresh_sim;
 
-const PAIRS: &[((Cloud, &str), (Cloud, &str), u32)] = &[
+/// `(source, destination, AReplica function count)` per bulk pair.
+type BulkPair = ((Cloud, &'static str), (Cloud, &'static str), u32);
+
+const PAIRS: &[BulkPair] = &[
     ((Cloud::Aws, "us-east-1"), (Cloud::Aws, "ca-central-1"), 512),
     ((Cloud::Aws, "us-east-1"), (Cloud::Azure, "eastus"), 256),
-    ((Cloud::Aws, "us-east-1"), (Cloud::Gcp, "asia-northeast1"), 512),
-    ((Cloud::Azure, "eastus"), (Cloud::Aws, "ap-northeast-1"), 512),
+    (
+        (Cloud::Aws, "us-east-1"),
+        (Cloud::Gcp, "asia-northeast1"),
+        512,
+    ),
+    (
+        (Cloud::Azure, "eastus"),
+        (Cloud::Aws, "ap-northeast-1"),
+        512,
+    ),
     ((Cloud::Azure, "eastus"), (Cloud::Azure, "uksouth"), 256),
     ((Cloud::Gcp, "us-east1"), (Cloud::Azure, "uksouth"), 256),
-    ((Cloud::Gcp, "us-east1"), (Cloud::Gcp, "asia-northeast1"), 512),
+    (
+        (Cloud::Gcp, "us-east1"),
+        (Cloud::Gcp, "asia-northeast1"),
+        512,
+    ),
 ];
 
 /// Scaled object size: 100 GB at full scale.
@@ -34,7 +49,12 @@ fn object_size() -> u64 {
     gb << 30
 }
 
-fn areplica_bulk(pair_idx: u64, src: (Cloud, &str), dst: (Cloud, &str), n: u32) -> (f64, CostSnapshot) {
+fn areplica_bulk(
+    pair_idx: u64,
+    src: (Cloud, &str),
+    dst: (Cloud, &str),
+    n: u32,
+) -> (f64, CostSnapshot) {
     let mut sim = fresh_sim(0x1600 + pair_idx);
     let src_r = sim.world.regions.lookup(src.0, src.1).unwrap();
     let dst_r = sim.world.regions.lookup(dst.0, dst.1).unwrap();
@@ -101,9 +121,17 @@ fn skyplane_bulk(pair_idx: u64, src: (Cloud, &str), dst: (Cloud, &str)) -> (f64,
     });
     let done: Rc<RefCell<Option<f64>>> = Rc::default();
     let d2 = done.clone();
-    sky.replicate(&mut sim, src_r, "src", dst_r, "dst", "bulk", Rc::new(move |_, r| {
-        *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
-    }));
+    sky.replicate(
+        &mut sim,
+        src_r,
+        "src",
+        dst_r,
+        "dst",
+        "bulk",
+        Rc::new(move |_, r| {
+            *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
+        }),
+    );
     sim.run_to_completion(10_000_000);
     let t = done.borrow().expect("skyplane bulk completed");
     let settle = sim.now() + SimDuration::from_secs(10);

@@ -23,14 +23,23 @@ struct ModeOutcome {
     chunks: Vec<f64>,
 }
 
+/// `(elapsed_seconds, per-replicator stats)` filled in on completion.
+type DoneSlot = Rc<RefCell<Option<(f64, Rc<RefCell<Vec<ReplicatorStat>>>)>>>;
+
 fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcome {
     let mut sim = fresh_sim(seed_offset);
     let src = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
-    let dst = sim.world.regions.lookup(Cloud::Gcp, "asia-northeast1").unwrap();
+    let dst = sim
+        .world
+        .regions
+        .lookup(Cloud::Gcp, "asia-northeast1")
+        .unwrap();
     sim.world.objstore_mut(src).create_bucket("src");
     sim.world.objstore_mut(dst).create_bucket("dst");
-    let mut engine_cfg = EngineConfig::default();
-    engine_cfg.scheduling = mode;
+    let engine_cfg = EngineConfig {
+        scheduling: mode,
+        ..EngineConfig::default()
+    };
     let size: u64 = 1 << 30;
 
     let mut out = ModeOutcome {
@@ -42,7 +51,7 @@ fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcom
         let key = format!("obj-{t}");
         let put = world::user_put(&mut sim, src, "src", &key, size).unwrap();
         let start = sim.now();
-        let done: Rc<RefCell<Option<(f64, Rc<RefCell<Vec<ReplicatorStat>>>)>>> = Rc::default();
+        let done: DoneSlot = Rc::default();
         let d2 = done.clone();
         engine::execute(
             &mut sim,
@@ -79,8 +88,7 @@ fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcom
         let (e2e, stats) = done.borrow().clone().expect("completed");
         out.e2e_times.push(e2e);
         for s in stats.borrow().iter() {
-            out.exec_times
-                .push((s.finished - s.started).as_secs_f64());
+            out.exec_times.push((s.finished - s.started).as_secs_f64());
             out.chunks.push(s.chunks as f64);
         }
     }

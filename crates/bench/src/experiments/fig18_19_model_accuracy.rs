@@ -73,11 +73,7 @@ pub fn actual_times(
 }
 
 /// Predicted T_rep distribution stats (mean, std, p50, p99) for the path.
-pub fn predicted_stats(
-    src: (Cloud, &str),
-    dst: (Cloud, &str),
-    n: u32,
-) -> (f64, f64, f64, f64) {
+pub fn predicted_stats(src: (Cloud, &str), dst: (Cloud, &str), n: u32) -> (f64, f64, f64, f64) {
     let sim = fresh_sim(0x1800);
     let src_r = sim.world.regions.lookup(src.0, src.1).unwrap();
     let dst_r = sim.world.regions.lookup(dst.0, dst.1).unwrap();
@@ -98,9 +94,20 @@ pub fn predicted_stats(
     )
 }
 
-fn section(label: &str, src: (Cloud, &str), dst: (Cloud, &str), trials: usize, seed_offset: u64) -> String {
+fn section(
+    label: &str,
+    src: (Cloud, &str),
+    dst: (Cloud, &str),
+    trials: usize,
+    seed_offset: u64,
+) -> String {
     let mut table = Table::new([
-        "n", "actual mean±σ (s)", "actual p99", "predicted mean±σ (s)", "predicted p99", "over-est",
+        "n",
+        "actual mean±σ (s)",
+        "actual p99",
+        "predicted mean±σ (s)",
+        "predicted p99",
+        "over-est",
     ]);
     for (i, n) in [1u32, 32].into_iter().enumerate() {
         let actual = actual_times(src, dst, n, trials, seed_offset + i as u64);

@@ -97,11 +97,12 @@ fn dynamic_side(src: (Cloud, &str), dst: (Cloud, &str)) -> ExecSide {
     // A relaxed SLO lets the planner stay at a single instance; force n = 1
     // comparisons by restricting max parallelism (the figure isolates the
     // side choice).
-    let mut cfg = EngineConfig::default();
-    cfg.max_parallelism = 1;
-    cfg.local_threshold = 0; // not orchestrator-local: a real remote function
-    let plan = generate_plan(&mut model, &cfg, src_r, dst_r, SIZE, None, 0.99)
-        .expect("profiled");
+    let cfg = EngineConfig {
+        max_parallelism: 1,
+        local_threshold: 0, // not orchestrator-local: a real remote function
+        ..EngineConfig::default()
+    };
+    let plan = generate_plan(&mut model, &cfg, src_r, dst_r, SIZE, None, 0.99).expect("profiled");
     plan.side
 }
 
@@ -112,10 +113,22 @@ fn section(
     trials: usize,
     seed_base: u64,
 ) -> String {
-    let mut table = Table::new(["destination", "src-side (s)", "dst-side (s)", "dynamic (s)", "dynamic picks"]);
+    let mut table = Table::new([
+        "destination",
+        "src-side (s)",
+        "dst-side (s)",
+        "dynamic (s)",
+        "dynamic picks",
+    ]);
     for (i, &dst) in dsts.iter().enumerate() {
         let at_src = measure_side(src, dst, ExecSide::Source, trials, seed_base + 2 * i as u64);
-        let at_dst = measure_side(src, dst, ExecSide::Destination, trials, seed_base + 2 * i as u64 + 1);
+        let at_dst = measure_side(
+            src,
+            dst,
+            ExecSide::Destination,
+            trials,
+            seed_base + 2 * i as u64 + 1,
+        );
         let side = dynamic_side(src, dst);
         let dynamic = match side {
             ExecSide::Source => at_src,

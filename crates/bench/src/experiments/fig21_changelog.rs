@@ -30,9 +30,7 @@ fn areplica_copy(size: u64, with_changelog: bool, seed_offset: u64) -> (f64, f64
     let mut sim = fresh_sim(seed_offset);
     let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
     let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
-    for cloud in [Cloud::Aws] {
-        sim.world.params.cloud_mut(cloud).concurrency_limit = 1024;
-    }
+    sim.world.params.cloud_mut(Cloud::Aws).concurrency_limit = 1024;
     let model = profile_pairs(&sim, &[(src, dst)]);
     let service = AReplicaBuilder::new()
         .rule(
@@ -93,9 +91,17 @@ fn skyplane_copy(size: u64, seed_offset: u64) -> (f64, f64) {
     let before = sim.world.ledger.snapshot();
     let done: Rc<RefCell<Option<f64>>> = Rc::default();
     let d2 = done.clone();
-    sky.replicate(&mut sim, src, "src", dst, "dst", "copy", Rc::new(move |_, r| {
-        *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
-    }));
+    sky.replicate(
+        &mut sim,
+        src,
+        "src",
+        dst,
+        "dst",
+        "copy",
+        Rc::new(move |_, r| {
+            *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
+        }),
+    );
     sim.run_to_completion(50_000_000);
     let settle = sim.now() + SimDuration::from_secs(10);
     sim.run_until(settle);
@@ -136,8 +142,20 @@ fn rtc_copy(size: u64, seed_offset: u64) -> (f64, f64) {
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
-    let mut time_table = Table::new(["size", "Skyplane (s)", "S3 RTC (s)", "AReplica-full (s)", "AReplica-log (s)"]);
-    let mut cost_table = Table::new(["size", "Skyplane ($)", "S3 RTC ($)", "AReplica-full ($)", "AReplica-log ($)"]);
+    let mut time_table = Table::new([
+        "size",
+        "Skyplane (s)",
+        "S3 RTC (s)",
+        "AReplica-full (s)",
+        "AReplica-log (s)",
+    ]);
+    let mut cost_table = Table::new([
+        "size",
+        "Skyplane ($)",
+        "S3 RTC ($)",
+        "AReplica-full ($)",
+        "AReplica-log ($)",
+    ]);
     for (i, size) in sizes().into_iter().enumerate() {
         let i = i as u64;
         let (sk_t, sk_c) = skyplane_copy(size, 0x2100 + i);

@@ -54,8 +54,7 @@ fn run_rate(updates_per_min: u64, batching: bool, seed_offset: u64) -> Outcome {
         .iter()
         .filter(|c| c.delay() <= SimDuration::from_secs(SLO_S))
         .count() as u64;
-    let attainment =
-        (met_completions + m.batched_skips) as f64 / total_updates.max(1) as f64;
+    let attainment = (met_completions + m.batched_skips) as f64 / total_updates.max(1) as f64;
     Outcome {
         attainment: attainment.min(1.0),
         cost_per_min: spent / minutes as f64,

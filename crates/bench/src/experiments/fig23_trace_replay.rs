@@ -43,7 +43,11 @@ fn windows_of(delays: &[(f64, f64)]) -> WindowedDelays {
     for &(at_s, d) in delays {
         let w = (at_s / 300.0) as u64;
         if w != current && !bucket.is_empty() {
-            windows.push((current * 5, percentile(&bucket, 50.0), percentile(&bucket, 99.99)));
+            windows.push((
+                current * 5,
+                percentile(&bucket, 50.0),
+                percentile(&bucket, 99.99),
+            ));
             bucket.clear();
         }
         current = w;
@@ -51,7 +55,11 @@ fn windows_of(delays: &[(f64, f64)]) -> WindowedDelays {
         all.push(d);
     }
     if !bucket.is_empty() {
-        windows.push((current * 5, percentile(&bucket, 50.0), percentile(&bucket, 99.99)));
+        windows.push((
+            current * 5,
+            percentile(&bucket, 50.0),
+            percentile(&bucket, 99.99),
+        ));
     }
     WindowedDelays {
         windows,

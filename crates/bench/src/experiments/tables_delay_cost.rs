@@ -67,7 +67,7 @@ struct Cell {
 
 struct PairResults {
     dst_label: String,
-    areplica: Vec<Cell>,  // one per size
+    areplica: Vec<Cell>, // one per size
     skyplane: Vec<Cell>,
     managed: Option<Vec<Cell>>,
 }
@@ -126,9 +126,17 @@ fn measure_pair(
             let before = sim.world.ledger.snapshot();
             let done: Rc<RefCell<Option<f64>>> = Rc::default();
             let d2 = done.clone();
-            sky.replicate(&mut sim, src_r, "sky-src", dst_r, "sky-dst", &key, Rc::new(move |_, r| {
-                *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
-            }));
+            sky.replicate(
+                &mut sim,
+                src_r,
+                "sky-src",
+                dst_r,
+                "sky-dst",
+                &key,
+                Rc::new(move |_, r| {
+                    *d2.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
+                }),
+            );
             run_until_some(&mut sim, &done);
             // Let the gateway shutdown billing land.
             let settle = sim.now() + SimDuration::from_secs(10);
@@ -240,7 +248,10 @@ pub fn run(table_no: u8, src: (Cloud, &'static str)) -> String {
             srow.push(format!("{s:.1}"));
             mrow.push(m.map_or("N/A".to_string(), |m| format!("{m:.1}")));
             let best_baseline = m.map_or(s, |m| m.min(s));
-            drow.push(format!("{:+.2}%", 100.0 * (a - best_baseline) / best_baseline));
+            drow.push(format!(
+                "{:+.2}%",
+                100.0 * (a - best_baseline) / best_baseline
+            ));
         }
         delay_table.row(arow);
         delay_table.row(srow);
@@ -265,7 +276,10 @@ pub fn run(table_no: u8, src: (Cloud, &'static str)) -> String {
             srow.push(format!("{s:.1}"));
             mrow.push(m.map_or("N/A".to_string(), |m| format!("{m:.1}")));
             let best_baseline = m.map_or(s, |m| m.min(s));
-            drow.push(format!("{:+.2}%", 100.0 * (a - best_baseline) / best_baseline));
+            drow.push(format!(
+                "{:+.2}%",
+                100.0 * (a - best_baseline) / best_baseline
+            ));
         }
         cost_table.row(arow);
         cost_table.row(srow);

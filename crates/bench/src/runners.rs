@@ -22,9 +22,9 @@ pub fn experiment_profiler() -> ProfilerConfig {
 /// Profiles `pairs` against a sandbox copy of `sim`'s world.
 pub fn profile_pairs(sim: &CloudSim, pairs: &[(RegionId, RegionId)]) -> PerfModel {
     build_model_for(
-        &sim.world.regions.clone(),
-        &sim.world.params.clone(),
-        &sim.world.catalog.clone(),
+        &sim.world.regions,
+        &sim.world.params,
+        &sim.world.catalog,
         pairs,
         &experiment_profiler(),
     )
@@ -66,7 +66,11 @@ pub fn measure_areplica_once(
     assert!(ok, "replication of {key} never completed");
     let delay = {
         let m = service.metrics();
-        m.completions.last().expect("completion").delay().as_secs_f64()
+        m.completions
+            .last()
+            .expect("completion")
+            .delay()
+            .as_secs_f64()
     };
     // Let stragglers (slow replicators draining, unlock writes) settle so
     // their cost lands in this measurement, not the next one.

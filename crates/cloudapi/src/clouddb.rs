@@ -116,7 +116,7 @@ impl KvDb {
         self.writes += 1;
         self.tables
             .get_mut(table)
-            .map_or(false, |t| t.remove(key).is_some())
+            .is_some_and(|t| t.remove(key).is_some())
     }
 
     /// Atomic read-modify-write on one item slot.
@@ -126,7 +126,12 @@ impl KvDb {
     /// caller. This is the primitive Algorithm 1's part claiming and
     /// Algorithm 2's lock acquisition are built on; the simulated apply is a
     /// single event, so it is serializable by construction.
-    pub fn transact<T>(&mut self, table: &str, key: &str, f: impl FnOnce(&mut Option<Item>) -> T) -> T {
+    pub fn transact<T>(
+        &mut self,
+        table: &str,
+        key: &str,
+        f: impl FnOnce(&mut Option<Item>) -> T,
+    ) -> T {
         self.reads += 1;
         self.writes += 1;
         let t = self.tables.entry(table.to_string()).or_default();
@@ -211,10 +216,7 @@ mod tests {
         db.put(
             "pool",
             "task1",
-            item(
-                "parts",
-                Value::List((0..4).map(Value::Uint).collect()),
-            ),
+            item("parts", Value::List((0..4).map(Value::Uint).collect())),
         );
         let mut claimed = Vec::new();
         loop {

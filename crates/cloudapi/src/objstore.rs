@@ -324,7 +324,11 @@ impl ObjectStore {
     }
 
     /// Subscribes a notification target to a bucket's write events.
-    pub fn subscribe(&mut self, bucket: &str, target: NotificationTarget) -> Result<(), StoreError> {
+    pub fn subscribe(
+        &mut self,
+        bucket: &str,
+        target: NotificationTarget,
+    ) -> Result<(), StoreError> {
         self.bucket_mut(bucket)?.notification_targets.push(target);
         Ok(())
     }
@@ -658,8 +662,11 @@ mod tests {
     fn overwrite_last_completion_wins() {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
-        s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1)).unwrap();
-        let second = s.apply_put("b", "k", Content::fresh(BlobId(2), 20), t(2)).unwrap();
+        s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1))
+            .unwrap();
+        let second = s
+            .apply_put("b", "k", Content::fresh(BlobId(2), 20), t(2))
+            .unwrap();
         let stat = s.stat("b", "k").unwrap();
         assert_eq!(stat.etag, second.etag);
         assert_eq!(stat.size, 20);
@@ -670,9 +677,13 @@ mod tests {
     fn if_match_precondition() {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
-        let first = s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1)).unwrap();
+        let first = s
+            .apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1))
+            .unwrap();
         assert!(s.read_range("b", "k", 0, 10, Some(first.etag)).is_ok());
-        let second = s.apply_put("b", "k", Content::fresh(BlobId(2), 10), t(2)).unwrap();
+        let second = s
+            .apply_put("b", "k", Content::fresh(BlobId(2), 10), t(2))
+            .unwrap();
         match s.read_range("b", "k", 0, 10, Some(first.etag)) {
             Err(StoreError::PreconditionFailed { current }) => assert_eq!(current, second.etag),
             other => panic!("expected precondition failure, got {other:?}"),
@@ -683,7 +694,8 @@ mod tests {
     fn delete_removes_current_version() {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
-        s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1)).unwrap();
+        s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1))
+            .unwrap();
         let del = s.apply_delete("b", "k", t(2)).unwrap();
         assert_eq!(del.event.kind, EventKind::Delete);
         assert_eq!(s.stat("b", "k"), Err(StoreError::NoSuchKey));
@@ -695,8 +707,10 @@ mod tests {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
         s.set_versioning("b", true).unwrap();
-        s.apply_put("b", "k", Content::fresh(BlobId(1), 100), t(1)).unwrap();
-        s.apply_put("b", "k", Content::fresh(BlobId(2), 50), t(2)).unwrap();
+        s.apply_put("b", "k", Content::fresh(BlobId(1), 100), t(1))
+            .unwrap();
+        s.apply_put("b", "k", Content::fresh(BlobId(2), 50), t(2))
+            .unwrap();
         assert_eq!(s.stored_bytes("b").unwrap(), 150);
         s.apply_delete("b", "k", t(3)).unwrap();
         // Both versions still consume storage after the delete marker.
@@ -705,8 +719,10 @@ mod tests {
         // Without versioning, storage holds only the current version.
         let mut s2 = ObjectStore::new();
         s2.create_bucket("b");
-        s2.apply_put("b", "k", Content::fresh(BlobId(1), 100), t(1)).unwrap();
-        s2.apply_put("b", "k", Content::fresh(BlobId(2), 50), t(2)).unwrap();
+        s2.apply_put("b", "k", Content::fresh(BlobId(1), 100), t(1))
+            .unwrap();
+        s2.apply_put("b", "k", Content::fresh(BlobId(2), 50), t(2))
+            .unwrap();
         assert_eq!(s2.stored_bytes("b").unwrap(), 50);
     }
 
@@ -717,15 +733,21 @@ mod tests {
         let src = Content::fresh(BlobId(9), 96);
         let id = s.create_multipart("b", "k").unwrap();
         // Upload out of order.
-        s.upload_part(id, 3, src.read_range(64, 32).unwrap()).unwrap();
-        s.upload_part(id, 1, src.read_range(0, 32).unwrap()).unwrap();
-        s.upload_part(id, 2, src.read_range(32, 32).unwrap()).unwrap();
+        s.upload_part(id, 3, src.read_range(64, 32).unwrap())
+            .unwrap();
+        s.upload_part(id, 1, src.read_range(0, 32).unwrap())
+            .unwrap();
+        s.upload_part(id, 2, src.read_range(32, 32).unwrap())
+            .unwrap();
         let applied = s.complete_multipart(id, t(10)).unwrap();
         assert_eq!(applied.etag, ETag::of(&src));
         let (content, _) = s.read_full("b", "k").unwrap();
         assert!(content.same_bytes(&src));
         // Upload id is consumed.
-        assert_eq!(s.complete_multipart(id, t(11)), Err(StoreError::NoSuchUpload));
+        assert_eq!(
+            s.complete_multipart(id, t(11)),
+            Err(StoreError::NoSuchUpload)
+        );
     }
 
     #[test]
@@ -745,7 +767,10 @@ mod tests {
         s.create_bucket("b");
         let id = s.create_multipart("b", "k").unwrap();
         s.abort_multipart(id).unwrap();
-        assert_eq!(s.upload_part(id, 1, Content::fresh(BlobId(1), 1)), Err(StoreError::NoSuchUpload));
+        assert_eq!(
+            s.upload_part(id, 1, Content::fresh(BlobId(1), 1)),
+            Err(StoreError::NoSuchUpload)
+        );
     }
 
     #[test]
@@ -754,7 +779,9 @@ mod tests {
         s.create_bucket("b");
         s.subscribe("b", NotificationTarget(42)).unwrap();
         s.subscribe("b", NotificationTarget(43)).unwrap();
-        let applied = s.apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1)).unwrap();
+        let applied = s
+            .apply_put("b", "k", Content::fresh(BlobId(1), 10), t(1))
+            .unwrap();
         assert_eq!(
             applied.targets,
             vec![NotificationTarget(42), NotificationTarget(43)]
@@ -767,8 +794,12 @@ mod tests {
     fn write_sequence_is_monotone_per_bucket() {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
-        let a = s.apply_put("b", "x", Content::fresh(BlobId(1), 1), t(1)).unwrap();
-        let b = s.apply_put("b", "y", Content::fresh(BlobId(2), 1), t(2)).unwrap();
+        let a = s
+            .apply_put("b", "x", Content::fresh(BlobId(1), 1), t(1))
+            .unwrap();
+        let b = s
+            .apply_put("b", "y", Content::fresh(BlobId(2), 1), t(2))
+            .unwrap();
         assert!(b.event.seq > a.event.seq);
     }
 
@@ -776,7 +807,9 @@ mod tests {
     fn empty_object_roundtrip() {
         let mut s = ObjectStore::new();
         s.create_bucket("b");
-        let applied = s.apply_put("b", "empty", Content::fresh(BlobId(1), 0), t(1)).unwrap();
+        let applied = s
+            .apply_put("b", "empty", Content::fresh(BlobId(1), 0), t(1))
+            .unwrap();
         let stat = s.stat("b", "empty").unwrap();
         assert_eq!(stat.size, 0);
         assert_eq!(stat.etag, applied.etag);

@@ -19,98 +19,15 @@ use pricing::CostCategory;
 use simkernel::{SimDuration, SimTime};
 
 use crate::net::sample_instance_factor;
-use crate::params::FnConfig;
 use crate::region::RegionId;
 use crate::world::{CloudSim, World};
 
-/// A function instance (a container that may serve many invocations warm).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct InstanceId(pub u64);
-
-/// One logical invocation (stable across platform retries).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct InvocationId(pub u64);
-
-/// Handle a running body uses to identify itself to the runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct FnHandle {
-    /// The executing instance.
-    pub instance: InstanceId,
-    /// The invocation being served.
-    pub invocation: InvocationId,
-    /// Region the instance runs in.
-    pub region: RegionId,
-}
+pub use cloudapi::faas::{
+    DlqEntry, FaasStats, FailureReason, FnHandle, FnSpec, InstanceId, InvocationId, RetryPolicy,
+};
 
 /// A function body, re-runnable on platform retry.
 pub type FnBody = Rc<dyn Fn(&mut CloudSim, FnHandle)>;
-
-/// Resource configuration + time limit for an invocation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FnSpec {
-    /// Memory/CPU configuration.
-    pub config: FnConfig,
-    /// Execution time limit (defaults to the platform maximum).
-    pub timeout: SimDuration,
-}
-
-/// Platform retry policy for asynchronous invocations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Maximum retries after the first attempt (AWS default: 2).
-    pub max_retries: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy { max_retries: 2 }
-    }
-}
-
-/// Why an invocation attempt ended unsuccessfully.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FailureReason {
-    /// The body exceeded the execution time limit.
-    Timeout,
-    /// The instance crashed (fault injection).
-    Crash,
-    /// The body aborted itself (unrecoverable application error).
-    Aborted,
-}
-
-/// An event parked on the dead-letter queue after exhausting retries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DlqEntry {
-    /// The failed invocation.
-    pub invocation: InvocationId,
-    /// Its region.
-    pub region: RegionId,
-    /// The final failure reason.
-    pub reason: FailureReason,
-    /// When it was parked.
-    pub at: SimTime,
-}
-
-/// Counters for experiments and tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaasStats {
-    /// Total invocation attempts started (including retries).
-    pub attempts: u64,
-    /// Attempts served by a cold (new) instance.
-    pub cold_starts: u64,
-    /// Attempts served by a warm instance.
-    pub warm_starts: u64,
-    /// Attempts that hit the execution time limit.
-    pub timeouts: u64,
-    /// Attempts that crashed.
-    pub crashes: u64,
-    /// Platform retries issued.
-    pub retries: u64,
-    /// Invocations parked on the DLQ.
-    pub dlq: u64,
-    /// Invocations that queued on the concurrency limit.
-    pub throttled: u64,
-}
 
 #[derive(Debug)]
 struct ExecState {
@@ -388,9 +305,15 @@ fn exec_begin(sim: &mut CloudSim, region: RegionId, instance: InstanceId, pendin
         region,
     };
     // Park the retry context so fail() can re-invoke the same body.
-    sim.world
-        .faas_retry_contexts
-        .insert(invocation, (pending.body.clone(), pending.attempt, pending.policy, pending.spec));
+    sim.world.faas_retry_contexts.insert(
+        invocation,
+        (
+            pending.body.clone(),
+            pending.attempt,
+            pending.policy,
+            pending.spec,
+        ),
+    );
 
     // Hard timeout guard.
     sim.schedule_at(deadline, move |sim| {

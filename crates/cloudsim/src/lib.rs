@@ -20,14 +20,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod clouddb;
 pub mod faas;
 pub mod net;
-pub mod objstore;
 pub mod params;
-pub mod region;
 pub mod vm;
 pub mod world;
+
+// The provider-neutral vocabulary (pure object-store / KV / region state)
+// lives in the `cloudapi` crate; re-export it at its historical paths so
+// `cloudsim::objstore::...` and friends keep working.
+pub use cloudapi::{clouddb, objstore, region};
 
 pub use params::{CloudParams, FnConfig, WorldParams};
 pub use pricing::{Cloud, Geo};

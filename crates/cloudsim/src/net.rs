@@ -115,6 +115,7 @@ pub fn base_rate_mbps(
 
 /// Samples the duration of transferring `bytes` on a leg at concurrency
 /// level `n_active` (including the leg itself).
+#[allow(clippy::too_many_arguments)]
 pub fn sample_leg_duration(
     params: &WorldParams,
     regions: &RegionRegistry,
@@ -153,7 +154,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (WorldParams, RegionRegistry) {
-        (WorldParams::paper_defaults(), RegionRegistry::paper_regions())
+        (
+            WorldParams::paper_defaults(),
+            RegionRegistry::paper_regions(),
+        )
     }
 
     fn profile(regions: &RegionRegistry, cloud: Cloud, name: &str) -> ExecProfile {
@@ -234,8 +238,14 @@ mod tests {
             (0..200)
                 .map(|_| {
                     sample_leg_duration(
-                        &params, &regions, &p, eu,
-                        Direction::Upload, bytes, 1, &mut rng,
+                        &params,
+                        &regions,
+                        &p,
+                        eu,
+                        Direction::Upload,
+                        bytes,
+                        1,
+                        &mut rng,
                     )
                     .as_secs_f64()
                 })
@@ -259,8 +269,14 @@ mod tests {
             (0..300)
                 .map(|_| {
                     sample_leg_duration(
-                        &params, &regions, p, eu,
-                        Direction::Download, 8 << 20, 1, rng,
+                        &params,
+                        &regions,
+                        p,
+                        eu,
+                        Direction::Download,
+                        8 << 20,
+                        1,
+                        rng,
                     )
                     .as_secs_f64()
                 })
@@ -282,8 +298,14 @@ mod tests {
             let d: Vec<f64> = (0..600)
                 .map(|_| {
                     sample_leg_duration(
-                        &params, &regions, &p, gcp_asia,
-                        Direction::Upload, 8 << 20, n, rng,
+                        &params,
+                        &regions,
+                        &p,
+                        gcp_asia,
+                        Direction::Upload,
+                        8 << 20,
+                        n,
+                        rng,
                     )
                     .as_secs_f64()
                 })

@@ -15,24 +15,7 @@ use pricing::Cloud;
 use simkernel::SimDuration;
 use stats::Dist;
 
-/// Function resource configuration.
-///
-/// On AWS and Azure only memory is configurable (CPU and network scale with
-/// it); on GCP, vCPUs and memory are independent.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FnConfig {
-    /// Configured memory in MB.
-    pub memory_mb: u32,
-    /// Configured vCPUs (meaningful on GCP; derived on AWS/Azure).
-    pub vcpus: f64,
-}
-
-impl FnConfig {
-    /// Memory expressed in GB for billing.
-    pub fn memory_gb(&self) -> f64 {
-        self.memory_mb as f64 / 1024.0
-    }
-}
+pub use cloudapi::faas::FnConfig;
 
 /// Per-cloud ground-truth parameters.
 #[derive(Debug, Clone)]
@@ -202,10 +185,7 @@ impl CloudParams {
         // Even tiny configurations get a usable floor (128 MB Lambdas still
         // reach ~90 Mbps in practice).
         let frac = frac.max(0.12);
-        (
-            self.nic_down_peak_mbps * frac,
-            self.nic_up_peak_mbps * frac,
-        )
+        (self.nic_down_peak_mbps * frac, self.nic_up_peak_mbps * frac)
     }
 }
 

@@ -207,12 +207,7 @@ impl World {
                 let region = self.vms.region(id)?;
                 let cloud = self.regions.cloud(region);
                 let mbps = self.params.cloud(cloud).vm_bandwidth_mbps;
-                let factor = self
-                    .vms
-                    .vms
-                    .get(&id)
-                    .map(|v| v.speed_factor)
-                    .unwrap_or(1.0);
+                let factor = self.vms.vms.get(&id).map(|v| v.speed_factor).unwrap_or(1.0);
                 Some(ExecProfile {
                     region,
                     cloud,
@@ -339,13 +334,21 @@ fn storage_api_rtt(world: &mut World, exec_region: RegionId, region: RegionId) -
 fn charge_put_request(world: &mut World, region: RegionId) {
     let cloud = world.regions.cloud(region);
     let fee = world.catalog.cloud(cloud).storage.per_1k_put / 1_000.0;
-    world.charge(cloud, CostCategory::StorageRequests, Money::from_dollars(fee));
+    world.charge(
+        cloud,
+        CostCategory::StorageRequests,
+        Money::from_dollars(fee),
+    );
 }
 
 fn charge_get_request(world: &mut World, region: RegionId) {
     let cloud = world.regions.cloud(region);
     let fee = world.catalog.cloud(cloud).storage.per_10k_get / 10_000.0;
-    world.charge(cloud, CostCategory::StorageRequests, Money::from_dollars(fee));
+    world.charge(
+        cloud,
+        CostCategory::StorageRequests,
+        Money::from_dollars(fee),
+    );
 }
 
 /// Fans out bucket notifications for an applied write.
@@ -387,10 +390,10 @@ pub fn user_put(
 ) -> Result<PutApplied, StoreError> {
     let blob = sim.world.alloc_blob();
     let now = sim.now();
-    let applied = sim
-        .world
-        .objstore_mut(region)
-        .apply_put(bucket, key, Content::fresh(blob, size), now)?;
+    let applied =
+        sim.world
+            .objstore_mut(region)
+            .apply_put(bucket, key, Content::fresh(blob, size), now)?;
     fanout_notifications(sim, region, &applied);
     Ok(applied)
 }
@@ -420,7 +423,10 @@ pub fn user_delete(
     key: &str,
 ) -> Result<PutApplied, StoreError> {
     let now = sim.now();
-    let applied = sim.world.objstore_mut(region).apply_delete(bucket, key, now)?;
+    let applied = sim
+        .world
+        .objstore_mut(region)
+        .apply_delete(bucket, key, now)?;
     fanout_notifications(sim, region, &applied);
     Ok(applied)
 }
@@ -453,6 +459,7 @@ pub fn stat_object(
 
 /// Ranged GET: resolves the range against the version current at request
 /// arrival, then transfers the bytes to the executor.
+#[allow(clippy::too_many_arguments)]
 pub fn get_object_range(
     sim: &mut CloudSim,
     exec: Executor,
@@ -540,7 +547,10 @@ pub fn delete_object(
         }
         charge_put_request(&mut sim.world, region);
         let now = sim.now();
-        let result = sim.world.objstore_mut(region).apply_delete(&bucket, &key, now);
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .apply_delete(&bucket, &key, now);
         if let Ok(applied) = &result {
             fanout_notifications(sim, region, applied);
         }
@@ -550,6 +560,7 @@ pub fn delete_object(
 
 /// Server-side COPY within `region` (control-plane round trip, no WAN
 /// transfer — this is what makes changelog propagation near-free).
+#[allow(clippy::too_many_arguments)]
 pub fn copy_object(
     sim: &mut CloudSim,
     exec: Executor,
@@ -605,7 +616,10 @@ pub fn create_multipart(
             return;
         }
         charge_put_request(&mut sim.world, region);
-        let result = sim.world.objstore_mut(region).create_multipart(&bucket, &key);
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .create_multipart(&bucket, &key);
         cb(sim, result);
     });
 }
@@ -653,7 +667,10 @@ pub fn complete_multipart(
         }
         charge_put_request(&mut sim.world, region);
         let now = sim.now();
-        let result = sim.world.objstore_mut(region).complete_multipart(upload_id, now);
+        let result = sim
+            .world
+            .objstore_mut(region)
+            .complete_multipart(upload_id, now);
         if let Ok(applied) = &result {
             fanout_notifications(sim, region, applied);
         }
@@ -755,8 +772,8 @@ pub fn workflow_delay(
 
 /// Charges the S3 Replication Time Control surcharge for replicated bytes.
 pub fn charge_rtc_fee(world: &mut World, bytes: u64) {
-    let fee = Money::from_dollars(world.catalog.s3_rtc_per_gb)
-        .scale(bytes as f64 / pricing::GIB as f64);
+    let fee =
+        Money::from_dollars(world.catalog.s3_rtc_per_gb).scale(bytes as f64 / pricing::GIB as f64);
     world.charge(Cloud::Aws, CostCategory::RtcFee, fee);
 }
 
@@ -767,7 +784,11 @@ pub fn charge_storage(world: &mut World, region: RegionId, bytes: u64, duration:
     let per_gb_month = world.catalog.cloud(cloud).storage.per_gb_month;
     let months = duration.as_secs_f64() / (30.0 * 24.0 * 3600.0);
     let dollars = per_gb_month * (bytes as f64 / pricing::GIB as f64) * months;
-    world.charge(cloud, CostCategory::StorageCapacity, Money::from_dollars(dollars));
+    world.charge(
+        cloud,
+        CostCategory::StorageCapacity,
+        Money::from_dollars(dollars),
+    );
 }
 
 /// Samples the per-call invocation API latency `I` for a region — exposed so

@@ -152,7 +152,9 @@ mod tests {
                 }
             }
         }
-        assert!(Geo::UsEast.distance_factor(Geo::Canada) < Geo::UsEast.distance_factor(Geo::Europe));
+        assert!(
+            Geo::UsEast.distance_factor(Geo::Canada) < Geo::UsEast.distance_factor(Geo::Europe)
+        );
         assert!(
             Geo::UsEast.distance_factor(Geo::Europe)
                 < Geo::UsEast.distance_factor(Geo::AsiaNortheast)

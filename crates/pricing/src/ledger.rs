@@ -15,9 +15,7 @@ use crate::cloud::Cloud;
 use crate::money::Money;
 
 /// What a cost entry pays for.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CostCategory {
     /// Cross-region / cross-cloud data egress.
     Egress,
@@ -94,10 +92,7 @@ impl CostLedger {
         if amount.is_zero() {
             return;
         }
-        *self
-            .totals
-            .entry((cloud, category))
-            .or_insert(Money::ZERO) += amount;
+        *self.totals.entry((cloud, category)).or_insert(Money::ZERO) += amount;
     }
 
     /// Total across all clouds and categories.

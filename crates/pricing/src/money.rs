@@ -148,7 +148,7 @@ mod tests {
     fn arithmetic_is_exact() {
         // One million per-request charges of $0.20/M must sum to exactly $0.20.
         let per_request = Money::from_dollars(0.20 / 1_000_000.0);
-        let total: Money = std::iter::repeat(per_request).take(1_000_000).sum();
+        let total: Money = std::iter::repeat_n(per_request, 1_000_000).sum();
         assert_eq!(total, Money::from_dollars(0.20));
     }
 

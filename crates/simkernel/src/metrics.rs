@@ -162,7 +162,7 @@ impl TimeSeries {
     /// Appends a point. Timestamps are expected to be non-decreasing.
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |(t, _)| *t <= at),
+            self.points.last().is_none_or(|(t, _)| *t <= at),
             "TimeSeries points must be pushed in time order"
         );
         self.points.push((at, value));
@@ -198,7 +198,7 @@ impl TimeSeries {
                     out.push((window_start, f(&bucket)));
                     bucket.clear();
                 }
-                window_start = window_start + window;
+                window_start += window;
             }
             bucket.push(v);
         }

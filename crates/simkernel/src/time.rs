@@ -89,7 +89,7 @@ impl SimDuration {
     /// distribution tail; clamping to zero at the conversion boundary keeps
     /// every caller well-defined.
     pub fn from_secs_f64(secs: f64) -> Self {
-        if !(secs > 0.0) {
+        if secs.is_nan() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
         let nanos = secs * 1e9;
@@ -285,12 +285,17 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
         assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
         assert_eq!(SimDuration::from_micros(2).to_string(), "2.000us");
-        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "t=1.500000s");
+        assert_eq!(
+            SimTime::from_nanos(1_500_000_000).to_string(),
+            "t=1.500000s"
+        );
     }
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_nanos(1_000_000_000))

@@ -193,7 +193,7 @@ impl Dist {
             Dist::Normal { sigma, .. } => *sigma,
             Dist::LogNormal { mu, sigma } => {
                 let s2 = sigma * sigma;
-                (((s2.exp() - 1.0) * (2.0 * mu + s2).exp()) as f64).sqrt()
+                ((s2.exp() - 1.0) * (2.0 * mu + s2).exp()).sqrt()
             }
             Dist::Uniform { lo, hi } => (hi - lo) / 12f64.sqrt(),
             Dist::Gumbel { beta, .. } => beta * std::f64::consts::PI / 6f64.sqrt(),

@@ -186,14 +186,17 @@ mod tests {
         let truth = Dist::lognormal(0.0, 1.2);
         let mut rng = StdRng::seed_from_u64(6);
         let samples: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
-        assert!(matches!(fit_auto(&samples).unwrap(), Dist::LogNormal { .. }));
+        assert!(matches!(
+            fit_auto(&samples).unwrap(),
+            Dist::LogNormal { .. }
+        ));
     }
 
     #[test]
     fn fit_auto_falls_back_when_lognormal_inapplicable() {
         // Heavily skewed but containing zeros/negatives: must fall back.
         let mut samples = vec![0.0; 50];
-        samples.extend(std::iter::repeat(100.0).take(3));
+        samples.extend(std::iter::repeat_n(100.0, 3));
         assert!(matches!(fit_auto(&samples).unwrap(), Dist::Normal { .. }));
     }
 

@@ -47,15 +47,29 @@ fn main() {
     sim.run_to_completion(u64::MAX);
 
     // Verify both mirrors converged to the primary's live state.
-    for (mirror, bucket) in [(mirror_azure, "ledger-dr-azure"), (mirror_gcp, "ledger-dr-gcp")] {
-        for key in ["accounts/0001.json", "statements/2026-q2.parquet", "backups/weekly.tar"] {
-            let (p, pe) = sim.world.objstore(primary).read_full("ledger", key).unwrap();
+    for (mirror, bucket) in [
+        (mirror_azure, "ledger-dr-azure"),
+        (mirror_gcp, "ledger-dr-gcp"),
+    ] {
+        for key in [
+            "accounts/0001.json",
+            "statements/2026-q2.parquet",
+            "backups/weekly.tar",
+        ] {
+            let (p, pe) = sim
+                .world
+                .objstore(primary)
+                .read_full("ledger", key)
+                .unwrap();
             let (m, me) = sim.world.objstore(mirror).read_full(bucket, key).unwrap();
             assert!(p.same_bytes(&m), "{bucket}/{key} diverged");
             assert_eq!(pe, me);
         }
         assert!(
-            sim.world.objstore(mirror).stat(bucket, "accounts/0002.json").is_err(),
+            sim.world
+                .objstore(mirror)
+                .stat(bucket, "accounts/0002.json")
+                .is_err(),
             "delete did not propagate to {bucket}"
         );
         let label = sim.world.regions.label(mirror);

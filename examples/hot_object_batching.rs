@@ -14,7 +14,11 @@ use areplica::prelude::*;
 fn main() {
     let mut sim = World::paper_sim(55);
     let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
-    let dst = sim.world.regions.lookup(Cloud::Gcp, "europe-west6").unwrap();
+    let dst = sim
+        .world
+        .regions
+        .lookup(Cloud::Gcp, "europe-west6")
+        .unwrap();
 
     println!("profiling ...");
     let service = AReplicaBuilder::new()
@@ -36,13 +40,20 @@ fn main() {
     sim.run_to_completion(u64::MAX);
     let metrics_snapshot = {
         let m = service.metrics();
-        (m.completions.len(), m.batched_skips, m.slo_attainment(SimDuration::from_secs(60)))
+        (
+            m.completions.len(),
+            m.batched_skips,
+            m.slo_attainment(SimDuration::from_secs(60)),
+        )
     };
     let (transfers, skipped, attainment) = metrics_snapshot;
     let spent = sim.world.ledger.since(&before).grand_total();
     println!("  180 updates -> {transfers} transfers ({skipped} absorbed by batching)");
     println!("  60 s SLO attainment: {:.1} %", attainment * 100.0);
-    println!("  cost: {spent} (vs ~{} without batching)", spent.scale(180.0 / transfers.max(1) as f64));
+    println!(
+        "  cost: {spent} (vs ~{} without batching)",
+        spent.scale(180.0 / transfers.max(1) as f64)
+    );
     assert!(transfers < 30, "batching failed to absorb updates");
 
     // Part 2: derived objects via changelog COPY hints — zero WAN bytes.

@@ -15,13 +15,22 @@ fn main() {
     let mut sim = World::paper_sim(99);
     let train = sim.world.regions.lookup(Cloud::Gcp, "us-east1").unwrap();
     let serve_eu = sim.world.regions.lookup(Cloud::Aws, "eu-west-1").unwrap();
-    let serve_asia = sim.world.regions.lookup(Cloud::Azure, "southeastasia").unwrap();
+    let serve_asia = sim
+        .world
+        .regions
+        .lookup(Cloud::Azure, "southeastasia")
+        .unwrap();
 
     println!("profiling distribution paths ...");
     // SLO None -> always the fastest plan (maximum useful parallelism).
     let service = AReplicaBuilder::new()
         .rule(ReplicationRule::new(train, "models", serve_eu, "models-eu"))
-        .rule(ReplicationRule::new(train, "models", serve_asia, "models-asia"))
+        .rule(ReplicationRule::new(
+            train,
+            "models",
+            serve_asia,
+            "models-asia",
+        ))
         .install(&mut sim);
 
     // Training finishes: checkpoint sizes from adapter to full model.
@@ -65,7 +74,10 @@ fn main() {
         }
     }
     println!("\nall artifacts verified on both serving clouds ✓");
-    println!("total distribution cost: {}", sim.world.ledger.grand_total());
+    println!(
+        "total distribution cost: {}",
+        sim.world.ledger.grand_total()
+    );
     println!(
         "egress share: {}",
         sim.world.ledger.category_total(CostCategory::Egress)

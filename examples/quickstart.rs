@@ -34,7 +34,10 @@ fn main() {
     }
 
     // 4. Report what happened.
-    println!("\n{:<16} {:>10} {:>12} {:>8} {:>6}", "object", "size", "delay", "funcs", "side");
+    println!(
+        "\n{:<16} {:>10} {:>12} {:>8} {:>6}",
+        "object", "size", "delay", "funcs", "side"
+    );
     let metrics = service.metrics();
     for rec in &metrics.completions {
         println!(
@@ -58,8 +61,11 @@ fn main() {
     // The replicas are byte-identical to the sources.
     for key in ["thumbnail.jpg", "photo.jpg", "album.tar"] {
         let (src_content, src_etag) = sim.world.objstore(src).read_full("photos", key).unwrap();
-        let (dst_content, dst_etag) =
-            sim.world.objstore(dst).read_full("photos-mirror", key).unwrap();
+        let (dst_content, dst_etag) = sim
+            .world
+            .objstore(dst)
+            .read_full("photos-mirror", key)
+            .unwrap();
         assert!(src_content.same_bytes(&dst_content));
         assert_eq!(src_etag, dst_etag);
     }

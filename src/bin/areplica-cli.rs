@@ -115,19 +115,27 @@ fn cmd_regions() {
 }
 
 fn seed_of(opts: &HashMap<String, String>) -> u64 {
-    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2026)
+    opts.get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2026)
 }
 
 fn cmd_replicate(opts: &HashMap<String, String>) {
     let mut sim = World::paper_sim(seed_of(opts));
-    let src = parse_region(&sim, opts.get("src").map(String::as_str).unwrap_or_else(|| {
-        eprintln!("--src required");
-        exit(2)
-    }));
-    let dst = parse_region(&sim, opts.get("dst").map(String::as_str).unwrap_or_else(|| {
-        eprintln!("--dst required");
-        exit(2)
-    }));
+    let src = parse_region(
+        &sim,
+        opts.get("src").map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--src required");
+            exit(2)
+        }),
+    );
+    let dst = parse_region(
+        &sim,
+        opts.get("dst").map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--dst required");
+            exit(2)
+        }),
+    );
     let size = parse_size(opts.get("size").map(String::as_str).unwrap_or("1MB"));
     let trials: usize = opts.get("trials").and_then(|s| s.parse().ok()).unwrap_or(3);
     let slo = opts
@@ -182,9 +190,22 @@ fn cmd_replicate(opts: &HashMap<String, String>) {
 
 fn cmd_trace(opts: &HashMap<String, String>) {
     let mut sim = World::paper_sim(seed_of(opts));
-    let src = parse_region(&sim, opts.get("src").map(String::as_str).unwrap_or("aws:us-east-1"));
-    let dst = parse_region(&sim, opts.get("dst").map(String::as_str).unwrap_or("aws:us-east-2"));
-    let minutes: u64 = opts.get("minutes").and_then(|s| s.parse().ok()).unwrap_or(10);
+    let src = parse_region(
+        &sim,
+        opts.get("src")
+            .map(String::as_str)
+            .unwrap_or("aws:us-east-1"),
+    );
+    let dst = parse_region(
+        &sim,
+        opts.get("dst")
+            .map(String::as_str)
+            .unwrap_or("aws:us-east-2"),
+    );
+    let minutes: u64 = opts
+        .get("minutes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(5.0);
     let slo = opts
         .get("slo")
@@ -205,11 +226,18 @@ fn cmd_trace(opts: &HashMap<String, String>) {
     )
     .writes_only();
     let stats = traces::schedule(&mut sim, &trace, src, "cli-src", &ReplayConfig::default());
-    eprintln!("replaying {} PUTs / {} DELETEs ...", stats.puts, stats.deletes);
+    eprintln!(
+        "replaying {} PUTs / {} DELETEs ...",
+        stats.puts, stats.deletes
+    );
     sim.run_to_completion(u64::MAX);
 
     let m = service.metrics();
-    let mut delays: Vec<f64> = m.completions.iter().map(|c| c.delay().as_secs_f64()).collect();
+    let mut delays: Vec<f64> = m
+        .completions
+        .iter()
+        .map(|c| c.delay().as_secs_f64())
+        .collect();
     delays.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
         if delays.is_empty() {

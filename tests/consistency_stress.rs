@@ -89,6 +89,10 @@ fn hostile_workload_converges_consistently() {
     }
     // The workload actually exercised the interesting machinery.
     let m = service.metrics();
-    assert!(m.completions.len() > 80, "only {} completions", m.completions.len());
+    assert!(
+        m.completions.len() > 80,
+        "only {} completions",
+        m.completions.len()
+    );
     assert!(sim.world.faas.stats.crashes > 0, "no crashes were injected");
 }

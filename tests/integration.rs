@@ -50,9 +50,17 @@ fn areplica_beats_skyplane_and_rtc_head_to_head() {
     let sky = Skyplane::new(SkyplaneConfig::default());
     let sky_done: Rc<RefCell<Option<f64>>> = Rc::default();
     let sd = sky_done.clone();
-    sky.replicate(&mut sim, src, "s-src", dst, "s-dst", "obj", Rc::new(move |_, r| {
-        *sd.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
-    }));
+    sky.replicate(
+        &mut sim,
+        src,
+        "s-src",
+        dst,
+        "s-dst",
+        "obj",
+        Rc::new(move |_, r| {
+            *sd.borrow_mut() = Some((r.completed - r.submitted).as_secs_f64());
+        }),
+    );
     while sky_done.borrow().is_none() && sim.step() {}
     let sky_delay = sky_done.borrow().unwrap();
     sim.run_until(sim.now() + SimDuration::from_secs(30));
@@ -103,8 +111,7 @@ fn trace_replay_through_full_stack() {
     let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
     let service = AReplicaBuilder::new()
         .rule(
-            ReplicationRule::new(src, "bucket", dst, "mirror")
-                .with_slo(SimDuration::from_secs(10)),
+            ReplicationRule::new(src, "bucket", dst, "mirror").with_slo(SimDuration::from_secs(10)),
         )
         .profiler_config(quick_profiler())
         .install(&mut sim);
@@ -135,9 +142,7 @@ fn trace_replay_through_full_stack() {
     assert!(m.completions.len() as u64 >= stats.puts / 2);
     let mut verified = 0;
     for rec in &m.completions {
-        if let Ok((src_content, src_etag)) =
-            sim.world.objstore(src).read_full("bucket", &rec.key)
-        {
+        if let Ok((src_content, src_etag)) = sim.world.objstore(src).read_full("bucket", &rec.key) {
             let (dst_content, dst_etag) = sim
                 .world
                 .objstore(dst)

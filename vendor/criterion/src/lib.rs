@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use: [`Criterion`] with `bench_function` / `sample_size` /
+//! `measurement_time`, [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros (both the simple and the `name/config/targets`
+//! forms). There is no statistical analysis: each benchmark reports the
+//! minimum, mean, and max wall-clock time per iteration over the configured
+//! samples.
+//!
+//! When a bench binary is run without the `--bench` flag (as `cargo test`
+//! does for `harness = false` bench targets), every benchmark executes its
+//! routine exactly once as a smoke test, mirroring upstream criterion's test
+//! mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects samples and prints a per-iteration summary.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in has no warm-up phase.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            test_mode: self.test_mode,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("test-mode {name}: ok");
+            return self;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        while b.samples.len() < self.sample_size && Instant::now() < deadline {
+            f(&mut b);
+        }
+        if b.samples.is_empty() {
+            f(&mut b);
+        }
+        let n = b.samples.len() as f64;
+        let mean = b.samples.iter().sum::<f64>() / n;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "bench {name}: {} samples, per-iter min {} mean {} max {}",
+            b.samples.len(),
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Passed to benchmark closures; times the routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u32,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64 / f64::from(self.iters_per_sample);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Declares a benchmark group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes them (no format crate is in the dependency tree), so the
+//! vendored version supplies marker traits plus inert derive macros. Should a
+//! real serialization format ever be needed, swap this crate back for
+//! upstream serde; the derive sites compile unchanged either way.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

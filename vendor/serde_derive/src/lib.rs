@@ -1,0 +1,17 @@
+//! Inert derive macros backing the vendored `serde` stand-in.
+//!
+//! The derives accept any item and expand to nothing: the stand-in's
+//! `Serialize`/`Deserialize` traits are markers with no methods, and no code
+//! in this workspace calls serialization entry points.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

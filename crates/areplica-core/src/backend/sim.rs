@@ -351,7 +351,7 @@ pub fn build_model_for(
     catalog: &PriceCatalog,
     pairs: &[(RegionId, RegionId)],
     cfg: &ProfilerConfig,
-) -> PerfModel {
+) -> Result<PerfModel, profiler::ProfileError> {
     let world = World::new(cfg.seed, regions.clone(), params.clone(), *catalog);
     let mut sandbox = Sim::new(cfg.seed, world);
     profiler::build_model(&mut sandbox, pairs, cfg)

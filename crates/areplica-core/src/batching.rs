@@ -7,7 +7,7 @@
 //! *latest* version is replicated and every absorbed update is accounted as
 //! a batched skip.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cloudapi::objstore::ETag;
 use simkernel::{CancelToken, SimDuration, SimTime};
@@ -63,7 +63,7 @@ pub struct DrainedBatch {
 /// The batching controller for one replication rule.
 #[derive(Debug, Default)]
 pub struct Batcher {
-    pending: HashMap<String, PendingBatch>,
+    pending: BTreeMap<String, PendingBatch>,
 }
 
 impl Batcher {

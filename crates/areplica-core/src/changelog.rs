@@ -12,10 +12,35 @@
 //! destination falls back to full replication.
 
 use cloudapi::clouddb::{Item, Value};
-use cloudapi::objstore::{Content, ETag};
+use cloudapi::objstore::{Content, ETag, StoreError};
 use cloudapi::RegionId;
 
 use crate::backend::{Backend, Exec};
+
+/// Errors from the user-side changelog helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangelogError {
+    /// A referenced source object is missing or unreadable, so no hint can
+    /// be registered and no local write happens.
+    SourceUnavailable {
+        /// The source key that could not be read.
+        key: String,
+        /// The underlying store error.
+        cause: StoreError,
+    },
+}
+
+impl std::fmt::Display for ChangelogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChangelogError::SourceUnavailable { key, cause } => {
+                write!(f, "changelog source {key:?} unavailable: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChangelogError {}
 
 /// The DB table holding changelog hints (in the source region).
 pub const CHANGELOG_TABLE: &str = "areplica_changelog";
@@ -94,7 +119,8 @@ pub fn decode(item: &Item) -> Option<ChangeOp> {
 /// registering the changelog hint *before* the write so the replication
 /// pipeline can find it.
 ///
-/// `cb` receives the new version's ETag.
+/// `cb` receives the new version's ETag. Fails up front (before any hint is
+/// registered) when the source object cannot be statted.
 pub fn user_copy<B: Backend>(
     sim: &mut B,
     region: RegionId,
@@ -102,10 +128,13 @@ pub fn user_copy<B: Backend>(
     src_key: String,
     dst_key: String,
     cb: impl FnOnce(&mut B, ETag) + 'static,
-) {
-    let stat = sim
-        .stat_now(region, &bucket, &src_key)
-        .expect("copy source must exist");
+) -> Result<(), ChangelogError> {
+    let stat = sim.stat_now(region, &bucket, &src_key).map_err(|cause| {
+        ChangelogError::SourceUnavailable {
+            key: src_key.clone(),
+            cause,
+        }
+    })?;
     // A server-side copy produces byte-identical content, so the new
     // version's ETag equals the source's.
     let hint_key = entry_key(&bucket, &dst_key, stat.etag);
@@ -134,16 +163,19 @@ pub fn user_copy<B: Backend>(
                 dst_key,
                 Some(stat.etag),
                 move |sim, applied| {
+                    // xlint::allow(no-unwrap-in-lib, source existence and ETag were validated by the stat above; nothing mutates the bucket in between)
                     let applied = applied.expect("local copy");
                     cb(sim, applied.etag);
                 },
             );
         },
     );
+    Ok(())
 }
 
 /// User-side helper: concatenates existing objects into `dst_key`,
-/// registering the changelog hint first.
+/// registering the changelog hint first. Fails up front (before any hint is
+/// registered) when a source object cannot be read.
 pub fn user_concat<B: Backend>(
     sim: &mut B,
     region: RegionId,
@@ -151,14 +183,17 @@ pub fn user_concat<B: Backend>(
     src_keys: Vec<String>,
     dst_key: String,
     cb: impl FnOnce(&mut B, ETag) + 'static,
-) {
+) -> Result<(), ChangelogError> {
     assert!(!src_keys.is_empty());
     let mut sources = Vec::with_capacity(src_keys.len());
     let mut contents: Vec<Content> = Vec::with_capacity(src_keys.len());
     for k in &src_keys {
-        let (content, etag) = sim
-            .read_full_now(region, &bucket, k)
-            .expect("concat sources must exist");
+        let (content, etag) = sim.read_full_now(region, &bucket, k).map_err(|cause| {
+            ChangelogError::SourceUnavailable {
+                key: k.clone(),
+                cause,
+            }
+        })?;
         sources.push((k.clone(), etag));
         contents.push(content);
     }
@@ -181,10 +216,12 @@ pub fn user_concat<B: Backend>(
         move |sim, ()| {
             let applied = sim
                 .user_put_content(region, &bucket, &dst_key, assembled)
+                // xlint::allow(no-unwrap-in-lib, the sources were readable above, so the bucket exists; a user PUT into an existing bucket cannot fail)
                 .expect("concat put");
             cb(sim, applied.etag);
         },
     );
+    Ok(())
 }
 
 /// Destination-side application of a changelog hint.

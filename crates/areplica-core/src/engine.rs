@@ -281,6 +281,7 @@ fn replicate_streamed<B: Backend>(
             ctx.task.dst_bucket.clone(),
             ctx.task.key.clone(),
             move |sim, upload| {
+                // xlint::allow(no-unwrap-in-lib, destination buckets are created at install time and never deleted mid-simulation)
                 let upload_id = upload.expect("destination bucket must exist");
                 stream_chunk_loop(sim, exec, ctx2, upload_id, 0, num_parts, exit);
             },
@@ -314,6 +315,7 @@ fn stream_single_chunk<B: Backend>(
                     ctx2.task.key.clone(),
                     content,
                     move |sim, put| {
+                        // xlint::allow(no-unwrap-in-lib, destination buckets are created at install time and never deleted mid-simulation)
                         put.expect("destination bucket must exist");
                         ctx3.finish_once(sim, TaskStatus::Replicated { etag: read_etag });
                         if let Some(exit) = exit {
@@ -344,6 +346,7 @@ fn stream_chunk_loop<B: Backend>(
     if chunk >= num_parts {
         let ctx2 = ctx.clone();
         sim.complete_multipart(exec, ctx.task.dst_region, upload_id, move |sim, done| {
+            // xlint::allow(no-unwrap-in-lib, sequential streaming is the sole completer of this upload and never races a peer)
             let applied = done.expect("multipart completion");
             ctx2.finish_once(sim, TaskStatus::Replicated { etag: applied.etag });
             if let Some(exit) = exit {
@@ -374,6 +377,7 @@ fn stream_chunk_loop<B: Backend>(
                     chunk + 1,
                     content,
                     move |sim, up| {
+                        // xlint::allow(no-unwrap-in-lib, the streaming uploader owns this upload id; nobody aborts it concurrently)
                         up.expect("upload part");
                         stream_chunk_loop(sim, exec, ctx3, upload_id, chunk + 1, num_parts, exit);
                     },
@@ -446,6 +450,14 @@ fn pool_item(num_parts: u32, scheduling: SchedulingMode) -> Item {
     item
 }
 
+/// Unwraps a pool-item schema access. Pool items are created exclusively by
+/// [`pool_item`] / the transactions below with a fixed key/type layout, so a
+/// shape miss is a bug in this module, never a recoverable runtime condition.
+fn shape<T>(v: Option<T>) -> T {
+    // xlint::allow(no-unwrap-in-lib, pool items are created by this module with a fixed schema; a shape miss is a bug, not a recoverable error)
+    v.expect("pool shape")
+}
+
 fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) -> ClaimResult {
     move |slot| {
         let Some(item) = slot.as_mut() else {
@@ -462,35 +474,22 @@ fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) 
             .and_then(Vec::pop)
         {
             let t = now.as_nanos();
-            item.get_mut("inflight_parts")
-                .and_then(Value::as_list_mut)
-                .expect("pool shape")
+            shape(item.get_mut("inflight_parts").and_then(Value::as_list_mut))
                 .push(Value::Uint(part));
-            item.get_mut("inflight_times")
-                .and_then(Value::as_list_mut)
-                .expect("pool shape")
-                .push(Value::Uint(t));
+            shape(item.get_mut("inflight_times").and_then(Value::as_list_mut)).push(Value::Uint(t));
             return ClaimResult::Claim(part as u32);
         }
         // Slow path: re-claim a stale lease (peer likely crashed).
         let lease_ns = lease.as_nanos();
-        let times = item
-            .get("inflight_times")
-            .and_then(Value::as_list)
-            .expect("pool shape")
-            .clone();
+        let times = shape(item.get("inflight_times").and_then(Value::as_list)).clone();
         for (idx, t) in times.iter().enumerate() {
-            let t = t.as_uint().expect("pool shape");
+            let t = shape(t.as_uint());
             if now.as_nanos().saturating_sub(t) > lease_ns {
-                let part = item
-                    .get("inflight_parts")
-                    .and_then(Value::as_list)
-                    .expect("pool shape")[idx]
-                    .as_uint()
-                    .expect("pool shape") as u32;
-                item.get_mut("inflight_times")
-                    .and_then(Value::as_list_mut)
-                    .expect("pool shape")[idx] = Value::Uint(now.as_nanos());
+                let part = shape(
+                    shape(item.get("inflight_parts").and_then(Value::as_list))[idx].as_uint(),
+                ) as u32;
+                shape(item.get_mut("inflight_times").and_then(Value::as_list_mut))[idx] =
+                    Value::Uint(now.as_nanos());
                 return ClaimResult::Claim(part);
             }
         }
@@ -502,10 +501,7 @@ fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) 
             .get("done")
             .and_then(Value::as_list)
             .map_or(0, |d| d.len() as u64);
-        let num_parts = item
-            .get("num_parts")
-            .and_then(Value::as_uint)
-            .expect("pool shape");
+        let num_parts = shape(item.get("num_parts").and_then(Value::as_uint));
         if completed >= num_parts {
             ClaimResult::AllPartsDone
         } else {
@@ -531,34 +527,19 @@ fn complete_tx(part: u32) -> impl FnOnce(&mut Option<Item>) -> CompleteResult {
             return CompleteResult::AlreadyConcluded;
         };
         // Drop the in-flight entry (if still present).
-        let idx = item
-            .get("inflight_parts")
-            .and_then(Value::as_list)
-            .expect("pool shape")
+        let idx = shape(item.get("inflight_parts").and_then(Value::as_list))
             .iter()
             .position(|v| v.as_uint() == Some(part as u64));
         if let Some(idx) = idx {
-            item.get_mut("inflight_parts")
-                .and_then(Value::as_list_mut)
-                .expect("pool shape")
-                .remove(idx);
-            item.get_mut("inflight_times")
-                .and_then(Value::as_list_mut)
-                .expect("pool shape")
-                .remove(idx);
+            shape(item.get_mut("inflight_parts").and_then(Value::as_list_mut)).remove(idx);
+            shape(item.get_mut("inflight_times").and_then(Value::as_list_mut)).remove(idx);
         }
-        let done = item
-            .get_mut("done")
-            .and_then(Value::as_list_mut)
-            .expect("pool shape");
+        let done = shape(item.get_mut("done").and_then(Value::as_list_mut));
         if !done.iter().any(|v| v.as_uint() == Some(part as u64)) {
             done.push(Value::Uint(part as u64));
         }
         let count = done.len() as u64;
-        let num_parts = item
-            .get("num_parts")
-            .and_then(Value::as_uint)
-            .expect("pool shape");
+        let num_parts = shape(item.get("num_parts").and_then(Value::as_uint));
         CompleteResult::Progress(count, num_parts)
     }
 }
@@ -594,6 +575,7 @@ fn start_distributed<B: Backend>(
         ctx.task.dst_bucket.clone(),
         ctx.task.key.clone(),
         move |sim, upload| {
+            // xlint::allow(no-unwrap-in-lib, destination buckets are created at install time and never deleted mid-simulation)
             let upload_id = upload.expect("destination bucket must exist");
             // 2. Create the part pool in the cloud DB co-located with the
             //    replicators.
@@ -812,6 +794,7 @@ fn replicate_part_inner<B: Backend>(
                             record_and_finish(sim, handle, &ctx3, started, &progress);
                             return;
                         }
+                        // xlint::allow(no-unwrap-in-lib, NoSuchUpload is handled above; any other part failure is a simulator bug)
                         up.expect("upload part");
                         let db_region = ctx3.exec_region;
                         let task_id = ctx3.task.task_id();
@@ -1032,6 +1015,7 @@ pub fn execute_relay<B: Backend>(
                     // the relay bucket identifies the staged version.
                     let staged = sim
                         .stat_now(relay_region, &relay_bucket, &task.key)
+                        // xlint::allow(no-unwrap-in-lib, the first hop just replicated the object into the relay bucket; nothing deletes it before the second hop)
                         .expect("staged object exists");
                     debug_assert_eq!(staged.etag, etag);
                     let second = TaskSpec {

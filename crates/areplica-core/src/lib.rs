@@ -48,5 +48,5 @@ pub use metrics::{CompletionRecord, Metrics};
 pub use model::{ExecSide, PathKey, PerfModel};
 pub use overlay::{generate_routed_plan, RelayPlan, RoutedPlan};
 pub use planner::{generate_plan, generate_plan_with_caps, Plan, SideCaps};
-pub use profiler::ProfilerConfig;
+pub use profiler::{ProfileError, ProfilerConfig};
 pub use service::{AReplica, AReplicaBuilder};

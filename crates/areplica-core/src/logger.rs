@@ -6,7 +6,7 @@
 //! window, it rescales the path's chunk parameters and invalidates the cached
 //! Monte-Carlo distributions — the "on-demand re-simulation" trigger of §5.3.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::model::{PathKey, PerfModel};
 
@@ -26,7 +26,7 @@ struct Obs {
 /// The online model updater.
 #[derive(Debug)]
 pub struct OnlineLogger {
-    windows: HashMap<PathKey, Vec<Obs>>,
+    windows: BTreeMap<PathKey, Vec<Obs>>,
     /// Observations per window before a drift decision.
     pub window_len: usize,
     /// Relative deviation treated as drift.
@@ -40,7 +40,7 @@ pub struct OnlineLogger {
 impl Default for OnlineLogger {
     fn default() -> Self {
         OnlineLogger {
-            windows: HashMap::new(),
+            windows: BTreeMap::new(),
             window_len: DEFAULT_WINDOW,
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             adjustments: 0,

@@ -15,7 +15,7 @@
 //! on demand (bootstrap) and invalidated by the online logger on persistent
 //! prediction drift.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cloudapi::RegionId;
 use rand::rngs::StdRng;
@@ -24,7 +24,7 @@ use simkernel::SimDuration;
 use stats::{sum_as_normal, Dist, EULER_GAMMA, GUMBEL_THRESHOLD_N};
 
 /// Where the replicator functions run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExecSide {
     /// At the source region.
     Source,
@@ -110,7 +110,7 @@ fn inflate_instance_cv(base: Dist, cv: f64) -> Dist {
 }
 
 /// A path between two regions with a chosen execution side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathKey {
     /// Source region.
     pub src: RegionId,
@@ -120,7 +120,7 @@ pub struct PathKey {
     pub side: ExecSide,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct MaxCacheKey {
     path: PathKey,
     n: u32,
@@ -130,10 +130,10 @@ struct MaxCacheKey {
 /// The fitted performance model.
 #[derive(Debug, Clone, Default)]
 pub struct PerfModel {
-    loc: HashMap<RegionId, LocParams>,
-    path: HashMap<PathKey, PathParams>,
-    notif: HashMap<RegionId, Dist>,
-    max_cache: HashMap<MaxCacheKey, Dist>,
+    loc: BTreeMap<RegionId, LocParams>,
+    path: BTreeMap<PathKey, PathParams>,
+    notif: BTreeMap<RegionId, Dist>,
+    max_cache: BTreeMap<MaxCacheKey, Dist>,
     /// Chunk size `c` in bytes the parameters were profiled at.
     pub chunk_size: u64,
     /// Monte-Carlo trial budget per cached distribution.
@@ -376,6 +376,7 @@ fn add_normal(base: &Dist, mu: f64, sigma: f64) -> Dist {
                 .iter()
                 .map(|x| x + Dist::normal(mu, sigma).sample(&mut rng))
                 .collect();
+            // xlint::allow(no-unwrap-in-lib, samples come from an existing EmpiricalDist plus a finite normal shift, so they stay finite and non-empty)
             Dist::Empirical(stats::EmpiricalDist::new(shifted).expect("finite samples"))
         }
         other => other.shift(mu),

@@ -73,6 +73,49 @@ pub fn documented_scheduler_period(cloud: Cloud) -> f64 {
     }
 }
 
+/// Profiling failed to produce a usable model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A probe stage yielded too few (or degenerate) samples, so no
+    /// distribution could be fitted — usually a zero-sample
+    /// [`ProfilerConfig`].
+    NoFit {
+        /// Which measurement failed (e.g. `"warm invocations"`).
+        stage: &'static str,
+        /// The region or path being profiled, pre-rendered for display.
+        subject: String,
+        /// The underlying fitting failure.
+        cause: stats::FitError,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::NoFit {
+                stage,
+                subject,
+                cause,
+            } => {
+                write!(f, "profiling {subject}: cannot fit {stage}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn no_fit(
+    stage: &'static str,
+    subject: impl std::fmt::Debug,
+) -> impl FnOnce(stats::FitError) -> ProfileError {
+    move |cause| ProfileError::NoFit {
+        stage,
+        subject: format!("{subject:?}"),
+        cause,
+    }
+}
+
 type Samples = Rc<RefCell<Vec<f64>>>;
 /// A one-shot continuation cell consumed by a re-runnable body.
 type OnceCont<B> = Rc<RefCell<Option<Box<dyn FnOnce(&mut B)>>>>;
@@ -98,11 +141,14 @@ fn run_job_chain<B: Backend>(sim: &mut B, queue: Rc<RefCell<VecDeque<Job<B>>>>) 
 /// `sim` should be a fresh sandbox backend (from
 /// [`Backend::profiling_sandbox`]); profiling drives it to completion and
 /// leaves probe buckets behind.
+///
+/// Fails with [`ProfileError::NoFit`] when a probe stage collects too few
+/// samples to fit a distribution (e.g. a zero-sample [`ProfilerConfig`]).
 pub fn build_model<B: Backend>(
     sim: &mut B,
     pairs: &[(RegionId, RegionId)],
     cfg: &ProfilerConfig,
-) -> PerfModel {
+) -> Result<PerfModel, ProfileError> {
     // Collect the distinct regions to profile.
     let mut locs: Vec<RegionId> = Vec::new();
     let mut srcs: Vec<RegionId> = Vec::new();
@@ -172,7 +218,7 @@ pub fn build_model<B: Backend>(
     let mut model = PerfModel::new(cfg.chunk_size, cfg.mc_trials, cfg.seed ^ 0x5eed);
     for (region, warm, cold) in loc_collectors {
         let cloud = sim.cloud_of(region);
-        let invoke = fit_auto(&warm.borrow()).expect("warm samples");
+        let invoke = fit_auto(&warm.borrow()).map_err(no_fit("warm invocations", region))?;
         let period = documented_scheduler_period(cloud);
         // Cold samples measured (invoke -> body start) include I, the tick
         // wait, and D; strip the expected tick wait and one I.
@@ -181,7 +227,7 @@ pub fn build_model<B: Backend>(
             .iter()
             .map(|t| (t - invoke.mean() - period / 2.0).max(0.01))
             .collect();
-        let cold_fit = fit_auto(&d_samples).expect("cold samples");
+        let cold_fit = fit_auto(&d_samples).map_err(no_fit("cold starts", region))?;
         let postpone = if period > 0.0 {
             Dist::Uniform {
                 lo: 0.0,
@@ -200,7 +246,8 @@ pub fn build_model<B: Backend>(
         );
     }
     for (region, samples) in notif_collectors {
-        model.set_notif(region, fit_auto(&samples.borrow()).expect("notif samples"));
+        let fit = fit_auto(&samples.borrow()).map_err(no_fit("notifications", region))?;
+        model.set_notif(region, fit);
     }
     for (key, s, c, c_dist) in path_collectors {
         // Chunk samples arrive grouped by invocation (chunks_per_invocation
@@ -210,14 +257,15 @@ pub fn build_model<B: Backend>(
         model.set_path(
             key,
             PathParams {
-                setup: fit_auto(&s.borrow()).expect("setup samples"),
-                chunk: fit_auto(&c.borrow()).expect("chunk samples"),
-                chunk_distributed: fit_auto(&c_dist.borrow()).expect("chunk' samples"),
+                setup: fit_auto(&s.borrow()).map_err(no_fit("transfer setup", key))?,
+                chunk: fit_auto(&c.borrow()).map_err(no_fit("chunk transfers", key))?,
+                chunk_distributed: fit_auto(&c_dist.borrow())
+                    .map_err(no_fit("distributed chunk transfers", key))?,
                 instance_cv,
             },
         );
     }
-    model
+    Ok(model)
 }
 
 /// Coefficient of variation of per-invocation mean chunk times.
@@ -346,12 +394,15 @@ fn profile_notifications_job<B: Backend>(
                     let key = format!("probe-{}", *rem);
                     drop(rem);
                     sim.user_put(_region, &bucket2, &key, 1024)
+                        // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
                         .expect("probe put");
                 }
             }),
         )
+        // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
         .expect("subscribe");
         sim.user_put(region, &bucket, "probe-first", 1024)
+            // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
             .expect("probe put");
     })
 }
@@ -375,6 +426,7 @@ fn profile_path_job<B: Backend>(
         sim.create_bucket(dst, &dst_bucket);
         let probe_size = cfg.chunk_size * cfg.chunks_per_invocation;
         sim.user_put(src, &src_bucket, "probe-object", probe_size)
+            // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
             .expect("probe object");
 
         run_transfer_seq(
@@ -450,6 +502,7 @@ fn run_transfer_seq<B: Backend>(
                 job.dst_bucket.clone(),
                 probe_key,
                 move |sim, upload| {
+                    // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
                     let upload_id = upload.expect("profile multipart");
                     measure_chunks(sim, handle, job2, upload_id, 0, false, done_cell);
                 },
@@ -514,6 +567,7 @@ fn measure_chunks<B: Backend>(
             job.cfg.chunk_size,
             None,
             move |sim, got| {
+                // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
                 let (content, _) = got.expect("probe read");
                 let job2 = job.clone();
                 sim.upload_part(
@@ -523,6 +577,7 @@ fn measure_chunks<B: Backend>(
                     chunk as u32 + 1,
                     content,
                     move |sim, up| {
+                        // xlint::allow(no-unwrap-in-lib, the profiler owns its sandbox: probe buckets/objects are created by this module immediately beforehand, so a miss is a simulator bug)
                         up.expect("probe upload");
                         let job_db = job2.clone();
                         let finish = move |sim: &mut B| {

@@ -114,6 +114,8 @@ impl AReplicaBuilder {
                 .collect();
             let mut sandbox = sim.profiling_sandbox(self.profiler_cfg.seed);
             profiler::build_model(&mut sandbox, &pairs, &self.profiler_cfg)
+                // xlint::allow(no-unwrap-in-lib, deploy-time boundary: a profiling failure here means a misconfigured ProfilerConfig, surfaced before any replication starts)
+                .expect("offline profiling failed")
         });
         self.profiler_cfg.chunk_size = self.cfg.part_size;
 
@@ -148,6 +150,7 @@ impl AReplicaBuilder {
                     on_object_event(sim, st.clone(), rule_idx, ev);
                 }),
             )
+            // xlint::allow(no-unwrap-in-lib, subscribing to the bucket created two statements above cannot miss)
             .expect("bucket just created");
         }
 
@@ -501,6 +504,7 @@ fn plan_and_execute<B: Backend>(
             slo_rep,
             percentile,
         )
+        // xlint::allow(no-unwrap-in-lib, install() profiles every rule path before subscribing, so the planner always finds parameters)
         .expect("rule paths are profiled at install time");
         // The logger compares like with like: the *mean* prediction, not the
         // SLO percentile (comparing a typical run against a p99.99 bound

@@ -248,7 +248,8 @@ fn changelog_copy_avoids_wan_egress() {
         "base.bin".into(),
         "copy.bin".into(),
         |_, _| {},
-    );
+    )
+    .unwrap();
     sim.run_to_completion(3_000_000);
     assert_replica_matches(&sim, src, dst, "copy.bin");
     let delta = sim.world.ledger.since(&before);
@@ -280,7 +281,8 @@ fn changelog_disabled_pays_full_egress() {
         "base.bin".into(),
         "copy.bin".into(),
         |_, _| {},
-    );
+    )
+    .unwrap();
     sim.run_to_completion(3_000_000);
     assert_replica_matches(&sim, src, dst, "copy.bin");
     let egress = sim
@@ -550,7 +552,8 @@ fn profiler_fits_parameters_near_ground_truth() {
             chunks_per_invocation: 4,
             ..ProfilerConfig::default()
         },
-    );
+    )
+    .expect("profiling");
     // The fitted invocation latency is close to the ground truth mean.
     let loc = model.loc_params(src).expect("profiled");
     let truth_i = sim.world.params.aws.invoke_latency.mean();

@@ -12,7 +12,7 @@
 //! skip provisioning.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use cloudsim::net::Direction;
@@ -90,7 +90,7 @@ struct Job {
 
 struct SkyState {
     cfg: SkyplaneConfig,
-    pairs: HashMap<(RegionId, RegionId), PairState>,
+    pairs: BTreeMap<(RegionId, RegionId), PairState>,
     /// Total jobs completed (stats).
     completed_jobs: u64,
     /// Phase timeline (timestamp, phase label) for breakdown reporting
@@ -109,7 +109,7 @@ impl Skyplane {
         Skyplane {
             state: Rc::new(RefCell::new(SkyState {
                 cfg,
-                pairs: HashMap::new(),
+                pairs: BTreeMap::new(),
                 completed_jobs: 0,
                 timeline: Vec::new(),
             })),

@@ -27,7 +27,8 @@ fn bench_replication(c: &mut Criterion) {
             mc_trials: 500,
             ..ProfilerConfig::default()
         },
-    );
+    )
+    .expect("profiling");
 
     c.bench_function("e2e_replicate_1mb_sim", |b| {
         b.iter(|| {

@@ -11,10 +11,10 @@ fn main() {
             return;
         }
         eprintln!("\n===== running {name} =====");
-        let started = std::time::Instant::now();
+        let timer = bench::WallTimer::start();
         let report = f();
         bench::write_report(name, &report);
-        eprintln!("[{name} took {:.1} s]", started.elapsed().as_secs_f64());
+        eprintln!("[{name} took {:.1} s]", timer.elapsed_secs());
     };
     run("fig02_put_sizes", &ex::fig02_put_sizes::run);
     run("fig03_throughput", &ex::fig03_throughput::run);

@@ -93,7 +93,8 @@ fn dynamic_side(src: (Cloud, &str), dst: (Cloud, &str)) -> ExecSide {
             chunks_per_invocation: 4,
             ..crate::runners::experiment_profiler()
         },
-    );
+    )
+    .expect("profiling");
     // A relaxed SLO lets the planner stay at a single instance; force n = 1
     // comparisons by restricting max parallelism (the figure isolates the
     // side choice).

@@ -54,7 +54,8 @@ fn areplica_copy(size: u64, with_changelog: bool, seed_offset: u64) -> (f64, f64
         "base".into(),
         "copy".into(),
         |_, _| {},
-    );
+    )
+    .expect("source object was seeded above");
     wait_for_completions(&mut sim, &service, 2);
     let delay = service
         .metrics()

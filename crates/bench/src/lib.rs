@@ -17,6 +17,8 @@
 pub mod experiments;
 pub mod harness;
 pub mod runners;
+pub mod walltimer;
 
 pub use harness::{human_bytes, scaled, seed, write_report, Table};
 pub use runners::{measure_areplica_once, profile_pairs, wait_for_completions};
+pub use walltimer::WallTimer;

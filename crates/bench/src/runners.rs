@@ -28,6 +28,7 @@ pub fn profile_pairs(sim: &CloudSim, pairs: &[(RegionId, RegionId)]) -> PerfMode
         pairs,
         &experiment_profiler(),
     )
+    .expect("profiling")
 }
 
 /// A fresh paper-world simulator with the harness seed offset.

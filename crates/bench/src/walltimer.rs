@@ -1,0 +1,30 @@
+//! The workspace's single sanctioned wall-clock site.
+//!
+//! Experiments are timed for *operator progress reporting only* — elapsed
+//! wall time is printed to stderr and never reaches a report or a
+//! `results/*.txt` file, so it cannot perturb replay determinism. Every
+//! other crate must use the `Clock` backend trait / simkernel virtual time;
+//! `xlint`'s `no-wall-clock` rule enforces that, and this helper carries
+//! the one pragma'd exception.
+
+/// Measures real elapsed time for progress logs.
+#[derive(Debug)]
+pub struct WallTimer {
+    // xlint::allow(no-wall-clock, operator progress logging only; elapsed time goes to stderr and never into results)
+    started: std::time::Instant,
+}
+
+impl WallTimer {
+    /// Starts timing now.
+    pub fn start() -> WallTimer {
+        WallTimer {
+            // xlint::allow(no-wall-clock, operator progress logging only; elapsed time goes to stderr and never into results)
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds since [`WallTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}

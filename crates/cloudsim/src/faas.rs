@@ -12,7 +12,7 @@
 //! world's storage/DB/transfer wrappers, which automatically drop
 //! continuations of dead invocations.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use pricing::CostCategory;
@@ -64,8 +64,8 @@ struct RegionFaas {
 /// The multi-region function runtime.
 #[derive(Default)]
 pub struct FaasRuntime {
-    regions: HashMap<RegionId, RegionFaas>,
-    instances: HashMap<InstanceId, Instance>,
+    regions: BTreeMap<RegionId, RegionFaas>,
+    instances: BTreeMap<InstanceId, Instance>,
     next_instance: u64,
     next_invocation: u64,
     /// Dead-letter queue (inspectable by tests and experiments).

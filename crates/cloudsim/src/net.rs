@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use simkernel::SimDuration;
 use stats::Dist;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::params::WorldParams;
 use crate::region::{RegionId, RegionRegistry};
@@ -49,7 +49,7 @@ pub struct ExecProfile {
 /// Live network state: concurrent WAN legs per directed region pair.
 #[derive(Debug, Default)]
 pub struct NetState {
-    active: HashMap<(RegionId, RegionId), u32>,
+    active: BTreeMap<(RegionId, RegionId), u32>,
 }
 
 impl NetState {

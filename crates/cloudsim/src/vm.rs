@@ -10,13 +10,13 @@ use pricing::CostCategory;
 use simkernel::{SimDuration, SimTime};
 use stats::Dist;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::region::RegionId;
 use crate::world::CloudSim;
 
 /// Handle to a provisioned VM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VmId(pub u64);
 
 /// VM lifecycle state.
@@ -41,7 +41,7 @@ pub(crate) struct Vm {
 /// The multi-region VM service.
 #[derive(Debug, Default)]
 pub struct VmService {
-    pub(crate) vms: HashMap<VmId, Vm>,
+    pub(crate) vms: BTreeMap<VmId, Vm>,
     next: u64,
     /// Total VMs ever provisioned (stats).
     pub provisioned: u64,

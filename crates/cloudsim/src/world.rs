@@ -11,7 +11,7 @@
 //! executing instance has died (timeout/crash) before completion, so bodies
 //! never observe operations from a previous life.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pricing::{Cloud, CostCategory, CostLedger, Money, PriceCatalog};
@@ -73,13 +73,13 @@ pub struct World {
     pub net: NetState,
     objstores: Vec<ObjectStore>,
     dbs: Vec<KvDb>,
-    notif_handlers: HashMap<u64, NotifHandler>,
+    notif_handlers: BTreeMap<u64, NotifHandler>,
     next_handler: u64,
     next_blob: u64,
     faas_rng: StdRng,
     net_rng: StdRng,
     db_rng: StdRng,
-    pub(crate) faas_retry_contexts: HashMap<InvocationId, (FnBody, u32, RetryPolicy, FnSpec)>,
+    pub(crate) faas_retry_contexts: BTreeMap<InvocationId, (FnBody, u32, RetryPolicy, FnSpec)>,
 }
 
 impl World {
@@ -101,13 +101,13 @@ impl World {
             net: NetState::new(),
             objstores: (0..n).map(|_| ObjectStore::new()).collect(),
             dbs: (0..n).map(|_| KvDb::new()).collect(),
-            notif_handlers: HashMap::new(),
+            notif_handlers: BTreeMap::new(),
             next_handler: 0,
             next_blob: 0,
             faas_rng: derive_rng(seed, "world:faas"),
             net_rng: derive_rng(seed, "world:net"),
             db_rng: derive_rng(seed, "world:db"),
-            faas_retry_contexts: HashMap::new(),
+            faas_retry_contexts: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,225 @@
+//! `xlint.toml` — per-crate rule configuration.
+//!
+//! The registry is unreachable, so this is a hand-rolled parser for the
+//! small TOML subset the config actually uses: `[table.sub]` headers,
+//! `[[array-of-tables]]` headers, string values, string arrays, and `#`
+//! comments. Anything else is a parse error — better loud than silently
+//! ignored configuration.
+
+use std::fmt;
+use std::path::Path;
+
+/// A `[[layering]]` entry: references to `forbid::…` inside `crate` are
+/// errors outside the `allow`ed files.
+#[derive(Debug, Clone)]
+pub struct LayeringRule {
+    /// Crate whose sources are constrained.
+    pub krate: String,
+    /// Root path segment that must not be referenced (`forbid::`).
+    pub forbid: String,
+    /// Workspace-relative files where the reference is legal.
+    pub allow: Vec<String>,
+}
+
+/// Parsed configuration with per-rule scoping.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Top-level directories never scanned (path prefixes).
+    pub skip: Vec<String>,
+    /// Crate name of the workspace-root package.
+    pub root_crate: String,
+    /// Crates where `no-unordered-iteration` applies.
+    pub unordered_crates: Vec<String>,
+    /// Crates where `no-unwrap-in-lib` applies.
+    pub unwrap_crates: Vec<String>,
+    /// Path prefixes exempt from `no-wall-clock` (tests are always exempt).
+    pub wall_clock_exempt: Vec<String>,
+    /// Layering constraints.
+    pub layering: Vec<LayeringRule>,
+}
+
+impl Default for Config {
+    /// The workspace's real policy — also used by `--self-test`, which must
+    /// not depend on an on-disk config.
+    fn default() -> Config {
+        Config {
+            skip: vec!["vendor".into(), "target".into()],
+            root_crate: "areplica".into(),
+            unordered_crates: vec![
+                "areplica-core".into(),
+                "cloudsim".into(),
+                "simkernel".into(),
+                "baselines".into(),
+            ],
+            unwrap_crates: vec!["areplica-core".into()],
+            wall_clock_exempt: Vec::new(),
+            layering: vec![LayeringRule {
+                krate: "areplica-core".into(),
+                forbid: "cloudsim".into(),
+                allow: vec!["crates/areplica-core/src/backend/sim.rs".into()],
+            }],
+        }
+    }
+}
+
+/// Config file parse error.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Loads `xlint.toml` from `root`, falling back to the built-in default
+    /// when absent.
+    pub fn load(root: &Path) -> Result<Config, ConfigError> {
+        let path = root.join("xlint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Config::parse(&text),
+            Err(_) => Ok(Config::default()),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config {
+            skip: Vec::new(),
+            root_crate: "areplica".into(),
+            unordered_crates: Vec::new(),
+            unwrap_crates: Vec::new(),
+            wall_clock_exempt: Vec::new(),
+            layering: Vec::new(),
+        };
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(h) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = format!("[[{}]]", h.trim());
+                if h.trim() == "layering" {
+                    cfg.layering.push(LayeringRule {
+                        krate: String::new(),
+                        forbid: String::new(),
+                        allow: Vec::new(),
+                    });
+                } else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown array-of-tables [[{}]]", h.trim()),
+                    });
+                }
+                continue;
+            }
+            if let Some(h) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = h.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let err = |m: String| ConfigError {
+                line: lineno,
+                message: m,
+            };
+            match (section.as_str(), key) {
+                ("", "skip") => cfg.skip = parse_string_array(value).map_err(err)?,
+                ("", "root_crate") => cfg.root_crate = parse_string(value).map_err(err)?,
+                ("rules.no-unordered-iteration", "crates") => {
+                    cfg.unordered_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.no-unwrap-in-lib", "crates") => {
+                    cfg.unwrap_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.no-wall-clock", "exempt_paths") => {
+                    cfg.wall_clock_exempt = parse_string_array(value).map_err(err)?
+                }
+                ("[[layering]]", k) => {
+                    let entry = cfg.layering.last_mut().ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: "layering key outside [[layering]]".into(),
+                    })?;
+                    match k {
+                        "crate" => entry.krate = parse_string(value).map_err(err)?,
+                        "forbid" => entry.forbid = parse_string(value).map_err(err)?,
+                        "allow" => entry.allow = parse_string_array(value).map_err(err)?,
+                        other => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown layering key `{other}`"),
+                            })
+                        }
+                    }
+                }
+                (sec, k) => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{k}` in section `{sec}`"),
+                    })
+                }
+            }
+        }
+        for (i, l) in cfg.layering.iter().enumerate() {
+            if l.krate.is_empty() || l.forbid.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("[[layering]] entry {i} needs both `crate` and `forbid`"),
+                });
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Drops a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("expected a quoted string, got `{v}`"))
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [\"a\", \"b\"], got `{v}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Ok(out)
+}

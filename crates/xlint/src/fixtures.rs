@@ -1,0 +1,418 @@
+//! Embedded self-test fixtures: for every rule, a violating snippet, a
+//! clean snippet, and a pragma-suppressed snippet. `xlint --self-test` runs
+//! the real engine over these in memory (default config, no filesystem) and
+//! fails loudly if any rule stops firing — a tripwire against the linter
+//! itself rotting.
+
+use crate::config::Config;
+use crate::rules::check_file;
+
+/// What a fixture expects from the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// At least one finding of the named rule.
+    Fires,
+    /// No findings at all.
+    Clean,
+}
+
+/// A named in-memory lint target.
+pub struct Fixture {
+    pub name: &'static str,
+    /// Synthetic workspace-relative path (drives crate/file scoping).
+    pub rel_path: &'static str,
+    pub rule: &'static str,
+    pub expect: Expect,
+    pub source: &'static str,
+}
+
+/// The full fixture corpus.
+pub const FIXTURES: &[Fixture] = &[
+    // ---- no-wall-clock -------------------------------------------------
+    Fixture {
+        name: "wall-clock-violating",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Fires,
+        source: r##"
+pub fn measure() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+"##,
+    },
+    Fixture {
+        name: "wall-clock-systemtime-violating",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Fires,
+        source: r##"
+use std::time::SystemTime;
+pub fn stamp() -> SystemTime { SystemTime::now() }
+"##,
+    },
+    Fixture {
+        name: "wall-clock-clean-sim-time",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Clean,
+        source: r##"
+pub fn measure(now_ns: u64, later_ns: u64) -> u64 {
+    later_ns - now_ns // virtual time from the Clock trait
+}
+"##,
+    },
+    Fixture {
+        name: "wall-clock-test-region-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Clean,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_smoke() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "wall-clock-pragma",
+        rel_path: "crates/bench/src/bin/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Clean,
+        source: r##"
+pub fn wall_elapsed_ns() -> u64 {
+    // xlint::allow(no-wall-clock, operator-facing progress logging only; never reaches results)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+"##,
+    },
+    // ---- no-os-entropy -------------------------------------------------
+    Fixture {
+        name: "os-entropy-violating",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-os-entropy",
+        expect: Expect::Fires,
+        source: r##"
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+"##,
+    },
+    Fixture {
+        name: "os-entropy-in-test-still-fires",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-os-entropy",
+        expect: Expect::Fires,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeded() {
+        let _rng = rand::rngs::StdRng::from_entropy();
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "os-entropy-clean-seeded",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-os-entropy",
+        expect: Expect::Clean,
+        source: r##"
+use rand::SeedableRng;
+pub fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+"##,
+    },
+    Fixture {
+        name: "os-entropy-pragma",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-os-entropy",
+        expect: Expect::Clean,
+        source: r##"
+pub fn session_nonce() -> u64 {
+    // xlint::allow(no-os-entropy, nonce is for log correlation only and never feeds the simulation)
+    let mut rng = rand::rngs::OsRng;
+    rng.next_u64()
+}
+"##,
+    },
+    // ---- no-unordered-iteration ---------------------------------------
+    Fixture {
+        name: "unordered-iter-violating",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Fires,
+        source: r##"
+use std::collections::HashMap;
+pub fn total_latency(samples: HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_id, s) in samples.iter() {
+        acc += s; // float sum: order-sensitive at the bit level
+    }
+    acc
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-for-loop-violating",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Fires,
+        source: r##"
+use std::collections::HashSet;
+pub fn emit(ready: &HashSet<u32>, out: &mut Vec<u32>) {
+    for id in ready {
+        out.push(*id);
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-clean-btree",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Clean,
+        source: r##"
+use std::collections::BTreeMap;
+pub fn total_latency(samples: BTreeMap<u64, f64>) -> f64 {
+    samples.values().sum()
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-clean-immediately-sorted",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Clean,
+        source: r##"
+use std::collections::HashMap;
+pub fn ordered_keys(samples: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut keys: Vec<u64> = samples.keys().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+    keys.sort_unstable();
+    keys
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-clean-count",
+        rel_path: "crates/baselines/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Clean,
+        source: r##"
+use std::collections::HashMap;
+pub fn live(pairs: &HashMap<(u32, u32), bool>) -> usize {
+    pairs.values().filter(|v| **v).count()
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-clean-unconfigured-crate",
+        rel_path: "crates/cloudapi/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Clean,
+        source: r##"
+use std::collections::HashMap;
+pub fn drain_all(m: &mut HashMap<String, u64>) -> Vec<(String, u64)> {
+    m.drain().collect()
+}
+"##,
+    },
+    Fixture {
+        name: "unordered-pragma",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unordered-iteration",
+        expect: Expect::Clean,
+        source: r##"
+use std::collections::HashMap;
+pub fn invalidate(cache: &mut HashMap<u64, Vec<u8>>) {
+    // xlint::allow(no-unordered-iteration, visit order cannot be observed: entries are dropped wholesale)
+    for (_k, v) in cache.iter_mut() {
+        v.clear();
+    }
+}
+"##,
+    },
+    // ---- layering ------------------------------------------------------
+    Fixture {
+        name: "layering-violating",
+        rel_path: "crates/areplica-core/src/engine_fixture.rs",
+        rule: "layering",
+        expect: Expect::Fires,
+        source: r##"
+pub fn shortcut(sim: &mut cloudsim::world::CloudSim) {
+    cloudsim::world::user_put(sim, todo!(), "b", "k", 1);
+}
+"##,
+    },
+    Fixture {
+        name: "layering-clean-in-adapter",
+        rel_path: "crates/areplica-core/src/backend/sim.rs",
+        rule: "layering",
+        expect: Expect::Clean,
+        source: r##"
+use cloudsim::world::CloudSim;
+pub struct SimBackend { pub sim: CloudSim }
+"##,
+    },
+    Fixture {
+        name: "layering-clean-other-crate",
+        rel_path: "crates/bench/src/runners_fixture.rs",
+        rule: "layering",
+        expect: Expect::Clean,
+        source: r##"
+pub fn world(seed: u64) -> cloudsim::world::CloudSim {
+    cloudsim::world::World::paper_sim(seed)
+}
+"##,
+    },
+    Fixture {
+        name: "layering-pragma",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "layering",
+        expect: Expect::Clean,
+        source: r##"
+// xlint::allow(layering, transitional shim scheduled for removal in the next PR)
+pub use cloudsim::WorldParams as SimWorldParams;
+"##,
+    },
+    // ---- no-unwrap-in-lib ---------------------------------------------
+    Fixture {
+        name: "unwrap-violating",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Fires,
+        source: r##"
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+"##,
+    },
+    Fixture {
+        name: "expect-violating",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Fires,
+        source: r##"
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("non-empty input")
+}
+"##,
+    },
+    Fixture {
+        name: "unwrap-clean-typed-error",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Clean,
+        source: r##"
+pub fn head(xs: &[u64]) -> Result<u64, crate::EngineError> {
+    xs.first().copied().ok_or(crate::EngineError::Empty)
+}
+"##,
+    },
+    Fixture {
+        name: "unwrap-clean-in-test-mod",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Clean,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn head() {
+        assert_eq!([1u64].first().copied().unwrap(), 1);
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "unwrap-clean-other-crate",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Clean,
+        source: r##"
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+"##,
+    },
+    Fixture {
+        name: "expect-pragma",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-unwrap-in-lib",
+        expect: Expect::Clean,
+        source: r##"
+pub fn head(xs: &[u64]) -> u64 {
+    // xlint::allow(no-unwrap-in-lib, caller guarantees non-empty: checked by EngineConfig::validate)
+    *xs.first().expect("non-empty by construction")
+}
+"##,
+    },
+    // ---- bad-pragma ----------------------------------------------------
+    Fixture {
+        name: "pragma-missing-reason",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "bad-pragma",
+        expect: Expect::Fires,
+        source: r##"
+pub fn head(xs: &[u64]) -> u64 {
+    // xlint::allow(no-unwrap-in-lib)
+    *xs.first().unwrap()
+}
+"##,
+    },
+    Fixture {
+        name: "pragma-unknown-rule",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "bad-pragma",
+        expect: Expect::Fires,
+        source: r##"
+// xlint::allow(no-such-rule, this rule does not exist)
+pub fn noop() {}
+"##,
+    },
+];
+
+/// Runs every fixture through the engine with the default config; returns a
+/// human-readable failure list (empty = pass).
+pub fn run_self_test() -> Vec<String> {
+    let cfg = Config::default();
+    let mut failures = Vec::new();
+    for fx in FIXTURES {
+        let findings = check_file(fx.rel_path, fx.source, &cfg);
+        match fx.expect {
+            Expect::Fires => {
+                let hit = findings.iter().any(|f| f.rule == fx.rule);
+                if !hit {
+                    failures.push(format!(
+                        "fixture `{}`: expected `{}` to fire, got {:?}",
+                        fx.name,
+                        fx.rule,
+                        findings.iter().map(|f| f.rule).collect::<Vec<_>>()
+                    ));
+                }
+            }
+            Expect::Clean => {
+                if !findings.is_empty() {
+                    failures.push(format!(
+                        "fixture `{}`: expected clean, got {}",
+                        fx.name,
+                        findings
+                            .iter()
+                            .map(|f| format!("{}:{} {}", f.rule, f.line, f.message))
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}

@@ -1,0 +1,568 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! rule engine, with no external dependencies.
+//!
+//! The lexer understands the constructs that would otherwise cause false
+//! matches in a plain text scan: line and (nested) block comments, string
+//! literals, raw strings (`r#"…"#`, any number of `#`), byte strings, char
+//! literals vs. lifetimes, and raw identifiers (`r#type`). Literal and
+//! comment *content* is never matched by any rule.
+//!
+//! Beyond tokens it extracts two per-file overlays the rules need:
+//!
+//! * `xlint::allow(rule, reason)` pragmas found in line comments, and
+//! * which lines belong to test regions (`#[cfg(test)]` items, `#[test]`
+//!   functions, `mod tests { … }` blocks).
+
+/// A lexical token. Literal payloads are deliberately dropped: rules must
+/// never match inside strings or comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, or number.
+    Lit,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// An inline `// xlint::allow(rule, reason)` suppression.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub rule: String,
+    pub reason: String,
+    /// Line the pragma comment appears on.
+    pub line: u32,
+    /// True when the comment is alone on its line, in which case it also
+    /// suppresses the next line of code.
+    pub own_line: bool,
+}
+
+/// A malformed pragma (missing reason, empty rule, …).
+#[derive(Debug, Clone)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Lexer output for one file.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub pragmas: Vec<Pragma>,
+    pub bad_pragmas: Vec<BadPragma>,
+    /// `test_lines[line]` (1-based) is true inside test regions.
+    pub test_lines: Vec<bool>,
+}
+
+impl LexedFile {
+    /// True when `line` is inside a `#[cfg(test)]`/`#[test]`/`mod tests`
+    /// region.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// True when a pragma suppresses `rule` on `line`: either a trailing
+    /// pragma on the same line or an own-line pragma on the line above
+    /// (chains of own-line pragmas stack).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas.iter().any(|p| {
+            p.rule == rule && (p.line == line || (p.own_line && self.covers_below(p, line)))
+        })
+    }
+
+    /// An own-line pragma covers the next *code* line; consecutive own-line
+    /// pragma comments may stack between it and the code.
+    fn covers_below(&self, p: &Pragma, line: u32) -> bool {
+        if line <= p.line {
+            return false;
+        }
+        // Every line strictly between the pragma and the target must itself
+        // hold an own-line pragma (stacked suppressions).
+        (p.line + 1..line).all(|l| self.pragmas.iter().any(|q| q.own_line && q.line == l))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, collecting pragmas and test-region lines.
+pub fn lex(src: &str) -> LexedFile {
+    let b: Vec<char> = src.chars().collect();
+    let n_lines = src.lines().count() + 2;
+    let mut tokens = Vec::new();
+    let mut pragmas = Vec::new();
+    let mut bad_pragmas = Vec::new();
+    let mut line: u32 = 1;
+    // True until the first token/comment on the current line is seen.
+    let mut line_is_blank = true;
+    let mut i = 0usize;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_is_blank = true;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment. Only plain `//` comments can carry pragmas:
+                // doc comments (`///`, `//!`) *describe* the syntax without
+                // activating it.
+                let is_doc = matches!(b.get(i + 2), Some('/') | Some('!'));
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                if !is_doc {
+                    let text: String = b[start..j].iter().collect();
+                    parse_pragma(&text, line, line_is_blank, &mut pragmas, &mut bad_pragmas);
+                }
+                line_is_blank = false;
+                i = j;
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nested per Rust.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        line_is_blank = true;
+                        j += 1;
+                    } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                line_is_blank = false;
+            }
+            'r' | 'b' if raw_or_byte_literal(&b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte(&b, i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: start_line,
+                });
+                line_is_blank = false;
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                let next = b.get(i + 1).copied().unwrap_or('\0');
+                if next == '\\' {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    if j < b.len() {
+                        j += 1; // the escaped char (or 'u')
+                    }
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1; // \u{…} payload
+                    }
+                    i = j + 1;
+                    tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else if is_ident_start(next) || next.is_ascii_digit() {
+                    if b.get(i + 2) == Some(&'\'') {
+                        // 'a' — single-char literal.
+                        i += 3;
+                        tokens.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                    } else {
+                        // Lifetime / label: consume the identifier.
+                        let mut j = i + 1;
+                        while j < b.len() && is_ident_cont(b[j]) {
+                            j += 1;
+                        }
+                        i = j;
+                        tokens.push(Token {
+                            tok: Tok::Lifetime,
+                            line,
+                        });
+                    }
+                } else if next != '\0' && b.get(i + 2) == Some(&'\'') {
+                    // '(' etc. — punctuation char literal.
+                    i += 3;
+                    tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else {
+                    // Bare quote (macro edge) — treat as punctuation.
+                    i += 1;
+                    tokens.push(Token {
+                        tok: Tok::Punct('\''),
+                        line,
+                    });
+                }
+                line_is_blank = false;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if is_ident_cont(d) {
+                        j += 1;
+                    } else if d == '.' && b.get(j + 1).map(|x| x.is_ascii_digit()).unwrap_or(false)
+                    {
+                        j += 1; // decimal point, not a range
+                    } else if (d == '+' || d == '-')
+                        && matches!(b.get(j.wrapping_sub(1)), Some('e' | 'E'))
+                        && b[i].is_ascii_digit()
+                    {
+                        j += 1; // exponent sign
+                    } else {
+                        break;
+                    }
+                }
+                i = j;
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                line_is_blank = false;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                let word: String = b[i..j].iter().collect();
+                tokens.push(Token {
+                    tok: Tok::Ident(word),
+                    line,
+                });
+                i = j;
+                line_is_blank = false;
+            }
+            other => {
+                tokens.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+                line_is_blank = false;
+            }
+        }
+    }
+
+    let test_lines = compute_test_lines(&tokens, n_lines);
+    LexedFile {
+        tokens,
+        pragmas,
+        bad_pragmas,
+        test_lines,
+    }
+}
+
+/// True when position `i` starts a raw string (`r"`, `r#"`), a raw
+/// identifier (`r#ident` — handled as ident elsewhere, returns false), or a
+/// byte literal (`b'`, `b"`, `br"`, `br#"`).
+fn raw_or_byte_literal(b: &[char], i: usize) -> bool {
+    let c = b[i];
+    let mut j = i + 1;
+    if c == 'b' {
+        match b.get(j) {
+            Some('\'') | Some('"') => return true,
+            Some('r') => j += 1,
+            _ => return false,
+        }
+    }
+    // Now expect raw-string syntax: zero or more '#' then '"'.
+    match b.get(j) {
+        Some('"') => true,
+        Some('#') => {
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            // r#"…"# is a raw string; r#ident is a raw identifier.
+            b.get(j) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+/// Skips a regular string literal starting at the opening quote; returns the
+/// index after the closing quote. Tracks newlines.
+fn skip_string(b: &[char], start: usize, line: &mut u32) -> usize {
+    let mut j = start + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a raw string / byte string / byte char starting at `r`/`b`.
+fn skip_raw_or_byte(b: &[char], start: usize, line: &mut u32) -> usize {
+    let mut j = start;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'\'') {
+            // Byte char b'x' / b'\n'.
+            j += 1;
+            if b.get(j) == Some(&'\\') {
+                j += 1;
+            }
+            while j < b.len() && b[j] != '\'' {
+                j += 1;
+            }
+            return j + 1;
+        }
+        if b.get(j) == Some(&'"') {
+            return skip_string(b, j, line);
+        }
+        j += 1; // the 'r' of br
+    } else {
+        j += 1; // past 'r'
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&'"'));
+    j += 1;
+    // Scan for `"` followed by `hashes` × '#'.
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|c| **c == '#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Extracts an `xlint::allow(rule, reason)` pragma from comment text.
+fn parse_pragma(
+    text: &str,
+    line: u32,
+    own_line: bool,
+    pragmas: &mut Vec<Pragma>,
+    bad: &mut Vec<BadPragma>,
+) {
+    let Some(pos) = text.find("xlint::allow(") else {
+        return;
+    };
+    let body = &text[pos + "xlint::allow(".len()..];
+    let Some(end) = body.rfind(')') else {
+        bad.push(BadPragma {
+            line,
+            message: "unterminated xlint::allow pragma (missing ')')".into(),
+        });
+        return;
+    };
+    let body = &body[..end];
+    let Some((rule, reason)) = body.split_once(',') else {
+        bad.push(BadPragma {
+            line,
+            message: format!(
+                "pragma `xlint::allow({body})` is missing a reason: use xlint::allow(rule, reason)"
+            ),
+        });
+        return;
+    };
+    let rule = rule.trim().to_string();
+    let reason = reason.trim().to_string();
+    if rule.is_empty() || reason.is_empty() {
+        bad.push(BadPragma {
+            line,
+            message: "pragma rule and reason must both be non-empty".into(),
+        });
+        return;
+    }
+    pragmas.push(Pragma {
+        rule,
+        reason,
+        line,
+        own_line,
+    });
+}
+
+/// Marks the lines covered by test-only items: any item annotated
+/// `#[cfg(test)]`-like or `#[test]`, and any `mod tests { … }` /
+/// `mod test { … }` block.
+fn compute_test_lines(tokens: &[Token], n_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; n_lines + 1];
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('#')
+                if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('['))) =>
+            {
+                let (attr_idents, after_attr) = read_attr(tokens, i + 1);
+                if attr_is_test(&attr_idents) {
+                    let start_line = tokens[i].line;
+                    let end = item_end(tokens, after_attr);
+                    let end_line = tokens
+                        .get(end.min(tokens.len().saturating_sub(1)))
+                        .map(|t| t.line)
+                        .unwrap_or(start_line);
+                    mark(&mut test, start_line, end_line);
+                }
+                // Continue scanning *inside* the item too (idempotent marks,
+                // and nested `mod tests` still get found).
+                i = after_attr;
+            }
+            Tok::Ident(w) if w == "mod" => {
+                if let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) {
+                    if (name == "tests" || name == "test" || name.ends_with("_tests"))
+                        && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('{')))
+                    {
+                        let end = match_brace(tokens, i + 2);
+                        let end_line = tokens
+                            .get(end.min(tokens.len().saturating_sub(1)))
+                            .map(|t| t.line)
+                            .unwrap_or(tokens[i].line);
+                        mark(&mut test, tokens[i].line, end_line);
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    test
+}
+
+fn mark(test: &mut [bool], from: u32, to: u32) {
+    for l in from..=to {
+        if let Some(slot) = test.get_mut(l as usize) {
+            *slot = true;
+        }
+    }
+}
+
+/// Reads an attribute starting at its `[` token; returns the identifiers it
+/// contains and the index just past its closing `]`.
+fn read_attr(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            Tok::Ident(w) => idents.push(w.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not
+/// `#[cfg(not(test))]`.
+fn attr_is_test(idents: &[String]) -> bool {
+    let has = |w: &str| idents.iter().any(|x| x == w);
+    if idents.len() == 1 && idents[0] == "test" {
+        return true;
+    }
+    // `#[tokio::test]`-style: path ending in `test`.
+    if has("test") && !has("cfg") && !has("not") {
+        return true;
+    }
+    has("cfg") && has("test") && !has("not")
+}
+
+/// Index just past the end of the item starting at `start` (which may begin
+/// with further attributes): the matching `}` of its first body brace, or
+/// the first `;` before any brace.
+fn item_end(tokens: &[Token], mut start: usize) -> usize {
+    // Skip stacked attributes.
+    while matches!(tokens.get(start).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(tokens.get(start + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+    {
+        let (_, after) = read_attr(tokens, start + 1);
+        start = after;
+    }
+    let mut i = start;
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren -= 1,
+            Tok::Punct('>') => paren = (paren - 1).max(0),
+            Tok::Punct(';') if paren <= 0 => return i,
+            Tok::Punct('{') => return match_brace(tokens, i),
+            _ => {}
+        }
+        i += 1;
+    }
+    i.saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i.saturating_sub(1)
+}

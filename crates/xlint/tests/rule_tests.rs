@@ -1,0 +1,158 @@
+//! Integration tests: every embedded fixture behaves, the real workspace is
+//! lint-clean, and a seeded violation is caught.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xlint::config::Config;
+use xlint::fixtures::{run_self_test, Expect, FIXTURES};
+use xlint::rules::check_file;
+use xlint::{find_workspace_root, lint_root};
+
+/// Runs every fixture tagged with `rule` through the engine and checks its
+/// expectation, returning how many fixtures were exercised.
+fn check_rule_fixtures(rule: &str) -> usize {
+    let cfg = Config::default();
+    let mut n = 0;
+    for fx in FIXTURES.iter().filter(|f| f.rule == rule) {
+        n += 1;
+        let findings = check_file(fx.rel_path, fx.source, &cfg);
+        match fx.expect {
+            Expect::Fires => assert!(
+                findings.iter().any(|f| f.rule == fx.rule),
+                "fixture {} should fire {}, got: {:?}",
+                fx.name,
+                fx.rule,
+                findings
+            ),
+            Expect::Clean => assert!(
+                findings.is_empty(),
+                "fixture {} should be clean, got: {:?}",
+                fx.name,
+                findings
+            ),
+        }
+    }
+    n
+}
+
+#[test]
+fn no_wall_clock_fixtures() {
+    assert!(check_rule_fixtures("no-wall-clock") >= 3);
+}
+
+#[test]
+fn no_os_entropy_fixtures() {
+    assert!(check_rule_fixtures("no-os-entropy") >= 3);
+}
+
+#[test]
+fn no_unordered_iteration_fixtures() {
+    assert!(check_rule_fixtures("no-unordered-iteration") >= 3);
+}
+
+#[test]
+fn layering_fixtures() {
+    assert!(check_rule_fixtures("layering") >= 3);
+}
+
+#[test]
+fn no_unwrap_in_lib_fixtures() {
+    assert!(check_rule_fixtures("no-unwrap-in-lib") >= 3);
+}
+
+#[test]
+fn bad_pragma_fixtures() {
+    assert!(check_rule_fixtures("bad-pragma") >= 2);
+}
+
+#[test]
+fn embedded_self_test_passes() {
+    let failures = run_self_test();
+    assert!(failures.is_empty(), "self-test failures: {failures:#?}");
+}
+
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_workspace_root(&manifest).expect("workspace root above crates/xlint")
+}
+
+/// The hard gate: the repository itself must be lint-clean under its own
+/// committed `xlint.toml`.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = repo_root();
+    let cfg = Config::load(&root).expect("xlint.toml parses");
+    let findings = lint_root(&root, &cfg).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "workspace has xlint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Seeding a violating file into a scratch mini-workspace must be caught
+/// (i.e. the gate actually fails when someone introduces a hazard).
+#[test]
+fn seeded_violation_is_caught() {
+    let scratch = repo_root().join("target/xlint-seeded-violation-test");
+    let src_dir = scratch.join("crates/areplica-core/src");
+    fs::create_dir_all(&src_dir).expect("scratch dirs");
+    fs::write(
+        scratch.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("scratch manifest");
+    fs::write(
+        src_dir.join("seeded.rs"),
+        "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+    )
+    .expect("seeded source");
+
+    let findings = lint_root(&scratch, &Config::default()).expect("scratch walk");
+    assert!(
+        findings.iter().any(|f| f.rule == "no-wall-clock"),
+        "seeded wall-clock violation not caught: {findings:?}"
+    );
+
+    fs::remove_dir_all(&scratch).ok();
+}
+
+/// A pragma with a reason suppresses; stripping the reason turns it into a
+/// non-suppressible bad-pragma finding (end-to-end through `check_file`).
+#[test]
+fn pragma_reason_is_mandatory() {
+    let cfg = Config::default();
+    let rel = "crates/areplica-core/src/pragma_e2e.rs";
+    let good = "pub fn f(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                \x20   // xlint::allow(no-unordered-iteration, order folded through a sort below)\n\
+                \x20   let mut v: Vec<u32> = m.keys().copied().collect();\n\
+                \x20   v.sort_unstable();\n\
+                \x20   v\n\
+                }\n";
+    assert!(
+        check_file(rel, good, &cfg).is_empty(),
+        "reasoned pragma should suppress"
+    );
+    let bad = good.replace(", order folded through a sort below", "");
+    let findings = check_file(rel, &bad, &cfg);
+    assert!(
+        findings.iter().any(|f| f.rule == "bad-pragma"),
+        "reasonless pragma should be flagged: {findings:?}"
+    );
+}
+
+/// Config parsing round-trips the committed policy file.
+#[test]
+fn committed_config_parses() {
+    let root = repo_root();
+    let cfg = Config::load(&root).expect("xlint.toml parses");
+    assert!(cfg.unordered_crates.iter().any(|c| c == "areplica-core"));
+    assert!(cfg.unwrap_crates.iter().any(|c| c == "areplica-core"));
+    assert!(!cfg.layering.is_empty());
+    assert!(cfg.skip.iter().any(|s| Path::new(s) == Path::new("vendor")));
+}

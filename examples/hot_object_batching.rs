@@ -68,7 +68,8 @@ fn main() {
             "state.bin".into(),
             key,
             |_, _| {},
-        );
+        )
+        .expect("source object was seeded above");
         sim.run_to_completion(u64::MAX);
     }
     let delta = sim.world.ledger.since(&before);

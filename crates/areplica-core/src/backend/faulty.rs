@@ -605,4 +605,8 @@ impl<B: Backend> Backend for Faulty<B> {
             },
         )
     }
+
+    fn tracer(&mut self) -> &mut simtrace::Tracer {
+        self.inner.tracer()
+    }
 }

@@ -334,4 +334,10 @@ pub trait Backend: Clock + RngSource + ObjectStore + KvStore + FunctionRuntime +
     /// `seed` — the sandbox the offline [`crate::profiler`] measures
     /// against without perturbing production state.
     fn profiling_sandbox(&self, seed: u64) -> Self;
+
+    /// The backend's [`simtrace::Tracer`]. Disabled by default; recording
+    /// draws no randomness and schedules no events, so enabling it cannot
+    /// perturb results. Instrumentation sites guard tag construction on
+    /// [`simtrace::Tracer::enabled`].
+    fn tracer(&mut self) -> &mut simtrace::Tracer;
 }

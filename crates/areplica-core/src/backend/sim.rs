@@ -339,6 +339,10 @@ impl Backend for CloudSim {
             ),
         )
     }
+
+    fn tracer(&mut self) -> &mut simtrace::Tracer {
+        &mut self.world.trace
+    }
 }
 
 /// Profiles the given pairs against a fresh sandbox world built from

@@ -34,6 +34,7 @@ use cloudapi::faas::{FnHandle, RetryPolicy};
 use cloudapi::objstore::{ETag, StoreError};
 use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
+use simtrace::{names, SpanId};
 
 use crate::backend::{Backend, Exec, FnBody};
 use crate::config::{EngineConfig, SchedulingMode};
@@ -143,12 +144,23 @@ struct TaskCtx<B: Backend> {
     on_done: OnDone<B>,
     done: Cell<bool>,
     stats: Rc<RefCell<Vec<ReplicatorStat>>>,
+    span: SpanId,
 }
 
 impl<B: Backend> TaskCtx<B> {
     fn finish_once(&self, sim: &mut B, status: TaskStatus) {
         if self.done.replace(true) {
             return;
+        }
+        if sim.tracer().enabled() {
+            let now = sim.now();
+            let status_tag = match status {
+                TaskStatus::Replicated { .. } => "replicated",
+                TaskStatus::AbortedEtagMismatch { .. } => "aborted_etag_mismatch",
+                TaskStatus::SourceGone => "source_gone",
+            };
+            let tags = vec![("status", status_tag.to_string())];
+            sim.tracer().span_end_tagged(now, self.span, tags);
         }
         let outcome = TaskOutcome {
             status,
@@ -159,6 +171,17 @@ impl<B: Backend> TaskCtx<B> {
             replicator_stats: self.stats.clone(),
         };
         (self.on_done)(sim, outcome);
+    }
+}
+
+/// Records the already-sampled storage-client setup latency as a phase-`S`
+/// span (the sample itself is drawn whether or not tracing is on).
+fn trace_setup<B: Backend>(sim: &mut B, setup: SimDuration, cloud: cloudapi::Cloud) {
+    if sim.tracer().enabled() {
+        let now = sim.now();
+        let tags = vec![("cloud", format!("{cloud:?}"))];
+        sim.tracer()
+            .span_complete(now, setup, names::TRANSFER_SETUP, tags);
     }
 }
 
@@ -178,6 +201,18 @@ pub fn execute<B: Backend>(
     on_dispatched: OnDispatched<B>,
 ) {
     let exec_region = plan.side.region(task.src_region, task.dst_region);
+    let span = if sim.tracer().enabled() {
+        let now = sim.now();
+        let tags = vec![
+            ("key", task.key.clone()),
+            ("n", plan.n.to_string()),
+            ("side", format!("{:?}", plan.side)),
+            ("local", plan.local.to_string()),
+        ];
+        sim.tracer().span_begin(now, names::ENGINE_EXECUTE, tags)
+    } else {
+        SpanId::NULL
+    };
     let ctx = Rc::new(TaskCtx {
         task,
         cfg,
@@ -186,6 +221,7 @@ pub fn execute<B: Backend>(
         on_done,
         done: Cell::new(false),
         stats: Rc::new(RefCell::new(Vec::new())),
+        span,
     });
 
     if plan.local {
@@ -200,6 +236,7 @@ pub fn execute<B: Backend>(
         // storage-client setup before moving bytes.
         let src_cloud = sim.cloud_of(ctx.task.src_region);
         let setup = sim.sample_transfer_setup(src_cloud);
+        trace_setup(sim, setup, src_cloud);
         let ctx2 = ctx.clone();
         sim.schedule_in(setup, move |sim| {
             // The orchestrator is released once its own transfer loop exits.
@@ -233,6 +270,7 @@ fn invoke_single_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>) {
         let started = sim.now();
         let cloud = sim.cloud_of(handle.region);
         let setup = sim.sample_transfer_setup(cloud);
+        trace_setup(sim, setup, cloud);
         sim.schedule_in(setup, move |sim| {
             let done_stats = ctx.stats.clone();
             let ctx2 = ctx.clone();
@@ -384,6 +422,10 @@ fn stream_chunk_loop<B: Backend>(
                 );
             }
             Err(e) => {
+                // The streaming uploader solely owns this upload; drop it so
+                // the destination holds no orphaned parts after an abort.
+                sim.abort_multipart_now(ctx2.task.dst_region, upload_id)
+                    .ok();
                 abort_from_error(sim, &ctx2, e);
                 if let Some(exit) = exit {
                     exit(sim, chunk);
@@ -401,7 +443,27 @@ fn abort_from_error<B: Backend>(sim: &mut B, ctx: &Rc<TaskCtx<B>>, e: StoreError
         StoreError::NoSuchKey => TaskStatus::SourceGone,
         other => panic!("unexpected storage error during replication: {other}"),
     };
+    trace_abort(sim, ctx, status);
     ctx.finish_once(sim, status);
+}
+
+/// Records an [`names::ENGINE_ABORT`] instant for a task that hit a
+/// validation failure or a vanished source.
+fn trace_abort<B: Backend>(sim: &mut B, ctx: &Rc<TaskCtx<B>>, status: TaskStatus) {
+    sim.tracer().counter_add("engine.aborts", 1);
+    if sim.tracer().enabled() {
+        let now = sim.now();
+        let reason = match status {
+            TaskStatus::AbortedEtagMismatch { .. } => "etag_mismatch",
+            TaskStatus::SourceGone => "source_gone",
+            TaskStatus::Replicated { .. } => "replicated",
+        };
+        let tags = vec![
+            ("key", ctx.task.key.clone()),
+            ("reason", reason.to_string()),
+        ];
+        sim.tracer().instant(now, names::ENGINE_ABORT, tags);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -413,10 +475,13 @@ enum ClaimResult {
     /// A part to replicate.
     Claim(u32),
     /// The pool is drained and nothing is re-claimable right now (peers
-    /// hold live leases, another replicator is concluding, or the pool item
-    /// is gone). The replicator exits; the platform-side watchdog rescues
-    /// genuinely stalled tasks after lease expiry.
+    /// hold live leases or another replicator is concluding). The replicator
+    /// exits; the platform-side watchdog rescues genuinely stalled tasks
+    /// after lease expiry.
     NothingClaimable,
+    /// The pool item is gone: a peer (possibly of another live incarnation
+    /// of the same task) already concluded the replication.
+    Concluded,
     /// All parts are uploaded: the observer should (re-)attempt the
     /// multipart completion. Covers the crash-of-the-last-completer case —
     /// a duplicate completion attempt finds the upload consumed and is a
@@ -426,7 +491,7 @@ enum ClaimResult {
     Aborted,
 }
 
-fn pool_item(num_parts: u32, scheduling: SchedulingMode) -> Item {
+fn pool_item(num_parts: u32, scheduling: SchedulingMode, upload_id: u64) -> Item {
     let mut item = Item::new();
     // Fair dispatch assigns parts statically at invocation, so the shared
     // pending pool stays empty; only the completion set is shared.
@@ -437,6 +502,12 @@ fn pool_item(num_parts: u32, scheduling: SchedulingMode) -> Item {
             .collect(),
         SchedulingMode::FairDispatch => vec![],
     };
+    // The destination multipart upload every replicator of this task must
+    // target. Recording it in the pool makes task creation idempotent: a
+    // second live incarnation for the same version (the lock is re-entrant
+    // by version) adopts this upload instead of opening a rival one whose
+    // partial part set could later be completed over the good replica.
+    item.insert("upload".into(), Value::Uint(upload_id));
     item.insert("pending".into(), Value::List(pending));
     item.insert("inflight_parts".into(), Value::List(vec![]));
     item.insert("inflight_times".into(), Value::List(vec![]));
@@ -462,7 +533,7 @@ fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) 
     move |slot| {
         let Some(item) = slot.as_mut() else {
             // Pool already cleaned up: task finished.
-            return ClaimResult::NothingClaimable;
+            return ClaimResult::Concluded;
         };
         if item.get("aborted").and_then(Value::as_bool) == Some(true) {
             return ClaimResult::Aborted;
@@ -590,15 +661,36 @@ fn start_distributed<B: Backend>(
                 TASK_TABLE.into(),
                 task_id,
                 move |slot| {
-                    *slot = Some(pool_item(num_parts, scheduling));
+                    let item =
+                        slot.get_or_insert_with(|| pool_item(num_parts, scheduling, upload_id));
+                    match item.get("upload").and_then(Value::as_uint) {
+                        Some(existing) => existing,
+                        None => {
+                            // An abort stub (an abort raced pool creation):
+                            // record our upload so yet another incarnation
+                            // adopts it instead of opening a third.
+                            item.insert("upload".into(), Value::Uint(upload_id));
+                            upload_id
+                        }
+                    }
                 },
-                move |sim, ()| {
+                move |sim, adopted| {
+                    if adopted != upload_id {
+                        // A live incarnation for this same version already
+                        // owns the pool (the replication lock is re-entrant
+                        // by version): work its upload and discard ours, so
+                        // no rival upload with a partial part set can ever
+                        // be completed at the destination.
+                        sim.tracer().counter_add("engine.upload_adopted", 1);
+                        sim.abort_multipart_now(ctx3.task.dst_region, upload_id)
+                            .ok();
+                    }
                     // 3. Invoke the replicators, pipelined at I per call;
                     //    the orchestrator is then done. A platform-side
                     //    watchdog rescues crash-stalled pools.
-                    invoke_replicators(sim, ctx3.clone(), upload_id, num_parts);
+                    invoke_replicators(sim, ctx3.clone(), adopted, num_parts);
                     if scheduling == SchedulingMode::PartGranularity {
-                        schedule_watchdog(sim, ctx3, upload_id, 0);
+                        schedule_watchdog(sim, ctx3, adopted, 0);
                     }
                     on_dispatched(sim);
                 },
@@ -631,6 +723,7 @@ fn invoke_replicators<B: Backend>(
             let started = sim.now();
             let cloud = sim.cloud_of(handle.region);
             let setup = sim.sample_transfer_setup(cloud);
+            trace_setup(sim, setup, cloud);
             sim.schedule_in(setup, move |sim| {
                 let progress = Rc::new(Cell::new(0u32));
                 match fair {
@@ -652,11 +745,24 @@ fn record_and_finish<B: Backend>(
     started: SimTime,
     progress: &Rc<Cell<u32>>,
 ) {
+    let finished = sim.now();
     ctx.stats.borrow_mut().push(ReplicatorStat {
         started,
-        finished: sim.now(),
+        finished,
         chunks: progress.get(),
     });
+    if sim.tracer().enabled() {
+        let tags = vec![
+            ("key", ctx.task.key.clone()),
+            ("chunks", progress.get().to_string()),
+        ];
+        sim.tracer().span_complete(
+            started,
+            finished.saturating_since(started),
+            names::ENGINE_REPLICATOR,
+            tags,
+        );
+    }
     sim.finish_function(handle);
 }
 
@@ -691,16 +797,43 @@ fn claim_loop<B: Backend>(
         claim_tx(now, PART_LEASE),
         move |sim, claim| match claim {
             ClaimResult::Claim(part) => {
+                sim.tracer().counter_add("engine.claims", 1);
+                if sim.tracer().enabled() {
+                    let now = sim.now();
+                    let tags = vec![("part", part.to_string())];
+                    sim.tracer().instant(now, names::ENGINE_CLAIM, tags);
+                }
                 replicate_part(sim, handle, ctx2, upload_id, part, started, progress)
             }
             ClaimResult::AllPartsDone => {
                 conclude_distributed(sim, handle, ctx2, upload_id, started, progress);
+            }
+            ClaimResult::Concluded => {
+                finish_concluded(sim, handle, ctx2, started, progress);
             }
             ClaimResult::NothingClaimable | ClaimResult::Aborted => {
                 record_and_finish(sim, handle, &ctx2, started, &progress);
             }
         },
     );
+}
+
+/// A replicator found the pool gone: a peer — possibly of another live
+/// incarnation of this task (the replication lock is re-entrant by version) —
+/// already concluded. Surface the idempotent completion on this incarnation's
+/// context too, so its task span closes and the service releases the lock,
+/// then retire the replicator. `finish_once` makes the duplicate harmless for
+/// an incarnation whose own concluder already reported.
+fn finish_concluded<B: Backend>(
+    sim: &mut B,
+    handle: FnHandle,
+    ctx: Rc<TaskCtx<B>>,
+    started: SimTime,
+    progress: Rc<Cell<u32>>,
+) {
+    let etag = ctx.task.etag;
+    ctx.finish_once(sim, TaskStatus::Replicated { etag });
+    record_and_finish(sim, handle, &ctx, started, &progress);
 }
 
 /// Fair-dispatch loop: fixed part list per replicator (ablation baseline).
@@ -788,10 +921,11 @@ fn replicate_part_inner<B: Backend>(
                     content,
                     move |sim, up| {
                         if matches!(up, Err(StoreError::NoSuchUpload)) {
-                            // A peer concluded the task while this slow
-                            // replicator re-uploaded a lease-duplicated part;
-                            // nothing left to do.
-                            record_and_finish(sim, handle, &ctx3, started, &progress);
+                            // The upload vanished mid-part: a peer concluded
+                            // the task, or an aborter discarded the upload.
+                            // The claim loop reads the pool's terminal state
+                            // and retires this replicator accordingly.
+                            claim_loop(sim, handle, ctx3, upload_id, started, progress);
                             return;
                         }
                         // xlint::allow(no-unwrap-in-lib, NoSuchUpload is handled above; any other part failure is a simulator bug)
@@ -817,7 +951,7 @@ fn replicate_part_inner<B: Backend>(
                                     }
                                 }
                                 CompleteResult::AlreadyConcluded => {
-                                    record_and_finish(sim, handle, &ctx4, started, &progress);
+                                    finish_concluded(sim, handle, ctx4, started, progress);
                                 }
                             },
                         );
@@ -825,7 +959,7 @@ fn replicate_part_inner<B: Backend>(
                 );
             }
             Err(e) => {
-                handle_part_error(sim, handle, ctx2, e, started, progress);
+                handle_part_error(sim, handle, ctx2, upload_id, e, started, progress);
             }
         },
     );
@@ -866,19 +1000,26 @@ fn conclude_distributed<B: Backend>(
                     |_, ()| {},
                 );
             }
-            // A peer (or an earlier incarnation) already completed the
-            // upload; nothing to conclude.
-            Err(StoreError::NoSuchUpload) => {}
+            // The upload is gone: either a peer (possibly of another live
+            // incarnation) completed it, or an aborter discarded it. The
+            // pool state distinguishes the two — re-enter the claim loop,
+            // which maps pool-gone to `Concluded` and aborted to `Aborted`.
+            Err(StoreError::NoSuchUpload) => {
+                claim_loop(sim, handle, ctx2, upload_id, started, progress);
+                return;
+            }
             Err(e) => panic!("unexpected multipart completion error: {e}"),
         }
         record_and_finish(sim, handle, &ctx2, started, &progress);
     });
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_part_error<B: Backend>(
     sim: &mut B,
     handle: FnHandle,
     ctx: Rc<TaskCtx<B>>,
+    upload_id: u64,
     e: StoreError,
     started: SimTime,
     progress: Rc<Cell<u32>>,
@@ -890,6 +1031,7 @@ fn handle_part_error<B: Backend>(
         StoreError::NoSuchKey => TaskStatus::SourceGone,
         other => panic!("unexpected storage error during part replication: {other}"),
     };
+    trace_abort(sim, &ctx, status);
     let db_region = ctx.exec_region;
     let task_id = ctx.task.task_id();
     let ctx2 = ctx.clone();
@@ -901,6 +1043,13 @@ fn handle_part_error<B: Backend>(
         abort_tx(),
         move |sim, first| {
             if first {
+                // Discard the destination upload: without this, a straggler
+                // peer observing a full `done` set could still complete a
+                // stale upload over whatever the retriggered task writes.
+                // Peers with part uploads (or a completion) in flight get
+                // `NoSuchUpload`, which every caller treats as terminal.
+                sim.abort_multipart_now(ctx2.task.dst_region, upload_id)
+                    .ok();
                 ctx2.finish_once(sim, status);
             }
             record_and_finish(sim, handle, &ctx2, started, &progress);
@@ -959,6 +1108,7 @@ fn watchdog_check<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, 
 
 /// Invokes one extra replicator to drain stale leases of a stalled task.
 fn invoke_rescue_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64) {
+    sim.tracer().counter_add("engine.rescues", 1);
     let region = ctx.exec_region;
     let spec = sim.default_fn_spec(region);
     let body: FnBody<B> = Rc::new(move |sim, handle| {
@@ -966,6 +1116,7 @@ fn invoke_rescue_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload
         let started = sim.now();
         let cloud = sim.cloud_of(handle.region);
         let setup = sim.sample_transfer_setup(cloud);
+        trace_setup(sim, setup, cloud);
         sim.schedule_in(setup, move |sim| {
             let progress = Rc::new(Cell::new(0u32));
             claim_loop(sim, handle, ctx, upload_id, started, progress);

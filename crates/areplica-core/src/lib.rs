@@ -44,6 +44,7 @@ pub mod service;
 pub use backend::sim::build_model_for;
 pub use backend::{Backend, Clock, Exec, FunctionRuntime, KvStore, ObjectStore, RngSource};
 pub use config::{EngineConfig, ReplicationRule, SchedulingMode};
+pub use logger::{ObserveOutcome, OnlineLogger};
 pub use metrics::{CompletionRecord, Metrics};
 pub use model::{ExecSide, PathKey, PerfModel};
 pub use overlay::{generate_routed_plan, RelayPlan, RoutedPlan};

@@ -23,6 +23,37 @@ struct Obs {
     actual_s: f64,
 }
 
+/// What [`OnlineLogger::observe`] decided about one observation — the
+/// drift-detection outcome, exposed so the service can emit trace events
+/// and registry counters instead of callers peeking at opaque totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserveOutcome {
+    /// The observation was NaN or non-positive and was discarded.
+    Invalid,
+    /// Recorded into the path's window; no decision yet.
+    Recorded,
+    /// A full window closed (and was evicted). `ratio` is the window's
+    /// mean-actual / mean-predicted; `applied` is the damped scale factor
+    /// applied to the model, or `None` when the deviation stayed inside the
+    /// drift threshold.
+    WindowClosed {
+        /// Mean actual over mean predicted for the evicted window.
+        ratio: f64,
+        /// The scale factor applied to the path's chunk parameters, if any.
+        applied: Option<f64>,
+    },
+}
+
+impl ObserveOutcome {
+    /// The applied scale factor, if this outcome adjusted the model.
+    pub fn applied(&self) -> Option<f64> {
+        match self {
+            ObserveOutcome::WindowClosed { applied, .. } => *applied,
+            _ => None,
+        }
+    }
+}
+
 /// The online model updater.
 #[derive(Debug)]
 pub struct OnlineLogger {
@@ -35,6 +66,8 @@ pub struct OnlineLogger {
     pub adjustments: u64,
     /// Total observations recorded.
     pub observations: u64,
+    /// Full windows evicted (drift decisions made, adjusted or not).
+    pub window_evictions: u64,
 }
 
 impl Default for OnlineLogger {
@@ -45,6 +78,7 @@ impl Default for OnlineLogger {
             drift_threshold: DEFAULT_DRIFT_THRESHOLD,
             adjustments: 0,
             observations: 0,
+            window_evictions: 0,
         }
     }
 }
@@ -57,16 +91,17 @@ impl OnlineLogger {
 
     /// Records a completed task's predicted and actual replication time.
     /// Rescales the model's chunk parameters when a full window shows a
-    /// persistent deviation; returns the applied scale factor if so.
+    /// persistent deviation; the returned [`ObserveOutcome`] says what was
+    /// decided (recorded, window evicted, factor applied).
     pub fn observe(
         &mut self,
         model: &mut PerfModel,
         path: PathKey,
         predicted_s: f64,
         actual_s: f64,
-    ) -> Option<f64> {
+    ) -> ObserveOutcome {
         if predicted_s.is_nan() || actual_s.is_nan() || predicted_s <= 0.0 || actual_s <= 0.0 {
-            return None;
+            return ObserveOutcome::Invalid;
         }
         self.observations += 1;
         let window = self.windows.entry(path).or_default();
@@ -75,16 +110,17 @@ impl OnlineLogger {
             actual_s,
         });
         if window.len() < self.window_len {
-            return None;
+            return ObserveOutcome::Recorded;
         }
         let mean_pred: f64 =
             window.iter().map(|o| o.predicted_s).sum::<f64>() / window.len() as f64;
         let mean_act: f64 = window.iter().map(|o| o.actual_s).sum::<f64>() / window.len() as f64;
         window.clear();
+        self.window_evictions += 1;
         let ratio = mean_act / mean_pred;
         // The model intentionally overestimates (the parallel bound); only a
         // deviation beyond the threshold in either direction is drift.
-        if (ratio - 1.0).abs() > self.drift_threshold {
+        let applied = if (ratio - 1.0).abs() > self.drift_threshold {
             // Damped correction avoids oscillation on noisy windows.
             let factor = ratio.clamp(0.25, 4.0).sqrt();
             model.rescale_path_chunks(path, factor);
@@ -92,7 +128,8 @@ impl OnlineLogger {
             Some(factor)
         } else {
             None
-        }
+        };
+        ObserveOutcome::WindowClosed { ratio, applied }
     }
 }
 
@@ -150,11 +187,12 @@ mod tests {
         let mut logger = OnlineLogger::new();
         let mut factor = None;
         for _ in 0..DEFAULT_WINDOW {
-            factor = factor.or(logger.observe(&mut model, path, 1.0, 2.0));
+            factor = factor.or(logger.observe(&mut model, path, 1.0, 2.0).applied());
         }
         let factor = factor.expect("2x deviation must trigger");
         assert!(factor > 1.0);
         assert_eq!(logger.adjustments, 1);
+        assert_eq!(logger.window_evictions, 1);
         let after = model.t_rep_quantile(path, 64 << 20, 1, false, 0.9).unwrap();
         assert!(after > before, "model must predict slower after drift up");
     }
@@ -196,8 +234,40 @@ mod tests {
     fn invalid_observations_ignored() {
         let (mut model, path) = setup();
         let mut logger = OnlineLogger::new();
-        logger.observe(&mut model, path, 0.0, 1.0);
-        logger.observe(&mut model, path, 1.0, f64::NAN);
+        assert_eq!(
+            logger.observe(&mut model, path, 0.0, 1.0),
+            ObserveOutcome::Invalid
+        );
+        assert_eq!(
+            logger.observe(&mut model, path, 1.0, f64::NAN),
+            ObserveOutcome::Invalid
+        );
         assert_eq!(logger.observations, 0);
+        assert_eq!(logger.window_evictions, 0);
+    }
+
+    #[test]
+    fn outcome_reports_window_ratio_without_adjustment() {
+        let (mut model, path) = setup();
+        let mut logger = OnlineLogger::new();
+        for i in 0..DEFAULT_WINDOW {
+            let outcome = logger.observe(&mut model, path, 1.0, 1.2);
+            if i + 1 < DEFAULT_WINDOW {
+                assert_eq!(outcome, ObserveOutcome::Recorded);
+            } else {
+                // 20% deviation is inside the 35% threshold: the window
+                // closes and reports its ratio, but nothing is applied.
+                match outcome {
+                    ObserveOutcome::WindowClosed { ratio, applied } => {
+                        assert!((ratio - 1.2).abs() < 1e-9);
+                        assert_eq!(applied, None);
+                        assert_eq!(outcome.applied(), None);
+                    }
+                    other => panic!("expected WindowClosed, got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(logger.window_evictions, 1);
+        assert_eq!(logger.adjustments, 0);
     }
 }

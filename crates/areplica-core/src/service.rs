@@ -27,13 +27,15 @@ use cloudapi::objstore::{ETag, EventKind, ObjectEvent, StoreError};
 use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
 
+use simtrace::{names, SpanId};
+
 use crate::backend::{Backend, Exec, FnBody};
 use crate::batching::{BatchDecision, Batcher};
 use crate::changelog;
 use crate::config::{EngineConfig, ReplicationRule};
 use crate::engine::{self, TaskOutcome, TaskSpec, TaskStatus};
 use crate::lock::{self, LockOutcome};
-use crate::logger::OnlineLogger;
+use crate::logger::{ObserveOutcome, OnlineLogger};
 use crate::metrics::{CompletionRecord, Metrics};
 use crate::model::{PathKey, PerfModel};
 use crate::planner::{self, Plan};
@@ -241,6 +243,14 @@ fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectE
                     _ => ev.event_time,
                 }
             };
+            if absorbed > 0 {
+                sim.tracer().counter_add("service.batched_skips", absorbed);
+                if sim.tracer().enabled() {
+                    let now = sim.now();
+                    let tags = vec![("key", ev.key.clone()), ("absorbed", absorbed.to_string())];
+                    sim.tracer().instant(now, names::TASK_BATCHED, tags);
+                }
+            }
             trigger_replication(
                 sim, st, rule_idx, ev.key, ev.etag, ev.seq, ev.size, event_time,
             );
@@ -265,7 +275,7 @@ fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectE
 
 /// A batching timer fired: replicate the newest version of the key.
 fn on_batch_timer<B: Backend>(sim: &mut B, st: St, rule_idx: usize, key: String) {
-    let (src_region, src_bucket, earliest_event) = {
+    let (src_region, src_bucket, earliest_event, absorbed) = {
         let mut s = st.borrow_mut();
         let drained = s.batchers[rule_idx].take_pending(&key);
         let slo = s.rules[rule_idx].slo;
@@ -277,10 +287,19 @@ fn on_batch_timer<B: Backend>(sim: &mut B, st: St, rule_idx: usize, key: String)
             )),
             _ => None,
         };
-        s.metrics.batched_skips += drained.map_or(0, |d| d.absorbed);
+        let absorbed = drained.map_or(0, |d| d.absorbed);
+        s.metrics.batched_skips += absorbed;
         let r = &s.rules[rule_idx];
-        (r.src_region, r.src_bucket.clone(), earliest_event)
+        (r.src_region, r.src_bucket.clone(), earliest_event, absorbed)
     };
+    if absorbed > 0 {
+        sim.tracer().counter_add("service.batched_skips", absorbed);
+        if sim.tracer().enabled() {
+            let now = sim.now();
+            let tags = vec![("key", key.clone()), ("absorbed", absorbed.to_string())];
+            sim.tracer().instant(now, names::TASK_BATCHED, tags);
+        }
+    }
     // Replicate whatever is newest *now* (Algorithm 4 line 6). Delay
     // accounting runs from the earliest buffered version's PUT.
     let stat = sim.stat_now(src_region, &src_bucket, &key);
@@ -307,6 +326,22 @@ fn trigger_replication<B: Backend>(
     event_time: SimTime,
 ) {
     let src_region = st.borrow().rules[rule_idx].src_region;
+    // The task span starts at the object's PUT time, so its duration *is*
+    // the replication delay the metrics account (trace-vs-metrics
+    // cross-checks rely on this).
+    let span = if sim.tracer().enabled() {
+        let tags = vec![
+            ("rule", rule_idx.to_string()),
+            ("key", key.clone()),
+            ("etag", format!("{:016x}", etag.0)),
+            ("size", size.to_string()),
+            ("event_time_ns", event_time.as_nanos().to_string()),
+        ];
+        sim.tracer().span_begin(event_time, names::TASK, tags)
+    } else {
+        SpanId::NULL
+    };
+    sim.tracer().counter_add("service.tasks", 1);
     let spec = sim.default_fn_spec(src_region);
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         orchestrate(
@@ -319,6 +354,7 @@ fn trigger_replication<B: Backend>(
             seq,
             size,
             event_time,
+            span,
         );
     });
     sim.invoke(src_region, spec, body, RetryPolicy::default());
@@ -336,6 +372,7 @@ fn orchestrate<B: Backend>(
     seq: u64,
     size: u64,
     event_time: SimTime,
+    span: SpanId,
 ) {
     let (src_region, src_bucket) = {
         let s = st.borrow();
@@ -344,6 +381,13 @@ fn orchestrate<B: Backend>(
     };
     let exec = Exec::Function(handle);
     let lock_key = format!("{src_bucket}/{key}");
+    let now = sim.now();
+    let lock_span = if sim.tracer().enabled() {
+        sim.tracer()
+            .span_begin(now, names::TASK_LOCK, vec![("key", key.clone())])
+    } else {
+        SpanId::NULL
+    };
     let st2 = st.clone();
     sim.db_transact(
         exec,
@@ -353,11 +397,26 @@ fn orchestrate<B: Backend>(
         lock::try_lock_tx(etag, seq),
         move |sim, outcome| match outcome {
             LockOutcome::Busy => {
-                // A concurrent task holds the lock; our version is pending.
+                // A concurrent task holds the lock; our version is pending:
+                // the holder's conclusion re-triggers it as a fresh task.
+                if sim.tracer().enabled() {
+                    let now = sim.now();
+                    let busy = vec![("outcome", "busy".to_string())];
+                    sim.tracer().span_end_tagged(now, lock_span, busy);
+                    let status = vec![("status", "lock_busy".to_string())];
+                    sim.tracer().span_end_tagged(now, span, status);
+                }
                 sim.finish_function(handle);
             }
             LockOutcome::Acquired => {
-                maybe_apply_changelog(sim, st2, rule_idx, handle, key, etag, seq, size, event_time);
+                if sim.tracer().enabled() {
+                    let now = sim.now();
+                    let acq = vec![("outcome", "acquired".to_string())];
+                    sim.tracer().span_end_tagged(now, lock_span, acq);
+                }
+                maybe_apply_changelog(
+                    sim, st2, rule_idx, handle, key, etag, seq, size, event_time, span,
+                );
             }
         },
     );
@@ -375,6 +434,7 @@ fn maybe_apply_changelog<B: Backend>(
     seq: u64,
     size: u64,
     event_time: SimTime,
+    span: SpanId,
 ) {
     let (enabled, src_region, src_bucket, dst_region, dst_bucket) = {
         let s = st.borrow();
@@ -388,11 +448,20 @@ fn maybe_apply_changelog<B: Backend>(
         )
     };
     if !enabled {
-        plan_and_execute(sim, st, rule_idx, handle, key, etag, seq, size, event_time);
+        plan_and_execute(
+            sim, st, rule_idx, handle, key, etag, seq, size, event_time, span,
+        );
         return;
     }
     let exec = Exec::Function(handle);
     let hint_key = changelog::entry_key(&src_bucket, &key, etag);
+    let now = sim.now();
+    let cl_span = if sim.tracer().enabled() {
+        sim.tracer()
+            .span_begin(now, names::TASK_CHANGELOG, vec![("key", key.clone())])
+    } else {
+        SpanId::NULL
+    };
     let st2 = st.clone();
     sim.db_get(
         exec,
@@ -414,6 +483,12 @@ fn maybe_apply_changelog<B: Backend>(
                         op,
                         move |sim, applied| match applied {
                             Ok(applied_etag) => {
+                                if sim.tracer().enabled() {
+                                    let now = sim.now();
+                                    let tags = vec![("applied", "true".to_string())];
+                                    sim.tracer().span_end_tagged(now, cl_span, tags);
+                                }
+                                sim.tracer().counter_add("service.changelog_applied", 1);
                                 conclude(
                                     sim,
                                     st3,
@@ -425,20 +500,34 @@ fn maybe_apply_changelog<B: Backend>(
                                     TaskStatus::Replicated { etag: applied_etag },
                                     None,
                                     true,
+                                    span,
                                 );
                                 sim.finish_function(handle);
                             }
                             Err(()) => {
                                 // Destination stale: full replication.
+                                if sim.tracer().enabled() {
+                                    let now = sim.now();
+                                    let tags = vec![("applied", "false".to_string())];
+                                    sim.tracer().span_end_tagged(now, cl_span, tags);
+                                }
                                 plan_and_execute(
                                     sim, st3, rule_idx, handle, key2, etag, seq, size, event_time,
+                                    span,
                                 );
                             }
                         },
                     );
                 }
                 None => {
-                    plan_and_execute(sim, st2, rule_idx, handle, key, etag, seq, size, event_time);
+                    if sim.tracer().enabled() {
+                        let now = sim.now();
+                        let tags = vec![("hint", "false".to_string())];
+                        sim.tracer().span_end_tagged(now, cl_span, tags);
+                    }
+                    plan_and_execute(
+                        sim, st2, rule_idx, handle, key, etag, seq, size, event_time, span,
+                    );
                 }
             }
         },
@@ -457,6 +546,7 @@ fn plan_and_execute<B: Backend>(
     seq: u64,
     size: u64,
     event_time: SimTime,
+    span: SpanId,
 ) {
     let now = sim.now();
     let (task, plan, predicted_mean) = {
@@ -493,6 +583,7 @@ fn plan_and_execute<B: Backend>(
         });
         if rule_slo.is_some() && slo_rep == Some(SimDuration::ZERO) {
             s.metrics.slo_previolated += 1;
+            sim.tracer().counter_add("service.slo_previolated", 1);
         }
         let cfg = s.cfg.clone();
         let plan = planner::generate_plan(
@@ -525,6 +616,19 @@ fn plan_and_execute<B: Backend>(
             .unwrap_or(plan.predicted.as_secs_f64());
         (task, plan, predicted_mean)
     };
+    if sim.tracer().enabled() {
+        let tags = vec![
+            ("key", key.clone()),
+            ("n", plan.n.to_string()),
+            ("side", format!("{:?}", plan.side)),
+            ("local", plan.local.to_string()),
+            (
+                "predicted_s",
+                format!("{:.6}", plan.predicted.as_secs_f64()),
+            ),
+        ];
+        sim.tracer().instant(now, names::TASK_PLAN, tags);
+    }
 
     let st2 = st.clone();
     let cfg = st.borrow().cfg.clone();
@@ -544,6 +648,7 @@ fn plan_and_execute<B: Backend>(
             outcome.status,
             Some((plan, predicted_mean, actual, outcome.n_funcs)),
             false,
+            span,
         );
     });
     // The orchestrator's invocation completes when its own work is done: at
@@ -579,12 +684,27 @@ fn conclude<B: Backend>(
     status: TaskStatus,
     plan_info: Option<(Plan, f64, SimDuration, u32)>,
     via_changelog: bool,
+    span: SpanId,
 ) {
     let now = sim.now();
     let replicated_etag = match status {
         TaskStatus::Replicated { etag } => Some(etag),
         _ => None,
     };
+    let status_tag = match status {
+        TaskStatus::Replicated { .. } => "replicated",
+        TaskStatus::AbortedEtagMismatch { .. } => "aborted_etag_mismatch",
+        TaskStatus::SourceGone => "source_gone",
+    };
+    if sim.tracer().enabled() {
+        let tags = vec![
+            ("status", status_tag.to_string()),
+            ("via_changelog", via_changelog.to_string()),
+        ];
+        sim.tracer().span_end_tagged(now, span, tags);
+        sim.tracer()
+            .counter_add(&format!("service.tasks.{status_tag}"), 1);
+    }
     {
         let mut s = st.borrow_mut();
         match status {
@@ -613,11 +733,35 @@ fn conclude<B: Backend>(
                     };
                     let actual_s = actual.as_secs_f64();
                     let ServiceState { model, logger, .. } = &mut *s;
-                    logger.observe(model, path, predicted_mean, actual_s);
+                    let outcome = logger.observe(model, path, predicted_mean, actual_s);
+                    match outcome {
+                        ObserveOutcome::Invalid => {
+                            sim.tracer().counter_add("logger.invalid_observations", 1);
+                        }
+                        ObserveOutcome::Recorded => {
+                            sim.tracer().counter_add("logger.observations", 1);
+                        }
+                        ObserveOutcome::WindowClosed { ratio, applied } => {
+                            sim.tracer().counter_add("logger.observations", 1);
+                            sim.tracer().counter_add("logger.window_evictions", 1);
+                            if sim.tracer().enabled() {
+                                let mut tags = vec![("ratio", format!("{ratio:.6}"))];
+                                if let Some(f) = applied {
+                                    tags.push(("factor", format!("{f:.6}")));
+                                }
+                                sim.tracer().instant(now, names::LOGGER_WINDOW, tags);
+                            }
+                            if let Some(f) = applied {
+                                sim.tracer().counter_add("logger.adjustments", 1);
+                                sim.tracer().gauge_set("logger.last_scale_factor", f);
+                            }
+                        }
+                    }
                 }
             }
             TaskStatus::AbortedEtagMismatch { .. } => {
                 s.metrics.aborted_retries += 1;
+                sim.tracer().counter_add("service.aborted_retries", 1);
             }
             TaskStatus::SourceGone => {}
         }
@@ -743,6 +887,7 @@ fn trigger_delete<B: Backend>(
                             match result {
                                 Ok(_) | Err(StoreError::NoSuchKey) => {
                                     st4.borrow_mut().metrics.deletes_propagated += 1;
+                                    sim.tracer().counter_add("service.deletes_propagated", 1);
                                 }
                                 Err(e) => panic!("unexpected delete error: {e}"),
                             }

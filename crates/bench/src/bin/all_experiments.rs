@@ -10,10 +10,12 @@ fn main() {
         if !only.is_empty() && !name.contains(&only) {
             return;
         }
+        // xlint::allow(no-adhoc-stderr, designated sink: operator-facing progress banner, never in results)
         eprintln!("\n===== running {name} =====");
         let timer = bench::WallTimer::start();
         let report = f();
         bench::write_report(name, &report);
+        // xlint::allow(no-adhoc-stderr, designated sink: operator-facing wall-clock progress line, never in results)
         eprintln!("[{name} took {:.1} s]", timer.elapsed_secs());
     };
     run("fig02_put_sizes", &ex::fig02_put_sizes::run);

@@ -14,20 +14,25 @@ use cloudsim::world;
 use cloudsim::Cloud;
 use simkernel::SimDuration;
 
-use crate::harness::{mean, percentile, scaled, Table};
+use crate::harness::{mean, percentile, scaled, trace_artifacts, trace_out_dir, Table};
 use crate::runners::fresh_sim;
 
 struct ModeOutcome {
     e2e_times: Vec<f64>,
     exec_times: Vec<f64>,
     chunks: Vec<f64>,
+    /// `(chrome_json, metrics_snapshot)` when tracing was requested.
+    trace: Option<(String, String)>,
 }
 
 /// `(elapsed_seconds, per-replicator stats)` filled in on completion.
 type DoneSlot = Rc<RefCell<Option<(f64, Rc<RefCell<Vec<ReplicatorStat>>>)>>>;
 
-fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcome {
+fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64, traced: bool) -> ModeOutcome {
     let mut sim = fresh_sim(seed_offset);
+    // Recording draws no randomness and schedules no events, so the traced
+    // run's report stays bit-identical to the untraced one.
+    sim.world.trace.set_enabled(traced);
     let src = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
     let dst = sim
         .world
@@ -46,6 +51,7 @@ fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcom
         e2e_times: Vec::new(),
         exec_times: Vec::new(),
         chunks: Vec::new(),
+        trace: None,
     };
     for t in 0..trials {
         let key = format!("obj-{t}");
@@ -92,14 +98,30 @@ fn run_mode(mode: SchedulingMode, trials: usize, seed_offset: u64) -> ModeOutcom
             out.chunks.push(s.chunks as f64);
         }
     }
+    if traced {
+        out.trace = Some(trace_artifacts(&sim.world.trace));
+    }
     out
 }
 
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let trials = scaled(5, 2);
-    let fair = run_mode(SchedulingMode::FairDispatch, trials, 0x170);
-    let pg = run_mode(SchedulingMode::PartGranularity, trials, 0x170);
+    let trace_dir = trace_out_dir();
+    let traced = trace_dir.is_some();
+    let fair = run_mode(SchedulingMode::FairDispatch, trials, 0x170, traced);
+    let pg = run_mode(SchedulingMode::PartGranularity, trials, 0x170, traced);
+    if let Some(dir) = &trace_dir {
+        for (label, o) in [("fair", &fair), ("part_granularity", &pg)] {
+            if let Some(artifacts) = &o.trace {
+                crate::harness::write_trace(
+                    dir,
+                    &format!("fig17_scheduling_ablation.{label}"),
+                    artifacts,
+                );
+            }
+        }
+    }
 
     let mut time_table = Table::new([
         "scheduling",

@@ -13,8 +13,8 @@ use cloudsim::world;
 use cloudsim::Cloud;
 use simkernel::SimDuration;
 
-use crate::harness::{mean, scaled, std_dev, Table};
-use crate::runners::{fresh_sim, profile_pairs};
+use crate::harness::{mean, scaled, std_dev, trace_artifacts, trace_out_dir, Table};
+use crate::runners::{fresh_sim, measure_areplica_once, profile_pairs};
 
 /// Runs `trials` actual replications with fixed parallelism `n`, functions
 /// at the source.
@@ -129,9 +129,37 @@ fn section(
     format!("{label}\n{}", table.render())
 }
 
+/// Traced mini-run surfacing the online logger's drift decisions: a small
+/// service-driven workload on the Figure-18 path whose `logger.*` counters
+/// and `logger.window` events land in the metrics snapshot. Runs in its own
+/// sim (fresh seed) so the figure's own numbers stay untouched.
+fn drift_trace_run() -> (String, String) {
+    use areplica_core::{AReplicaBuilder, ReplicationRule};
+
+    let mut sim = fresh_sim(0x1890);
+    sim.world.trace.set_enabled(true);
+    let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
+    let model = profile_pairs(&sim, &[(src, dst)]);
+    let service = AReplicaBuilder::new()
+        .rule(ReplicationRule::new(src, "src", dst, "dst"))
+        .model(model)
+        .install(&mut sim);
+    // One full logger window (16 observations) plus slack, so at least one
+    // window eviction (drift decision) lands in the counters.
+    for t in 0..20 {
+        let key = format!("drift-{t}");
+        measure_areplica_once(&mut sim, &service, src, "src", &key, 4 << 20);
+    }
+    trace_artifacts(&sim.world.trace)
+}
+
 /// Runs the experiment and returns the report.
 pub fn run() -> String {
     let trials = scaled(40, 10);
+    if let Some(dir) = trace_out_dir() {
+        crate::harness::write_trace(&dir, "fig18_model_accuracy.drift", &drift_trace_run());
+    }
     let fig18 = section(
         "Figure 18 — AWS us-east-1 -> Azure eastus (fast, stable)",
         (Cloud::Aws, "us-east-1"),

@@ -2,7 +2,9 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+use simtrace::{names, Tracer};
 
 /// The experiment scale factor from `AREPLICA_SCALE` (default 1.0).
 pub fn scale() -> f64 {
@@ -26,8 +28,81 @@ pub fn seed() -> u64 {
         .unwrap_or(2026)
 }
 
+/// Trace output directory from a `--trace-out[=DIR]` CLI flag (or the
+/// `AREPLICA_TRACE_OUT` env var as a fallback). `None` means tracing stays
+/// off. A bare `--trace-out` (or empty env var) uses the results directory.
+pub fn trace_out_dir() -> Option<PathBuf> {
+    let mut dir: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--trace-out" {
+            dir = Some(String::new());
+        } else if let Some(d) = arg.strip_prefix("--trace-out=") {
+            dir = Some(d.to_string());
+        }
+    }
+    let dir = dir.or_else(|| std::env::var("AREPLICA_TRACE_OUT").ok())?;
+    Some(if dir.is_empty() {
+        std::env::var("AREPLICA_RESULTS_DIR")
+            .unwrap_or_else(|_| "results".to_string())
+            .into()
+    } else {
+        dir.into()
+    })
+}
+
+/// The paper's per-phase delay taxonomy, derived purely from the trace:
+/// `I` invocation API, `D` cold start, `P` scheduler postponement,
+/// `S` transfer setup + wire legs, `C` multipart commit.
+pub fn phase_breakdown(tracer: &Tracer) -> String {
+    let total = |name| tracer.query().name(name).total_duration().as_secs_f64();
+    let i = total(names::FAAS_INVOKE_API);
+    let d = total(names::FAAS_COLD_START);
+    let p = total(names::FAAS_POSTPONE);
+    let s = total(names::TRANSFER_SETUP) + total(names::NET_LEG);
+    let c = total(names::STORE_COMMIT);
+    format!(
+        "# phase totals (secs)\n\
+         I.invoke_api {i:.6}\n\
+         D.cold_start {d:.6}\n\
+         P.postpone {p:.6}\n\
+         S.transfer {s:.6}\n\
+         C.commit {c:.6}\n"
+    )
+}
+
+/// Exports a tracer's artifacts: `(chrome_trace_json, metrics_snapshot)`.
+/// The snapshot appends the [`phase_breakdown`] to the registry render.
+pub fn trace_artifacts(tracer: &Tracer) -> (String, String) {
+    (
+        tracer.export_chrome_json(),
+        format!(
+            "{}{}",
+            tracer.render_metrics_snapshot(),
+            phase_breakdown(tracer)
+        ),
+    )
+}
+
+/// Writes `<name>.trace.json` and `<name>.metrics.txt` into `dir`.
+pub fn write_trace(dir: &Path, name: &str, artifacts: &(String, String)) {
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    for (suffix, content) in [("trace.json", &artifacts.0), ("metrics.txt", &artifacts.1)] {
+        let path = dir.join(format!("{name}.{suffix}"));
+        if let Err(e) = fs::write(&path, content) {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+}
+
 /// Writes a report to stdout and `results/<name>.txt`.
 pub fn write_report(name: &str, content: &str) {
+    // xlint::allow(no-adhoc-stderr, designated sink: stdout IS the report channel for the experiment binaries)
     println!("{content}");
     let dir: PathBuf = std::env::var("AREPLICA_RESULTS_DIR")
         .unwrap_or_else(|_| "results".to_string())
@@ -35,8 +110,10 @@ pub fn write_report(name: &str, content: &str) {
     if fs::create_dir_all(&dir).is_ok() {
         let path = dir.join(format!("{name}.txt"));
         if let Err(e) = fs::write(&path, content) {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
             eprintln!("[saved {}]", path.display());
         }
     }

@@ -11,6 +11,10 @@
 //!   set e.g. `0.2` for a quick pass).
 //! * `AREPLICA_RESULTS_DIR` — output directory (default `results`).
 //! * `AREPLICA_SEED` — master seed (default 2026).
+//! * `AREPLICA_TRACE_OUT` (or the `--trace-out[=DIR]` flag) — enables
+//!   deterministic tracing in the experiments that support it and writes
+//!   `<name>.trace.json` (Chrome trace-event format) plus
+//!   `<name>.metrics.txt` snapshots. Tracing never changes `results/*.txt`.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +23,9 @@ pub mod harness;
 pub mod runners;
 pub mod walltimer;
 
-pub use harness::{human_bytes, scaled, seed, write_report, Table};
+pub use harness::{
+    human_bytes, phase_breakdown, scaled, seed, trace_artifacts, trace_out_dir, write_report,
+    write_trace, Table,
+};
 pub use runners::{measure_areplica_once, profile_pairs, wait_for_completions};
 pub use walltimer::WallTimer;

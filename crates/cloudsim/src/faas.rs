@@ -166,6 +166,7 @@ pub fn invoke_after(
     body: FnBody,
     policy: RetryPolicy,
 ) -> InvocationId {
+    let now = sim.now();
     let world = &mut sim.world;
     world.faas.next_invocation += 1;
     let invocation = InvocationId(world.faas.next_invocation);
@@ -178,6 +179,16 @@ pub fn invoke_after(
         let d = world.params.cloud(cloud).invoke_latency.clone();
         SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
     };
+    if world.trace.enabled() {
+        let label = world.regions.label(region);
+        world.trace.span_complete(
+            now + delay,
+            api_latency,
+            simtrace::names::FAAS_INVOKE_API,
+            vec![("region", label)],
+        );
+        world.trace.counter_add("faas.invocations", 1);
+    }
     let pending = Pending {
         invocation,
         spec,
@@ -232,6 +243,13 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
         let (instance, _) = rf.warm.remove(pos);
         rf.active += 1;
         world.faas.stats.warm_starts += 1;
+        if world.trace.enabled() {
+            let label = world.regions.label(region);
+            world
+                .trace
+                .instant(now, "faas.warm", vec![("region", label)]);
+            world.trace.counter_add("faas.warm_starts", 1);
+        }
         exec_begin(sim, region, instance, pending);
         return;
     }
@@ -270,6 +288,27 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
             let d = world.params.cloud(cloud).cold_start.clone();
             SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
         };
+        if world.trace.enabled() {
+            let label = world.regions.label(region);
+            if !sched_wait.is_zero() {
+                world.trace.span_complete(
+                    now,
+                    sched_wait,
+                    simtrace::names::FAAS_POSTPONE,
+                    vec![("region", label.clone())],
+                );
+            }
+            world.trace.span_complete(
+                now + sched_wait,
+                cold,
+                simtrace::names::FAAS_COLD_START,
+                vec![("region", label)],
+            );
+            world.trace.counter_add("faas.cold_starts", 1);
+            world
+                .trace
+                .histogram_record("faas.cold_start_secs", cold.as_secs_f64());
+        }
         sim.schedule_in(sched_wait + cold, move |sim| {
             exec_begin(sim, region, instance, pending);
         });
@@ -278,6 +317,13 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
 
     // Concurrency limit reached: queue until capacity frees up.
     world.faas.stats.throttled += 1;
+    if world.trace.enabled() {
+        let label = world.regions.label(region);
+        world
+            .trace
+            .instant(now, "faas.throttled", vec![("region", label)]);
+        world.trace.counter_add("faas.throttled", 1);
+    }
     rf.queued.push_back(pending);
 }
 
@@ -319,6 +365,14 @@ fn exec_begin(sim: &mut CloudSim, region: RegionId, instance: InstanceId, pendin
     sim.schedule_at(deadline, move |sim| {
         if sim.world.faas.is_live(handle) {
             sim.world.faas.stats.timeouts += 1;
+            if sim.world.trace.enabled() {
+                let at = sim.now();
+                let label = sim.world.regions.label(handle.region);
+                sim.world
+                    .trace
+                    .instant(at, "faas.timeout", vec![("region", label)]);
+                sim.world.trace.counter_add("faas.timeouts", 1);
+            }
             fail(sim, handle, FailureReason::Timeout);
         }
     });
@@ -407,6 +461,7 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
     bill_execution(sim, handle);
     if reason == FailureReason::Crash {
         sim.world.faas.stats.crashes += 1;
+        sim.world.trace.counter_add("faas.crashes", 1);
     }
     sim.world.faas.instances.remove(&handle.instance);
     if let Some(rf) = sim.world.faas.regions.get_mut(&handle.region) {
@@ -417,6 +472,16 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
     if let Some((body, attempt, policy, spec)) = ctx {
         if attempt < policy.max_retries {
             sim.world.faas.stats.retries += 1;
+            if sim.world.trace.enabled() {
+                let at = sim.now();
+                let label = sim.world.regions.label(handle.region);
+                sim.world.trace.instant(
+                    at,
+                    "faas.retry",
+                    vec![("region", label), ("reason", format!("{reason:?}"))],
+                );
+                sim.world.trace.counter_add("faas.retries", 1);
+            }
             let region = handle.region;
             let invocation = handle.invocation;
             // Platform retry back-off (compressed relative to Lambda's
@@ -435,6 +500,16 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
             });
         } else {
             sim.world.faas.stats.dlq += 1;
+            if sim.world.trace.enabled() {
+                let at = sim.now();
+                let label = sim.world.regions.label(handle.region);
+                sim.world.trace.instant(
+                    at,
+                    "faas.dlq",
+                    vec![("region", label), ("reason", format!("{reason:?}"))],
+                );
+                sim.world.trace.counter_add("faas.dlq", 1);
+            }
             let at = sim.now();
             sim.world.faas.dlq.push(DlqEntry {
                 invocation: handle.invocation,

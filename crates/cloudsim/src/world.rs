@@ -71,6 +71,11 @@ pub struct World {
     pub vms: VmService,
     /// Network state (concurrent legs).
     pub net: NetState,
+    /// Deterministic trace/metrics collector. Disabled by default; the
+    /// operation wrappers record spans and counters into it when enabled.
+    /// Recording draws no randomness and schedules no events, so enabling
+    /// it cannot perturb simulation results.
+    pub trace: simtrace::Tracer,
     objstores: Vec<ObjectStore>,
     dbs: Vec<KvDb>,
     notif_handlers: BTreeMap<u64, NotifHandler>,
@@ -99,6 +104,7 @@ impl World {
             faas: FaasRuntime::new(),
             vms: VmService::new(),
             net: NetState::new(),
+            trace: simtrace::Tracer::new(),
             objstores: (0..n).map(|_| ObjectStore::new()).collect(),
             dbs: (0..n).map(|_| KvDb::new()).collect(),
             notif_handlers: BTreeMap::new(),
@@ -297,6 +303,25 @@ pub fn run_leg(
             &mut world.net_rng,
         )
     };
+    if sim.world.trace.enabled() {
+        let now = sim.now();
+        let from_label = sim.world.regions.label(from);
+        let to_label = sim.world.regions.label(to);
+        sim.world.trace.span_complete(
+            now,
+            dur,
+            simtrace::names::NET_LEG,
+            vec![
+                ("from", from_label),
+                ("to", to_label),
+                ("bytes", bytes.to_string()),
+            ],
+        );
+        sim.world.trace.counter_add("net.legs", 1);
+        sim.world
+            .trace
+            .histogram_record("net.leg_secs", dur.as_secs_f64());
+    }
     if from != to {
         let (src_cloud, src_geo) = {
             let r = &sim.world.regions;
@@ -361,6 +386,14 @@ pub fn fanout_notifications(sim: &mut CloudSim, region: RegionId, applied: &PutA
                 let d = sim.world.params.cloud(cloud).notif_delay.clone();
                 SimDuration::from_secs_f64(d.sample_nonneg(sim.world.net_rng_mut()))
             };
+            if sim.world.trace.enabled() {
+                let now = sim.now();
+                let label = sim.world.regions.label(region);
+                sim.world
+                    .trace
+                    .span_complete(now, delay, "notif.deliver", vec![("region", label)]);
+                sim.world.trace.counter_add("notif.deliveries", 1);
+            }
             let ev = applied.event.clone();
             sim.schedule_in(delay, move |sim| handler(sim, region, ev));
         }
@@ -394,6 +427,7 @@ pub fn user_put(
         sim.world
             .objstore_mut(region)
             .apply_put(bucket, key, Content::fresh(blob, size), now)?;
+    sim.world.trace.counter_add("store.user_puts", 1);
     fanout_notifications(sim, region, &applied);
     Ok(applied)
 }
@@ -427,8 +461,29 @@ pub fn user_delete(
         .world
         .objstore_mut(region)
         .apply_delete(bucket, key, now)?;
+    sim.world.trace.counter_add("store.user_deletes", 1);
     fanout_notifications(sim, region, &applied);
     Ok(applied)
+}
+
+/// Records a storage/DB control-plane round trip as a complete span plus a
+/// per-op counter. The latency is already sampled at the call site, so this
+/// draws nothing and schedules nothing.
+fn trace_api_call(
+    sim: &mut CloudSim,
+    region: RegionId,
+    rtt: SimDuration,
+    name: &'static str,
+    counter: &str,
+) {
+    if sim.world.trace.enabled() {
+        let now = sim.now();
+        let label = sim.world.regions.label(region);
+        sim.world
+            .trace
+            .span_complete(now, rtt, name, vec![("region", label)]);
+        sim.world.trace.counter_add(counter, 1);
+    }
 }
 
 /// Stats an object from `exec` (HEAD request).
@@ -447,6 +502,7 @@ pub fn stat_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    trace_api_call(sim, region, rtt, "store.stat", "store.ops.stat");
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -478,6 +534,17 @@ pub fn get_object_range(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    if sim.world.trace.enabled() {
+        let now = sim.now();
+        let label = sim.world.regions.label(region);
+        sim.world.trace.span_complete(
+            now,
+            rtt,
+            simtrace::names::STORE_GET_RANGE,
+            vec![("region", label), ("key", key.clone())],
+        );
+        sim.world.trace.counter_add("store.ops.get_range", 1);
+    }
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -511,6 +578,20 @@ pub fn put_object(
     cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
 ) {
     let bytes = content.size();
+    if sim.world.trace.enabled() {
+        let now = sim.now();
+        let label = sim.world.regions.label(region);
+        sim.world.trace.instant(
+            now,
+            simtrace::names::STORE_PUT,
+            vec![
+                ("region", label),
+                ("key", key.clone()),
+                ("bytes", bytes.to_string()),
+            ],
+        );
+        sim.world.trace.counter_add("store.ops.put", 1);
+    }
     run_leg(sim, exec, region, Direction::Upload, bytes, move |sim| {
         charge_put_request(&mut sim.world, region);
         let now = sim.now();
@@ -541,6 +622,7 @@ pub fn delete_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    trace_api_call(sim, region, rtt, "store.delete", "store.ops.delete");
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -578,6 +660,7 @@ pub fn copy_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    trace_api_call(sim, region, rtt, "store.copy", "store.ops.copy");
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -611,6 +694,13 @@ pub fn create_multipart(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    trace_api_call(
+        sim,
+        region,
+        rtt,
+        "store.create_multipart",
+        "store.ops.create_multipart",
+    );
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -635,6 +725,9 @@ pub fn upload_part(
     cb: impl FnOnce(&mut CloudSim, Result<(), StoreError>) + 'static,
 ) {
     let bytes = content.size();
+    if sim.world.trace.enabled() {
+        sim.world.trace.counter_add("store.ops.upload_part", 1);
+    }
     run_leg(sim, exec, region, Direction::Upload, bytes, move |sim| {
         charge_put_request(&mut sim.world, region);
         let result = sim
@@ -661,6 +754,13 @@ pub fn complete_multipart(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    trace_api_call(
+        sim,
+        region,
+        rtt,
+        simtrace::names::STORE_COMMIT,
+        "store.ops.complete_multipart",
+    );
     sim.schedule_in(rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -694,6 +794,7 @@ pub fn db_get(
         return;
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
+    trace_api_call(sim, region, latency, "db.get", "db.ops.get");
     sim.schedule_in(latency, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
@@ -725,6 +826,7 @@ pub fn db_transact<T: 'static>(
         return;
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
+    trace_api_call(sim, region, latency, "db.transact", "db.ops.transact");
     sim.schedule_in(latency, move |sim| {
         // The transaction commits server-side even if the caller died; only
         // the callback delivery depends on liveness (matching DynamoDB).

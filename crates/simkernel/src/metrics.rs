@@ -361,6 +361,68 @@ mod tests {
     }
 
     #[test]
+    fn timeseries_windowing_degenerate_inputs() {
+        let empty = TimeSeries::new();
+        assert!(empty
+            .windowed(SimDuration::from_secs(5), |vals| vals.iter().sum())
+            .is_empty());
+
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(1), 1.0);
+        // A zero window can never advance; it must yield nothing rather
+        // than loop or divide by zero.
+        assert!(ts
+            .windowed(SimDuration::ZERO, |vals| vals.iter().sum())
+            .is_empty());
+        // A single point lands in exactly one window.
+        let one = ts.windowed(SimDuration::from_secs(5), |vals| vals.iter().sum());
+        assert_eq!(one, vec![(SimTime::ZERO, 1.0)]);
+    }
+
+    #[test]
+    fn timeseries_window_boundaries_are_half_open() {
+        // A point at exactly `window_start + window` belongs to the NEXT
+        // window ([start, start+window) half-open), and a rolling-percentile
+        // consumer sees each window's population separately.
+        let mut ts = TimeSeries::new();
+        let w = SimDuration::from_secs(5);
+        ts.push(SimTime::ZERO, 1.0);
+        ts.push(SimTime::ZERO + w, 2.0); // first nanosecond of window 1
+        ts.push((SimTime::ZERO + w) + w, 3.0); // first nanosecond of window 2
+        let maxes = ts.windowed(w, |vals| vals.iter().fold(f64::MIN, |a, &b| a.max(b)));
+        assert_eq!(
+            maxes,
+            vec![
+                (SimTime::ZERO, 1.0),
+                (SimTime::ZERO + w, 2.0),
+                ((SimTime::ZERO + w) + w, 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn timeseries_windowed_percentile_tail() {
+        // Per-window p99-style reduction over a long gap: windows with no
+        // points are skipped entirely (no zero-filled percentiles), and the
+        // reduction only ever sees its own window's samples.
+        let mut ts = TimeSeries::new();
+        for i in 0..100u64 {
+            ts.push(SimTime::from_nanos(i * 10_000_000), (i % 10) as f64);
+        }
+        // One straggler far in the future.
+        ts.push(SimTime::from_nanos(3_600_000_000_000), 42.0);
+        let p90 = ts.windowed(SimDuration::from_secs(1), |vals| {
+            let mut v = vals.to_vec();
+            v.sort_by(f64::total_cmp);
+            v[((v.len() - 1) as f64 * 0.9).round() as usize]
+        });
+        assert_eq!(p90.len(), 2, "empty windows must be skipped: {p90:?}");
+        // Ten of each value 0..=9; sorted index round(99 * 0.9) = 89 -> 8.
+        assert_eq!(p90[0].1, 8.0);
+        assert_eq!(p90[1], (SimTime::from_nanos(3_600_000_000_000), 42.0));
+    }
+
+    #[test]
     fn summary_snapshot() {
         let mut h = Histogram::new();
         for v in 1..=100 {

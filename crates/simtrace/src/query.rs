@@ -1,0 +1,192 @@
+//! Querying a recorded trace: filter spans/instants by name and tags,
+//! count them, and sum durations. Because traces are deterministic, these
+//! queries are a test surface — invariants like "changelog-path tasks issue
+//! zero byte-range GETs at the destination" are assertions over a query.
+
+use std::collections::BTreeMap;
+
+use simkernel::SimDuration;
+
+use crate::{InstantEvent, Span};
+
+/// A builder-style filter over a tracer's spans and instants.
+///
+/// ```
+/// # use simkernel::{SimDuration, SimTime};
+/// # use simtrace::Tracer;
+/// let mut tr = Tracer::new();
+/// tr.set_enabled(true);
+/// tr.span_complete(
+///     SimTime::ZERO,
+///     SimDuration::from_secs(2),
+///     "net.leg",
+///     vec![("region", "AWS/us-east-1".into())],
+/// );
+/// let q = tr.query().name("net.leg").tag("region", "AWS/us-east-1");
+/// assert_eq!(q.count(), 1);
+/// assert_eq!(q.total_duration(), SimDuration::from_secs(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceQuery<'a> {
+    spans: &'a [Span],
+    instants: &'a [InstantEvent],
+    name: Option<&'a str>,
+    tags: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> TraceQuery<'a> {
+    pub(crate) fn new(spans: &'a [Span], instants: &'a [InstantEvent]) -> Self {
+        TraceQuery {
+            spans,
+            instants,
+            name: None,
+            tags: Vec::new(),
+        }
+    }
+
+    /// Keeps only spans/instants with this exact name.
+    pub fn name(mut self, name: &'a str) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Keeps only spans/instants carrying this exact tag key/value pair.
+    /// Chainable; all required tags must match.
+    pub fn tag(mut self, key: &'a str, value: &'a str) -> Self {
+        self.tags.push((key, value));
+        self
+    }
+
+    fn span_matches(&self, s: &Span) -> bool {
+        self.name.is_none_or(|n| s.name == n) && self.tags.iter().all(|(k, v)| s.tag(k) == Some(*v))
+    }
+
+    fn instant_matches(&self, e: &InstantEvent) -> bool {
+        self.name.is_none_or(|n| e.name == n) && self.tags.iter().all(|(k, v)| e.tag(k) == Some(*v))
+    }
+
+    /// Matching spans, in recording order.
+    pub fn spans(&self) -> Vec<&'a Span> {
+        self.spans.iter().filter(|s| self.span_matches(s)).collect()
+    }
+
+    /// Number of matching spans.
+    pub fn count(&self) -> usize {
+        self.spans.iter().filter(|s| self.span_matches(s)).count()
+    }
+
+    /// Matching instants, in recording order.
+    pub fn instants(&self) -> Vec<&'a InstantEvent> {
+        self.instants
+            .iter()
+            .filter(|e| self.instant_matches(e))
+            .collect()
+    }
+
+    /// Number of matching instants.
+    pub fn instant_count(&self) -> usize {
+        self.instants
+            .iter()
+            .filter(|e| self.instant_matches(e))
+            .count()
+    }
+
+    /// Durations of matching *closed* spans, in recording order.
+    pub fn durations(&self) -> Vec<SimDuration> {
+        self.spans
+            .iter()
+            .filter(|s| self.span_matches(s))
+            .filter_map(|s| s.duration())
+            .collect()
+    }
+
+    /// Sum of matching closed-span durations.
+    pub fn total_duration(&self) -> SimDuration {
+        self.durations().into_iter().sum()
+    }
+
+    /// Per-name `(count, total duration)` over matching spans — the
+    /// building block for per-phase delay breakdowns.
+    pub fn sum_by_name(&self) -> BTreeMap<&'static str, (usize, SimDuration)> {
+        let mut out: BTreeMap<&'static str, (usize, SimDuration)> = BTreeMap::new();
+        for s in self.spans.iter().filter(|s| self.span_matches(s)) {
+            let e = out.entry(s.name).or_insert((0, SimDuration::ZERO));
+            e.0 += 1;
+            if let Some(d) = s.duration() {
+                e.1 += d;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use simkernel::{SimDuration, SimTime};
+
+    use crate::{names, Tracer};
+
+    fn sample_tracer() -> Tracer {
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        for (i, region) in ["a", "a", "b"].iter().enumerate() {
+            tr.span_complete(
+                SimTime::from_nanos(i as u64 * 1_000),
+                SimDuration::from_secs(i as u64 + 1),
+                names::NET_LEG,
+                vec![("region", region.to_string())],
+            );
+        }
+        let open = tr.span_begin(SimTime::ZERO, names::TASK, vec![("key", "k1".into())]);
+        tr.instant(
+            SimTime::ZERO,
+            names::ENGINE_ABORT,
+            vec![("reason", "etag".into())],
+        );
+        tr.instant(SimTime::ZERO, names::ENGINE_CLAIM, vec![]);
+        let _keep_open = open;
+        tr
+    }
+
+    #[test]
+    fn filters_by_name_and_tag() {
+        let tr = sample_tracer();
+        assert_eq!(tr.query().name(names::NET_LEG).count(), 3);
+        assert_eq!(
+            tr.query().name(names::NET_LEG).tag("region", "a").count(),
+            2
+        );
+        assert_eq!(tr.query().tag("region", "b").count(), 1);
+        assert_eq!(tr.query().name("nope").count(), 0);
+        assert_eq!(
+            tr.query()
+                .name(names::ENGINE_ABORT)
+                .tag("reason", "etag")
+                .instant_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn durations_skip_open_spans() {
+        let tr = sample_tracer();
+        // The open "task" span contributes no duration but does count.
+        assert_eq!(tr.query().name(names::TASK).count(), 1);
+        assert!(tr.query().name(names::TASK).durations().is_empty());
+        assert_eq!(
+            tr.query()
+                .name(names::NET_LEG)
+                .tag("region", "a")
+                .total_duration(),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn sum_by_name_groups() {
+        let tr = sample_tracer();
+        let sums = tr.query().sum_by_name();
+        assert_eq!(sums[names::NET_LEG], (3, SimDuration::from_secs(6)));
+        assert_eq!(sums[names::TASK], (1, SimDuration::ZERO));
+    }
+}

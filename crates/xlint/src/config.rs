@@ -32,6 +32,8 @@ pub struct Config {
     pub unordered_crates: Vec<String>,
     /// Crates where `no-unwrap-in-lib` applies.
     pub unwrap_crates: Vec<String>,
+    /// Crates where `no-adhoc-stderr` applies.
+    pub stderr_crates: Vec<String>,
     /// Path prefixes exempt from `no-wall-clock` (tests are always exempt).
     pub wall_clock_exempt: Vec<String>,
     /// Layering constraints.
@@ -52,6 +54,13 @@ impl Default for Config {
                 "baselines".into(),
             ],
             unwrap_crates: vec!["areplica-core".into()],
+            stderr_crates: vec![
+                "areplica-core".into(),
+                "cloudsim".into(),
+                "simkernel".into(),
+                "baselines".into(),
+                "bench".into(),
+            ],
             wall_clock_exempt: Vec::new(),
             layering: vec![LayeringRule {
                 krate: "areplica-core".into(),
@@ -95,6 +104,7 @@ impl Config {
             root_crate: "areplica".into(),
             unordered_crates: Vec::new(),
             unwrap_crates: Vec::new(),
+            stderr_crates: Vec::new(),
             wall_clock_exempt: Vec::new(),
             layering: Vec::new(),
         };
@@ -145,6 +155,9 @@ impl Config {
                 }
                 ("rules.no-unwrap-in-lib", "crates") => {
                     cfg.unwrap_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.no-adhoc-stderr", "crates") => {
+                    cfg.stderr_crates = parse_string_array(value).map_err(err)?
                 }
                 ("rules.no-wall-clock", "exempt_paths") => {
                     cfg.wall_clock_exempt = parse_string_array(value).map_err(err)?

@@ -355,6 +355,79 @@ pub fn head(xs: &[u64]) -> u64 {
 }
 "##,
     },
+    // ---- no-adhoc-stderr -----------------------------------------------
+    Fixture {
+        name: "adhoc-stderr-violating",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Fires,
+        source: r##"
+pub fn on_cold_start(region: &str) {
+    eprintln!("cold start in {region}");
+}
+"##,
+    },
+    Fixture {
+        name: "adhoc-stderr-dbg-violating",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Fires,
+        source: r##"
+pub fn inspect(delay_s: f64) -> f64 {
+    dbg!(delay_s)
+}
+"##,
+    },
+    Fixture {
+        name: "adhoc-stderr-clean-trace-event",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Clean,
+        source: r##"
+pub fn on_cold_start(trace: &mut simtrace::Tracer, now: simkernel::SimTime, region: &str) {
+    trace.instant(now, "faas.cold_start", vec![("region", region.to_string())]);
+    trace.counter_add("faas.cold_starts", 1);
+}
+"##,
+    },
+    Fixture {
+        name: "adhoc-stderr-clean-in-test-mod",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Clean,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_dump() {
+        println!("tests may narrate freely");
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "adhoc-stderr-clean-unconfigured-crate",
+        rel_path: "crates/xlint/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Clean,
+        source: r##"
+pub fn report(msg: &str) {
+    eprintln!("xlint: {msg}");
+}
+"##,
+    },
+    Fixture {
+        name: "adhoc-stderr-pragma",
+        rel_path: "crates/bench/src/fixture.rs",
+        rule: "no-adhoc-stderr",
+        expect: Expect::Clean,
+        source: r##"
+pub fn write_report(content: &str) {
+    // xlint::allow(no-adhoc-stderr, designated report sink: stdout is the operator-facing channel)
+    println!("{content}");
+}
+"##,
+    },
     // ---- bad-pragma ----------------------------------------------------
     Fixture {
         name: "pragma-missing-reason",

@@ -11,12 +11,13 @@ use crate::lexer::{lex, LexedFile, Tok, Token};
 use std::collections::BTreeSet;
 
 /// All rule names, for pragma validation and `--list-rules`.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 7] = [
     "no-wall-clock",
     "no-os-entropy",
     "no-unordered-iteration",
     "layering",
     "no-unwrap-in-lib",
+    "no-adhoc-stderr",
     "bad-pragma",
 ];
 
@@ -76,6 +77,7 @@ pub fn check_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     unordered_iteration(rel, &scope, &lexed, cfg, &mut out);
     layering(rel, &scope, &lexed, cfg, &mut out);
     unwrap_in_lib(rel, &scope, &lexed, cfg, &mut out);
+    adhoc_stderr(rel, &scope, &lexed, cfg, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out.dedup();
@@ -271,6 +273,44 @@ fn unwrap_in_lib(
                     );
                 }
             }
+        }
+    }
+}
+
+/// no-adhoc-stderr: `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in the
+/// non-test sources of result-producing crates. Diagnostics belong in the
+/// simtrace registry (events/counters survive replay and land in the metrics
+/// snapshot); the few designated operator-facing report sinks carry pragmas.
+fn adhoc_stderr(
+    rel: &str,
+    scope: &FileScope,
+    lexed: &LexedFile,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !cfg.stderr_crates.contains(&scope.krate) || !scope.in_src {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if let Some(w @ ("println" | "eprintln" | "print" | "eprint" | "dbg")) = ident_at(toks, i) {
+            // `x.println` / `foo::println` would not be the std macro.
+            if (i > 0 && (punct_at(toks, i - 1, '.') || punct_at(toks, i - 1, ':')))
+                || !punct_at(toks, i + 1, '!')
+            {
+                continue;
+            }
+            emit(
+                out,
+                lexed,
+                "no-adhoc-stderr",
+                rel,
+                toks[i].line,
+                true,
+                format!(
+                    "`{w}!` is ad-hoc terminal output in a result-producing crate; record a simtrace event/counter instead, or pragma a designated report sink"
+                ),
+            );
         }
     }
 }

@@ -62,6 +62,11 @@ fn no_unwrap_in_lib_fixtures() {
 }
 
 #[test]
+fn no_adhoc_stderr_fixtures() {
+    assert!(check_rule_fixtures("no-adhoc-stderr") >= 3);
+}
+
+#[test]
 fn bad_pragma_fixtures() {
     assert!(check_rule_fixtures("bad-pragma") >= 2);
 }
@@ -153,6 +158,7 @@ fn committed_config_parses() {
     let cfg = Config::load(&root).expect("xlint.toml parses");
     assert!(cfg.unordered_crates.iter().any(|c| c == "areplica-core"));
     assert!(cfg.unwrap_crates.iter().any(|c| c == "areplica-core"));
+    assert!(cfg.stderr_crates.iter().any(|c| c == "bench"));
     assert!(!cfg.layering.is_empty());
     assert!(cfg.skip.iter().any(|s| Path::new(s) == Path::new("vendor")));
 }

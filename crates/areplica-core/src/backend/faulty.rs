@@ -20,6 +20,15 @@
 //! [`FaultPlan::seed`] at the operation call site, so a given plan yields
 //! the same fault sequence on every run.
 //!
+//! For schedule exploration (`crates/simcheck`), an installed
+//! [`FaultDecider`] replaces the rate-based draws entirely: the wrapper
+//! consults it at every [`FaultSite`], in deterministic call order, and the
+//! decider scripts exactly which occurrences fault. The decider also unlocks
+//! a fault point the probabilistic plan does not model: crashing a function
+//! right after one of its DB transactions commits
+//! ([`FaultSite::PostTransactKill`]), the classic "orchestrator died between
+//! persisting and acting" serverless failure.
+//!
 //! Continuations are marshalled through a due-queue: callbacks handed to
 //! the inner backend only enqueue, and [`Clock::step`] drains the queue
 //! before advancing the inner backend, which is how a wrapper whose inner
@@ -86,7 +95,42 @@ pub struct FaultStats {
     pub dropped_invocations: u64,
     /// Functions crashed mid-upload.
     pub lease_holder_kills: u64,
+    /// Functions crashed right after a committed DB transaction
+    /// (decider-only fault point).
+    pub post_transact_kills: u64,
 }
+
+/// A point in the wrapped backend's operation stream where a fault can be
+/// injected. Sites are consulted in deterministic call/delivery order, so a
+/// scripted [`FaultDecider`] sees a reproducible decision sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A ranged GET may fail transiently (client retries after backoff).
+    TransientGet,
+    /// A `put_object`/`upload_part` may land but report failure (ambiguous
+    /// PUT; client retries).
+    TransientPut,
+    /// An `invoke` request may be silently lost.
+    InvocationDrop,
+    /// A function may be crashed right after one of its successful part
+    /// uploads, dropping its continuation (lease stays in-flight).
+    KillAfterUpload,
+    /// A function may be crashed right after one of its DB transactions
+    /// commits — the write survives, the continuation does not, and the
+    /// platform retries the whole function body.
+    PostTransactKill,
+}
+
+/// Schedule-controlled fault injection: when installed via
+/// [`Faulty::set_fault_decider`], every fault decision is delegated here
+/// (the [`FaultPlan`] rates are ignored) and the decider returns whether the
+/// fault fires at this occurrence of `site`.
+pub trait FaultDecider {
+    /// Decides whether the fault at this site occurrence is injected.
+    fn decide(&mut self, site: FaultSite) -> bool;
+}
+
+type SharedDecider = Rc<RefCell<dyn FaultDecider>>;
 
 struct FaultState {
     plan: FaultPlan,
@@ -116,6 +160,7 @@ pub struct Faulty<B: Backend> {
     inner: B,
     due: Due<B>,
     state: Rc<RefCell<FaultState>>,
+    decider: Option<SharedDecider>,
 }
 
 impl<B: Backend> Faulty<B> {
@@ -125,7 +170,19 @@ impl<B: Backend> Faulty<B> {
             inner,
             due: Rc::new(RefCell::new(VecDeque::new())),
             state: Rc::new(RefCell::new(FaultState::new(plan))),
+            decider: None,
         }
+    }
+
+    /// Installs a [`FaultDecider`]; from now on every fault decision is
+    /// scripted by it and the plan's rates are ignored.
+    pub fn set_fault_decider(&mut self, decider: SharedDecider) {
+        self.decider = Some(decider);
+    }
+
+    /// Removes the installed decider, restoring plan-rate faults.
+    pub fn clear_fault_decider(&mut self) -> Option<SharedDecider> {
+        self.decider.take()
     }
 
     /// The faults injected so far.
@@ -149,6 +206,13 @@ impl<B: Backend> Faulty<B> {
         // Guard so a zero-rate plan performs no draws at all and therefore
         // cannot perturb the fault-RNG stream of the rates that are set.
         rate > 0.0 && st.rng.gen_bool(rate)
+    }
+
+    fn should_fault(&self, site: FaultSite, rate_of: impl FnOnce(&FaultPlan) -> f64) -> bool {
+        match &self.decider {
+            Some(d) => d.borrow_mut().decide(site),
+            None => self.draw(rate_of),
+        }
     }
 
     /// Enqueues the continuation `cb(result)` for the next [`Clock::step`].
@@ -287,7 +351,7 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         if_match: Option<ETag>,
         cb: impl FnOnce(&mut Self, Result<(Content, ETag), StoreError>) + 'static,
     ) {
-        if self.draw(|p| p.get_failure_rate) {
+        if self.should_fault(FaultSite::TransientGet, |p| p.get_failure_rate) {
             let backoff = {
                 let mut st = self.state.borrow_mut();
                 st.stats.injected_get_faults += 1;
@@ -322,7 +386,7 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         content: Content,
         cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
     ) {
-        if self.draw(|p| p.put_failure_rate) {
+        if self.should_fault(FaultSite::TransientPut, |p| p.put_failure_rate) {
             let backoff = {
                 let mut st = self.state.borrow_mut();
                 st.stats.injected_put_faults += 1;
@@ -413,7 +477,7 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         content: Content,
         cb: impl FnOnce(&mut Self, Result<(), StoreError>) + 'static,
     ) {
-        if self.draw(|p| p.put_failure_rate) {
+        if self.should_fault(FaultSite::TransientPut, |p| p.put_failure_rate) {
             let backoff = {
                 let mut st = self.state.borrow_mut();
                 st.stats.injected_put_faults += 1;
@@ -436,6 +500,7 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         }
         let due = self.due.clone();
         let state = self.state.clone();
+        let decider = self.decider.clone();
         self.inner.upload_part(
             exec,
             region,
@@ -445,14 +510,18 @@ impl<B: Backend> ObjectStore for Faulty<B> {
             move |_inner, res| {
                 due.clone().borrow_mut().push_back(Box::new(move |this| {
                     if res.is_ok() {
-                        let kill = {
+                        let kill = if !matches!(exec, Exec::Function(_)) {
+                            false
+                        } else if let Some(d) = &decider {
+                            d.borrow_mut().decide(FaultSite::KillAfterUpload)
+                        } else {
                             let mut st = state.borrow_mut();
-                            match (st.plan.kill_lease_holder_after_parts, exec) {
-                                (Some(n), Exec::Function(_)) => {
+                            match st.plan.kill_lease_holder_after_parts {
+                                Some(n) => {
                                     st.completed_uploads += 1;
                                     st.completed_uploads == n
                                 }
-                                _ => false,
+                                None => false,
                             }
                         };
                         if kill {
@@ -514,10 +583,36 @@ impl<B: Backend> KvStore for Faulty<B> {
         cb: impl FnOnce(&mut Self, T) + 'static,
     ) {
         let due = self.due.clone();
+        let state = self.state.clone();
+        let decider = self.decider.clone();
         self.inner
             .db_transact(exec, region, table, key, f, move |_inner, res| {
-                Faulty::resume_with(&due, cb, res);
+                due.borrow_mut().push_back(Box::new(move |this| {
+                    if let (Some(d), Exec::Function(handle)) = (&decider, exec) {
+                        if d.borrow_mut().decide(FaultSite::PostTransactKill) {
+                            state.borrow_mut().stats.post_transact_kills += 1;
+                            this.fail_function(handle, FailureReason::Crash);
+                            // The transaction committed before the crash; the
+                            // caller's incarnation dies without observing the
+                            // result, and the platform retries the whole
+                            // function body against the already-updated row.
+                            return;
+                        }
+                    }
+                    cb(this, res);
+                }));
             });
+    }
+
+    fn db_ttl_expire(
+        &mut self,
+        region: RegionId,
+        table: &str,
+        key: &str,
+        guard: impl FnOnce(&Item) -> bool,
+    ) -> Option<Item> {
+        // Background reaping is not a request; no fault site applies.
+        self.inner.db_ttl_expire(region, table, key, guard)
     }
 }
 
@@ -534,7 +629,7 @@ impl<B: Backend> FunctionRuntime for Faulty<B> {
         body: FnBody<Self>,
         policy: RetryPolicy,
     ) -> InvocationId {
-        if self.draw(|p| p.invocation_drop_rate) {
+        if self.should_fault(FaultSite::InvocationDrop, |p| p.invocation_drop_rate) {
             let mut st = self.state.borrow_mut();
             st.stats.dropped_invocations += 1;
             st.fake_invocations += 1;

@@ -264,6 +264,19 @@ pub trait KvStore: Sized {
         f: impl FnOnce(&mut Option<Item>) -> T + 'static,
         cb: impl FnOnce(&mut Self, T) + 'static,
     );
+
+    /// Background TTL expiry: removes and returns the item iff `guard`
+    /// accepts it. Models DynamoDB/Cosmos TTL reaping — a free background
+    /// process, not a billed request — so it takes no executor, draws no
+    /// request latency, and meters nothing. Callers schedule it at the TTL
+    /// instant with [`Clock::schedule_in`].
+    fn db_ttl_expire(
+        &mut self,
+        region: RegionId,
+        table: &str,
+        key: &str,
+        guard: impl FnOnce(&Item) -> bool,
+    ) -> Option<Item>;
 }
 
 /// Asynchronous cloud-function invocation with the paper's `I`/`D`/`P`

@@ -275,6 +275,16 @@ impl KvStore for CloudSim {
     ) {
         world::db_transact(self, exec.into(), region, table, key, f, cb);
     }
+
+    fn db_ttl_expire(
+        &mut self,
+        region: RegionId,
+        table: &str,
+        key: &str,
+        guard: impl FnOnce(&Item) -> bool,
+    ) -> Option<Item> {
+        self.world.db_mut(region).expire_if(table, key, guard)
+    }
 }
 
 impl FunctionRuntime for CloudSim {

@@ -127,6 +127,13 @@ pub struct EngineConfig {
     /// part-granularity scheduling, or the fair fixed assignment baseline
     /// (Figure 17's ablation).
     pub scheduling: SchedulingMode,
+    /// Testing backdoor reproducing the pre-fix split-brain bug: a second
+    /// live incarnation of a task ignores the upload id recorded in the part
+    /// pool and works its own rival multipart upload. Exists solely so
+    /// schedule exploration (`crates/simcheck`) can prove it detects and
+    /// shrinks that regression; never enable outside tests.
+    #[doc(hidden)]
+    pub unsafe_disable_upload_adoption: bool,
 }
 
 /// Part-scheduling strategy (Figure 12/17 ablation).
@@ -148,6 +155,7 @@ impl Default for EngineConfig {
             mc_trials: 3000,
             validate_etags: true,
             scheduling: SchedulingMode::PartGranularity,
+            unsafe_disable_upload_adoption: false,
         }
     }
 }

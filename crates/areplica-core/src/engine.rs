@@ -487,8 +487,25 @@ enum ClaimResult {
     /// a duplicate completion attempt finds the upload consumed and is a
     /// no-op.
     AllPartsDone,
-    /// The task was aborted by a peer.
-    Aborted,
+    /// The task was aborted by a peer; carries the terminal status the
+    /// first aborter recorded in the pool, so the observer can (re-)run the
+    /// idempotent abort conclusion if the aborter crashed before finishing
+    /// it.
+    Aborted(TaskStatus),
+}
+
+/// `abort_reason` codes recorded in the pool tombstone.
+const ABORT_REASON_ETAG_MISMATCH: u64 = 0;
+const ABORT_REASON_SOURCE_GONE: u64 = 1;
+
+/// Reconstructs the first aborter's terminal status from the pool tombstone.
+fn recorded_abort_status(item: &Item) -> TaskStatus {
+    match item.get("abort_reason").and_then(Value::as_uint) {
+        Some(ABORT_REASON_SOURCE_GONE) => TaskStatus::SourceGone,
+        _ => TaskStatus::AbortedEtagMismatch {
+            current: item.get("abort_current").and_then(Value::as_uint).map(ETag),
+        },
+    }
 }
 
 fn pool_item(num_parts: u32, scheduling: SchedulingMode, upload_id: u64) -> Item {
@@ -536,7 +553,7 @@ fn claim_tx(now: SimTime, lease: SimDuration) -> impl FnOnce(&mut Option<Item>) 
             return ClaimResult::Concluded;
         };
         if item.get("aborted").and_then(Value::as_bool) == Some(true) {
-            return ClaimResult::Aborted;
+            return ClaimResult::Aborted(recorded_abort_status(item));
         }
         // Fast path: pop the pending list.
         if let Some(Value::Uint(part)) = item
@@ -615,14 +632,107 @@ fn complete_tx(part: u32) -> impl FnOnce(&mut Option<Item>) -> CompleteResult {
     }
 }
 
-/// Marks the task aborted; returns `true` for the first aborter.
-fn abort_tx() -> impl FnOnce(&mut Option<Item>) -> bool {
+/// Outcome of an abort transaction.
+enum AbortOutcome {
+    /// This caller is the first aborter: it owns upload teardown, the
+    /// context's terminal status, and the tombstone cleanup.
+    First,
+    /// A peer already aborted; carries the status it recorded so this
+    /// caller can (re-)run the idempotent conclusion in case the first
+    /// aborter crashed before finishing it.
+    Repeat(TaskStatus),
+    /// The pool is gone: a peer already concluded the task successfully and
+    /// cleaned up. The abort is moot.
+    Gone,
+}
+
+/// Marks the task aborted and records why.
+///
+/// Found by simcheck (see EXPERIMENTS.md): the previous version of this
+/// transaction did `slot.get_or_insert_with(Item::new)`, so an aborter that
+/// raced a successful conclusion *resurrected* the deleted pool as a bare
+/// `{aborted: true}` stub — a row in `areplica_tasks` nothing would ever
+/// delete, and one that made any later incarnation of the task read a
+/// successful replication as aborted. A gone pool now stays gone.
+///
+/// The first aborter records its terminal status in the tombstone
+/// (`abort_reason` / `abort_current`) so that conclusion ownership is not
+/// tied to its in-memory continuation: any later observer can reconstruct
+/// the status and finish the teardown if the aborter crashed (see
+/// [`conclude_aborted`]).
+fn abort_tx(status: TaskStatus) -> impl FnOnce(&mut Option<Item>) -> AbortOutcome {
     move |slot| {
-        let item = slot.get_or_insert_with(Item::new);
-        let already = item.get("aborted").and_then(Value::as_bool) == Some(true);
+        let Some(item) = slot.as_mut() else {
+            return AbortOutcome::Gone;
+        };
+        if item.get("aborted").and_then(Value::as_bool) == Some(true) {
+            return AbortOutcome::Repeat(recorded_abort_status(item));
+        }
         item.insert("aborted".into(), Value::Bool(true));
-        !already
+        let (reason, current) = match status {
+            TaskStatus::SourceGone => (ABORT_REASON_SOURCE_GONE, None),
+            TaskStatus::AbortedEtagMismatch { current } => (ABORT_REASON_ETAG_MISMATCH, current),
+            // Aborts are only ever issued with an abort status.
+            TaskStatus::Replicated { .. } => (ABORT_REASON_ETAG_MISMATCH, None),
+        };
+        item.insert("abort_reason".into(), Value::Uint(reason));
+        if let Some(etag) = current {
+            item.insert("abort_current".into(), Value::Uint(etag.0));
+        }
+        AbortOutcome::First
     }
+}
+
+/// Creates the part pool, or adopts the upload a live peer incarnation
+/// already recorded for this version.
+///
+/// When the caller's freshly opened upload loses the race (a pool with a
+/// different `upload` already exists), the losing id is appended to the
+/// pool's `orphans` list *inside this transaction*. Found by simcheck (see
+/// EXPERIMENTS.md): the losing upload used to be aborted only in the
+/// adopter's transaction continuation, so a `PostTransactKill` right after
+/// the adoption committed dropped the abort and the rival upload stayed
+/// open at the destination forever. Recording it in the pool row hands
+/// cleanup ownership to whoever deletes the row — the success-path pool
+/// delete or the aborted-pool janitor, both platform-side and crash-free —
+/// via [`recorded_orphans`].
+fn adopt_tx(
+    num_parts: u32,
+    scheduling: SchedulingMode,
+    upload_id: u64,
+) -> impl FnOnce(&mut Option<Item>) -> u64 {
+    move |slot| {
+        let item = slot.get_or_insert_with(|| pool_item(num_parts, scheduling, upload_id));
+        match item.get("upload").and_then(Value::as_uint) {
+            Some(existing) => {
+                if existing != upload_id {
+                    shape(
+                        item.entry("orphans".into())
+                            .or_insert_with(|| Value::List(Vec::new()))
+                            .as_list_mut(),
+                    )
+                    .push(Value::Uint(upload_id));
+                }
+                existing
+            }
+            None => {
+                // An abort stub (an abort raced pool creation): record our
+                // upload so yet another incarnation adopts it instead of
+                // opening a third.
+                item.insert("upload".into(), Value::Uint(upload_id));
+                upload_id
+            }
+        }
+    }
+}
+
+/// Upload ids recorded by losing adopters (see [`adopt_tx`]); whoever
+/// deletes the pool row must abort them.
+fn recorded_orphans(item: &Item) -> Vec<u64> {
+    item.get("orphans")
+        .and_then(Value::as_list)
+        .map(|l| l.iter().filter_map(Value::as_uint).collect())
+        .unwrap_or_default()
 }
 
 fn start_distributed<B: Backend>(
@@ -660,27 +770,25 @@ fn start_distributed<B: Backend>(
                 db_region,
                 TASK_TABLE.into(),
                 task_id,
-                move |slot| {
-                    let item =
-                        slot.get_or_insert_with(|| pool_item(num_parts, scheduling, upload_id));
-                    match item.get("upload").and_then(Value::as_uint) {
-                        Some(existing) => existing,
-                        None => {
-                            // An abort stub (an abort raced pool creation):
-                            // record our upload so yet another incarnation
-                            // adopts it instead of opening a third.
-                            item.insert("upload".into(), Value::Uint(upload_id));
-                            upload_id
-                        }
-                    }
-                },
+                adopt_tx(num_parts, scheduling, upload_id),
                 move |sim, adopted| {
+                    // Testing backdoor (simcheck's seeded-in canary): behave
+                    // as the engine did before the adoption fix — ignore the
+                    // pool's recorded upload and work our own.
+                    let adopted = if ctx3.cfg.unsafe_disable_upload_adoption {
+                        upload_id
+                    } else {
+                        adopted
+                    };
                     if adopted != upload_id {
                         // A live incarnation for this same version already
                         // owns the pool (the replication lock is re-entrant
                         // by version): work its upload and discard ours, so
                         // no rival upload with a partial part set can ever
-                        // be completed at the destination.
+                        // be completed at the destination. The prompt abort
+                        // here is best-effort; `adopt_tx` already recorded
+                        // the orphan in the pool, so the pool-row delete
+                        // re-aborts it if this continuation is lost.
                         sim.tracer().counter_add("engine.upload_adopted", 1);
                         sim.abort_multipart_now(ctx3.task.dst_region, upload_id)
                             .ok();
@@ -811,7 +919,15 @@ fn claim_loop<B: Backend>(
             ClaimResult::Concluded => {
                 finish_concluded(sim, handle, ctx2, started, progress);
             }
-            ClaimResult::NothingClaimable | ClaimResult::Aborted => {
+            ClaimResult::NothingClaimable => {
+                record_and_finish(sim, handle, &ctx2, started, &progress);
+            }
+            ClaimResult::Aborted(recorded) => {
+                // Re-run the idempotent abort conclusion before retiring:
+                // if the first aborter crashed right after its transaction
+                // committed, this observer (a peer, a platform retry, or a
+                // watchdog rescuer) owns the teardown it left behind.
+                conclude_aborted(sim, &ctx2, upload_id, recorded);
                 record_and_finish(sim, handle, &ctx2, started, &progress);
             }
         },
@@ -982,8 +1098,11 @@ fn conclude_distributed<B: Backend>(
             Ok(applied) => {
                 ctx2.finish_once(sim, TaskStatus::Replicated { etag: applied.etag });
                 // Clean up the pool so stragglers and the watchdog see
-                // a terminal state.
+                // a terminal state. Deleting the row also assumes cleanup
+                // ownership of any orphan uploads losing adopters recorded
+                // (their own prompt aborts may have died with them).
                 let db_region = ctx2.exec_region;
+                let dst_region = ctx2.task.dst_region;
                 let task_id = ctx2.task.task_id();
                 let exec_p = Exec::Platform {
                     region: db_region,
@@ -995,9 +1114,15 @@ fn conclude_distributed<B: Backend>(
                     TASK_TABLE.into(),
                     task_id,
                     |slot| {
+                        let orphans = slot.as_ref().map(recorded_orphans).unwrap_or_default();
                         *slot = None;
+                        orphans
                     },
-                    |_, ()| {},
+                    move |sim, orphans| {
+                        for orphan in orphans {
+                            sim.abort_multipart_now(dst_region, orphan).ok();
+                        }
+                    },
                 );
             }
             // The upload is gone: either a peer (possibly of another live
@@ -1040,21 +1165,106 @@ fn handle_part_error<B: Backend>(
         db_region,
         TASK_TABLE.into(),
         task_id,
-        abort_tx(),
-        move |sim, first| {
-            if first {
-                // Discard the destination upload: without this, a straggler
-                // peer observing a full `done` set could still complete a
-                // stale upload over whatever the retriggered task writes.
-                // Peers with part uploads (or a completion) in flight get
-                // `NoSuchUpload`, which every caller treats as terminal.
-                sim.abort_multipart_now(ctx2.task.dst_region, upload_id)
-                    .ok();
-                ctx2.finish_once(sim, status);
+        abort_tx(status),
+        move |sim, outcome| {
+            match outcome {
+                AbortOutcome::First => {
+                    conclude_aborted(sim, &ctx2, upload_id, status);
+                }
+                AbortOutcome::Repeat(recorded) => {
+                    // Normally a no-op (the first aborter concluded and set
+                    // the context done); if the first aborter crashed after
+                    // its transaction committed, this observer finishes the
+                    // teardown it left behind.
+                    conclude_aborted(sim, &ctx2, upload_id, recorded);
+                }
+                AbortOutcome::Gone => {
+                    // A peer concluded the task successfully before this
+                    // abort landed; surface the completion on this context
+                    // and retire.
+                    finish_concluded(sim, handle, ctx2, started, progress);
+                    return;
+                }
             }
             record_and_finish(sim, handle, &ctx2, started, &progress);
         },
     );
+}
+
+/// Idempotent abort conclusion: discard the destination upload, report the
+/// terminal status on this task context (which releases the replication
+/// lock and hands off any pending version), and schedule the tombstone
+/// janitor.
+///
+/// Found by simcheck (see EXPERIMENTS.md): this sequence used to run only
+/// in the first aborter's transaction continuation. A `PostTransactKill`
+/// of that incarnation right after `abort_tx` committed dropped the
+/// continuation, and every later observer — the platform retry, peers, the
+/// watchdog — treated the `aborted` tombstone as "someone else is
+/// concluding" and retired. The task then stalled forever: lock held,
+/// destination upload open, pending overwrite never replicated. Conclusion
+/// is now a function of the *recorded* pool state that any observer
+/// re-runs; the `done` guard plus idempotent teardown make duplicates
+/// harmless.
+///
+/// Discarding the upload also protects correctness: without it, a straggler
+/// peer observing a full `done` set could still complete a stale upload
+/// over whatever the retriggered task writes. Peers with part uploads (or a
+/// completion) in flight get `NoSuchUpload`, which every caller treats as
+/// terminal.
+fn conclude_aborted<B: Backend>(
+    sim: &mut B,
+    ctx: &Rc<TaskCtx<B>>,
+    upload_id: u64,
+    status: TaskStatus,
+) {
+    if ctx.done.get() {
+        return;
+    }
+    sim.abort_multipart_now(ctx.task.dst_region, upload_id).ok();
+    ctx.finish_once(sim, status);
+    schedule_aborted_pool_cleanup(
+        sim,
+        ctx.exec_region,
+        ctx.task.dst_region,
+        ctx.task.task_id(),
+    );
+}
+
+/// How long an aborted pool's tombstone outlives the abort before a janitor
+/// deletes it. Comfortably beyond any straggler replicator's lifetime (the
+/// longest per-cloud function timeout is 1800 s, plus retry backoffs), so
+/// every late claim still observes the `Aborted` terminal state before the
+/// row disappears.
+const ABORTED_POOL_TTL: SimDuration = SimDuration::from_secs(3 * 1800);
+
+/// Deletes an aborted task's tombstone after [`ABORTED_POOL_TTL`].
+///
+/// Found by simcheck (see EXPERIMENTS.md): aborted pools were terminal but
+/// never deleted — `{aborted: true}` rows accumulated in `areplica_tasks`
+/// forever, one per aborted distributed task. The first aborter now
+/// schedules this deferred janitor delete, mirroring the TTL-based cleanup a
+/// production deployment would configure on the task table (TTL reaping is a
+/// free background process, so it goes through [`Backend::db_ttl_expire`]
+/// rather than the metered request path). The delete is guarded on `aborted`
+/// so it can never reap a live pool. Deleting the tombstone also aborts any
+/// orphan uploads losing adopters recorded in it (see [`adopt_tx`]).
+fn schedule_aborted_pool_cleanup<B: Backend>(
+    sim: &mut B,
+    db_region: RegionId,
+    dst_region: RegionId,
+    task_id: String,
+) {
+    sim.schedule_in(ABORTED_POOL_TTL, move |sim| {
+        let expired = sim.db_ttl_expire(db_region, TASK_TABLE, &task_id, |item| {
+            item.get("aborted").and_then(Value::as_bool) == Some(true)
+        });
+        if let Some(item) = expired {
+            for orphan in recorded_orphans(&item) {
+                sim.abort_multipart_now(dst_region, orphan).ok();
+            }
+        }
+    });
 }
 
 /// How often the platform-side watchdog inspects a distributed task.
@@ -1094,10 +1304,14 @@ fn watchdog_check<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, 
         TASK_TABLE.into(),
         task_id,
         move |sim, item| {
-            let stalled = match item {
-                None => false, // concluded and cleaned up
-                Some(it) => it.get("aborted").and_then(Value::as_bool) != Some(true),
-            };
+            // Any surviving pool row while this context is unconcluded is a
+            // stall — including an `aborted` tombstone: treating aborted as
+            // "a peer is concluding" lost the task forever when the first
+            // aborter crashed after its transaction committed (found by
+            // simcheck, see EXPERIMENTS.md). The rescuer's claim loop maps
+            // the tombstone to its recorded terminal status and re-runs the
+            // idempotent conclusion.
+            let stalled = item.is_some();
             if stalled && !ctx2.done.get() {
                 invoke_rescue_replicator(sim, ctx2.clone(), upload_id);
                 schedule_watchdog(sim, ctx2, upload_id, checks + 1);
@@ -1196,4 +1410,142 @@ pub fn execute_relay<B: Backend>(
         }),
         Box::new(|_| {}),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudapi::clouddb::KvDb;
+
+    fn fresh_pool(db: &mut KvDb, task: &str, num_parts: u32) {
+        db.put(
+            TASK_TABLE,
+            task,
+            pool_item(num_parts, SchedulingMode::PartGranularity, 77),
+        );
+    }
+
+    fn claim_at(db: &mut KvDb, task: &str, now: SimTime) -> ClaimResult {
+        db.transact(TASK_TABLE, task, claim_tx(now, PART_LEASE))
+    }
+
+    #[test]
+    fn lease_expiry_boundary_is_exclusive() {
+        // Pinned semantics: a lease is re-claimable strictly *after* it has
+        // aged past PART_LEASE — at exactly `now - claimed_at == lease` the
+        // claim is still live. The strict comparison keeps the lease holder
+        // safe through its whole advertised window: with an inclusive bound,
+        // two replicators whose clocks read the same instant could both
+        // believe they own the part at the boundary nanosecond.
+        let mut db = KvDb::new();
+        fresh_pool(&mut db, "t#1", 1);
+        let t0 = SimTime::from_nanos(1_000);
+        assert!(matches!(
+            claim_at(&mut db, "t#1", t0),
+            ClaimResult::Claim(0)
+        ));
+
+        // The pending list is empty now; the only claim path is the stale
+        // re-claim. At exactly lease age: not expired.
+        let at_lease = t0 + PART_LEASE;
+        assert!(matches!(
+            claim_at(&mut db, "t#1", at_lease),
+            ClaimResult::NothingClaimable
+        ));
+
+        // One nanosecond past the lease: re-claimable.
+        let past_lease = t0 + PART_LEASE + SimDuration::from_nanos(1);
+        assert!(matches!(
+            claim_at(&mut db, "t#1", past_lease),
+            ClaimResult::Claim(0)
+        ));
+    }
+
+    #[test]
+    fn stale_reclaim_refreshes_the_lease() {
+        // Re-claiming a stale part must reset its lease clock, or a third
+        // replicator would immediately re-claim it again.
+        let mut db = KvDb::new();
+        fresh_pool(&mut db, "t#1", 1);
+        let t0 = SimTime::from_nanos(0);
+        assert!(matches!(
+            claim_at(&mut db, "t#1", t0),
+            ClaimResult::Claim(0)
+        ));
+        let t1 = t0 + PART_LEASE + SimDuration::from_nanos(1);
+        assert!(matches!(
+            claim_at(&mut db, "t#1", t1),
+            ClaimResult::Claim(0)
+        ));
+        // Immediately after the re-claim the lease is fresh again.
+        assert!(matches!(
+            claim_at(&mut db, "t#1", t1),
+            ClaimResult::NothingClaimable
+        ));
+    }
+
+    #[test]
+    fn claim_on_missing_pool_is_concluded() {
+        let mut db = KvDb::new();
+        assert!(matches!(
+            claim_at(&mut db, "gone#1", SimTime::from_nanos(5)),
+            ClaimResult::Concluded
+        ));
+    }
+
+    #[test]
+    fn abort_does_not_resurrect_a_concluded_pool() {
+        // Regression (found by simcheck): aborting after the pool was
+        // success-deleted used to re-create it as a `{aborted: true}` stub
+        // that leaked forever and masked the successful replication.
+        let mut db = KvDb::new();
+        let status = TaskStatus::AbortedEtagMismatch {
+            current: Some(ETag(99)),
+        };
+        assert!(matches!(
+            db.transact(TASK_TABLE, "t#1", abort_tx(status)),
+            AbortOutcome::Gone
+        ));
+        assert_eq!(db.table_len(TASK_TABLE), 0, "abort resurrected the pool");
+
+        fresh_pool(&mut db, "t#2", 2);
+        assert!(matches!(
+            db.transact(TASK_TABLE, "t#2", abort_tx(status)),
+            AbortOutcome::First
+        ));
+        // A repeat abort (and any later claim) reads back the status the
+        // first aborter recorded — conclusion ownership survives its crash.
+        assert!(matches!(
+            db.transact(TASK_TABLE, "t#2", abort_tx(TaskStatus::SourceGone)),
+            AbortOutcome::Repeat(s) if s == status
+        ));
+        assert!(matches!(
+            claim_at(&mut db, "t#2", SimTime::from_nanos(10)),
+            ClaimResult::Aborted(s) if s == status
+        ));
+    }
+
+    #[test]
+    fn completion_is_idempotent_per_part() {
+        let mut db = KvDb::new();
+        fresh_pool(&mut db, "t#1", 2);
+        let t0 = SimTime::from_nanos(0);
+        assert!(matches!(
+            claim_at(&mut db, "t#1", t0),
+            ClaimResult::Claim(0)
+        ));
+        match db.transact(TASK_TABLE, "t#1", complete_tx(0)) {
+            CompleteResult::Progress(done, total) => {
+                assert_eq!((done, total), (1, 2));
+            }
+            CompleteResult::AlreadyConcluded => panic!("pool exists"),
+        }
+        // A duplicate completion of the same part does not advance the count.
+        match db.transact(TASK_TABLE, "t#1", complete_tx(0)) {
+            CompleteResult::Progress(done, total) => {
+                assert_eq!((done, total), (1, 2));
+            }
+            CompleteResult::AlreadyConcluded => panic!("pool exists"),
+        }
+    }
 }

@@ -50,29 +50,30 @@ fn write_pending(item: &mut Item, p: PendingVersion) {
     item.insert("pending_seq".into(), Value::Uint(p.seq));
 }
 
-fn clear_pending(item: &mut Item) {
-    item.remove("pending_etag");
-    item.remove("pending_seq");
-}
-
 /// Transaction: try to take the lock for replicating version `(etag, seq)`.
 ///
 /// On contention, records the version as pending if it is newer than the
 /// currently pending one (Algorithm 2 lines 5–7).
 ///
-/// Acquisition is *re-entrant by version*: a holder whose `holder_seq`
-/// equals `seq` re-acquires. This is how a platform-retried orchestrator
-/// (its previous incarnation crashed while holding the lock) resumes instead
-/// of deadlocking against its own dead self; replicating the same version
-/// twice is idempotent.
+/// Acquisition is *re-entrant by version*: a holder whose `(holder_etag,
+/// holder_seq)` equals `(etag, seq)` re-acquires. This is how a platform-
+/// retried orchestrator (its previous incarnation crashed while holding the
+/// lock) resumes instead of deadlocking against its own dead self;
+/// replicating the same version twice is idempotent. The ETag must match
+/// too: sequence numbers are only unique per writer, so two distinct
+/// versions from different sources can share a seq — matching on the pair
+/// keeps a cross-source writer from stealing a held lock.
 pub fn try_lock_tx(etag: ETag, seq: u64) -> impl FnOnce(&mut Option<Item>) -> LockOutcome {
     move |slot| {
         let item = slot.get_or_insert_with(Item::new);
         let locked = item.get("locked").and_then(Value::as_bool).unwrap_or(false);
         let holder_seq = item.get("holder_seq").and_then(Value::as_uint);
-        if !locked || holder_seq == Some(seq) {
+        let holder_etag = item.get("holder_etag").and_then(Value::as_uint);
+        let reentrant = holder_seq == Some(seq) && holder_etag == Some(etag.0);
+        if !locked || reentrant {
             item.insert("locked".into(), Value::Bool(true));
             item.insert("holder_seq".into(), Value::Uint(seq));
+            item.insert("holder_etag".into(), Value::Uint(etag.0));
             LockOutcome::Acquired
         } else {
             // Record as pending only versions newer than both the holder's
@@ -93,22 +94,19 @@ pub fn try_lock_tx(etag: ETag, seq: u64) -> impl FnOnce(&mut Option<Item>) -> Lo
 /// Returns the pending version the caller must compare with what was just
 /// replicated: if it differs, the orchestrator is invoked again (Algorithm 2
 /// lines 11–14).
+///
+/// Release deletes the lock item outright: once the pending version has been
+/// consumed the row carries no state, and leaving an unlocked husk behind
+/// would grow `areplica_locks` by one row per key ever replicated.
 pub fn unlock_tx(
     replicated_etag: Option<ETag>,
 ) -> impl FnOnce(&mut Option<Item>) -> Option<PendingVersion> {
     move |slot| {
-        let item = slot.as_mut()?;
-        item.insert("locked".into(), Value::Bool(false));
-        item.remove("holder_seq");
-        let pending = read_pending(item)?;
-        clear_pending(item);
+        let pending = slot.as_ref().and_then(read_pending);
+        *slot = None;
         // A pending version equal to what was just replicated needs no
         // further action.
-        if Some(pending.etag) == replicated_etag {
-            None
-        } else {
-            Some(pending)
-        }
+        pending.filter(|p| Some(p.etag) != replicated_etag)
     }
 }
 
@@ -203,6 +201,49 @@ mod tests {
         assert_eq!(lock(&mut db, "k", 2, 8), LockOutcome::Busy);
         let pending = unlock(&mut db, "k", Some(1)).unwrap();
         assert_eq!(pending.seq, 8);
+    }
+
+    #[test]
+    fn reentrancy_requires_matching_etag_and_seq() {
+        // Sequence numbers are only unique per writer: a distinct version
+        // from another source sharing the holder's seq must NOT acquire.
+        let mut db = KvDb::new();
+        assert_eq!(lock(&mut db, "k", 1, 7), LockOutcome::Acquired);
+        assert_eq!(lock(&mut db, "k", 2, 7), LockOutcome::Busy);
+        // ... and a same-etag different-seq claim is not re-entrant either.
+        assert_eq!(lock(&mut db, "k", 1, 8), LockOutcome::Busy);
+        // The true holder still re-enters.
+        assert_eq!(lock(&mut db, "k", 1, 7), LockOutcome::Acquired);
+    }
+
+    #[test]
+    fn clean_release_deletes_the_lock_item() {
+        // The lock table must stay quiescent: one husk per key ever
+        // replicated is an unbounded leak.
+        let mut db = KvDb::new();
+        for i in 0..10u64 {
+            let key = format!("k{i}");
+            assert_eq!(lock(&mut db, &key, i + 1, i + 1), LockOutcome::Acquired);
+            assert_eq!(unlock(&mut db, &key, Some(i + 1)), None);
+        }
+        assert_eq!(db.table_len(LOCK_TABLE), 0, "released locks left rows");
+    }
+
+    #[test]
+    fn release_with_pending_also_deletes_the_item() {
+        // The pending version is handed to the caller (who re-locks for it);
+        // the row itself still goes away.
+        let mut db = KvDb::new();
+        lock(&mut db, "k", 1, 1);
+        lock(&mut db, "k", 2, 2);
+        assert_eq!(
+            unlock(&mut db, "k", Some(1)),
+            Some(PendingVersion {
+                etag: ETag(2),
+                seq: 2
+            })
+        );
+        assert_eq!(db.table_len(LOCK_TABLE), 0);
     }
 
     #[test]

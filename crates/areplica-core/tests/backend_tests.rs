@@ -137,6 +137,23 @@ fn small_profiler() -> ProfilerConfig {
     }
 }
 
+/// KvDb quiescence: once the world drains, every replication lock must have
+/// been deleted on release (not merely flag-cleared) and every part pool
+/// must have been cleaned up by its concluder or the tombstone janitor — a
+/// leftover row is exactly the lock-husk / task-tombstone leak simcheck's
+/// oracles guard against.
+fn assert_tables_quiesced(world: &cloudsim::World, regions: &[RegionId]) {
+    for &region in regions {
+        for table in ["areplica_locks", "areplica_tasks"] {
+            let rows = world.db(region).table_items(table);
+            assert!(
+                rows.is_empty(),
+                "{table} not quiesced in region {region:?}: {rows:?}"
+            );
+        }
+    }
+}
+
 struct FaultyRun {
     completions: Vec<CompletionRecord>,
     stats: FaultStats,
@@ -188,6 +205,7 @@ fn run_faulty(seed: u64, plan: FaultPlan) -> FaultyRun {
     // Idempotent part-set semantics: retries and rescues must not double-
     // count the task.
     assert_eq!(completions.len(), 1, "task completed more than once");
+    assert_tables_quiesced(&sim.inner().world, &[src, dst]);
     FaultyRun {
         completions,
         stats: sim.fault_stats(),
@@ -304,6 +322,7 @@ fn run_plain(seed: u64) -> (Vec<CompletionRecord>, CostSnapshot) {
     sim.run_to_completion(10_000_000);
     let completions = service.metrics().completions.clone();
     assert_eq!(completions.len(), 3);
+    assert_tables_quiesced(&sim.world, &[src, dst]);
     (completions, sim.world.ledger.snapshot())
 }
 

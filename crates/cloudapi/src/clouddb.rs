@@ -147,6 +147,35 @@ impl KvDb {
     pub fn table_len(&self, table: &str) -> usize {
         self.tables.get(table).map_or(0, |t| t.len())
     }
+
+    /// Background TTL expiry: removes and returns the item iff `guard`
+    /// accepts it. TTL reaping is not a billed request, so the op counters
+    /// are untouched.
+    pub fn expire_if(
+        &mut self,
+        table: &str,
+        key: &str,
+        guard: impl FnOnce(&Item) -> bool,
+    ) -> Option<Item> {
+        let t = self.tables.get_mut(table)?;
+        if guard(t.get(key)?) {
+            t.remove(key)
+        } else {
+            None
+        }
+    }
+
+    /// Read-only snapshot of a table, sorted by key (inspection/invariant
+    /// checks; not metered as reads).
+    pub fn table_items(&self, table: &str) -> Vec<(String, Item)> {
+        let mut items: Vec<(String, Item)> = self
+            .tables
+            .get(table)
+            .map(|t| t.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        items
+    }
 }
 
 #[cfg(test)]

@@ -546,6 +546,18 @@ impl ObjectStore {
             .ok_or(StoreError::NoSuchUpload)
     }
 
+    /// Upload ids of multipart uploads that are still open (created but
+    /// neither completed nor aborted), sorted ascending.
+    ///
+    /// An open upload after a workload quiesces is a leak: real stores keep
+    /// billing for the staged parts until an abort or a lifecycle rule
+    /// reaps them. Quiescence oracles (`crates/simcheck`) assert emptiness.
+    pub fn open_multipart_uploads(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.multiparts.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Total bytes stored in a bucket, including non-current versions
     /// (the versioning storage overhead of §5.2).
     pub fn stored_bytes(&self, bucket: &str) -> Result<u64, StoreError> {

@@ -34,4 +34,5 @@ pub use cloudapi::{clouddb, objstore, region};
 pub use params::{CloudParams, FnConfig, WorldParams};
 pub use pricing::{Cloud, Geo};
 pub use region::{RegionId, RegionMeta, RegionRegistry};
+pub use simkernel::{EventInfo, PopPolicy};
 pub use world::{CloudSim, Executor, World};

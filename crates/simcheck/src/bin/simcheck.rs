@@ -1,0 +1,276 @@
+//! simcheck CLI — explore schedules of the replication protocol.
+//!
+//! ```text
+//! simcheck smoke                                   # fixed-seed gate (CI)
+//! simcheck sweep  --seeds N [--start S] [--scenario NAME] [--out DIR]
+//! simcheck replay --seed K [--scenario NAME]       # run + report one walk
+//! simcheck shrink --seed K [--scenario NAME]       # minimize a failing walk
+//! simcheck exhaustive [--scenario NAME] [--depth D] [--runs N]
+//! ```
+//!
+//! Exit status 0 means every explored schedule passed; 1 means at least one
+//! failed (the shrunken reproduction is printed and, for sweeps, written to
+//! `--out`); 2 means usage error.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use simcheck::{explore_exhaustive, run_schedule, shrink, Mode, Scenario, WalkConfig};
+
+/// Seeds the CI smoke step replays on every scenario — fixed forever so the
+/// gate is deterministic.
+const SMOKE_SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+fn usage() -> ExitCode {
+    println!(
+        "usage: simcheck <smoke | sweep | replay | shrink | exhaustive> [options]\n\
+         \n\
+         smoke                                    fixed-seed pass/fail gate\n\
+         sweep  --seeds N [--start S] [--scenario NAME] [--out DIR]\n\
+         replay --seed K [--scenario NAME]\n\
+         shrink --seed K [--scenario NAME]\n\
+         exhaustive [--scenario NAME] [--depth D] [--runs N]\n\
+         \n\
+         scenarios: {}",
+        Scenario::all()
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls the value of `--flag` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {flag} value: {v}")),
+    }
+}
+
+fn scenario_arg(args: &[String]) -> Result<Vec<Scenario>, String> {
+    match flag_value(args, "--scenario") {
+        None => Ok(Scenario::all()
+            .into_iter()
+            .filter(|s| s.name != "canary")
+            .collect()),
+        Some(name) => Scenario::by_name(&name)
+            .map(|s| vec![s])
+            .ok_or(format!("unknown scenario: {name}")),
+    }
+}
+
+/// Renders a failing walk: the seed, the violations, and the shrunken
+/// scripted reproduction.
+fn describe_failure(sc: &Scenario, seed: u64) -> String {
+    let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FAIL scenario={} seed={} decisions={} violations={:?}",
+        sc.name,
+        seed,
+        report.taken.len(),
+        report.violations
+    );
+    match shrink(sc, &report.decisions()) {
+        Some(min) => {
+            let _ = writeln!(
+                out,
+                "  shrunk to {} decisions ({} non-default, {} runs): {:?}",
+                min.script.len(),
+                min.essence().len(),
+                min.runs,
+                min.violations
+            );
+            let _ = writeln!(out, "  script: {:?}", min.script);
+            let _ = writeln!(out, "  essence: {:?}", min.essence());
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  (walk failure did not reproduce under scripted replay)"
+            );
+        }
+    }
+    out
+}
+
+/// Runs `seeds` walks per scenario; returns the failure descriptions.
+fn sweep(scenarios: &[Scenario], start: u64, seeds: u64) -> Vec<(String, u64, String)> {
+    let mut failures = Vec::new();
+    for sc in scenarios {
+        let mut failed = 0u64;
+        for seed in start..start + seeds {
+            let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
+            if !report.passed() {
+                failed += 1;
+                failures.push((sc.name.to_string(), seed, describe_failure(sc, seed)));
+            }
+        }
+        println!(
+            "scenario={}: {}/{} walks passed",
+            sc.name,
+            seeds - failed,
+            seeds
+        );
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "smoke" => cmd_smoke(),
+        "sweep" => cmd_sweep(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "shrink" => cmd_shrink(&args[1..]),
+        "exhaustive" => cmd_exhaustive(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            println!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_smoke() -> Result<bool, String> {
+    let mut ok = true;
+    for sc in Scenario::all().into_iter().filter(|s| s.name != "canary") {
+        // The default schedule is the plain simulator order — it must pass.
+        let default = run_schedule(&sc, Mode::Default);
+        if !default.passed() {
+            println!(
+                "FAIL scenario={} default schedule: {:?}",
+                sc.name, default.violations
+            );
+            ok = false;
+        }
+        for seed in SMOKE_SEEDS {
+            let report = run_schedule(&sc, Mode::Walk(WalkConfig::seeded(seed)));
+            if !report.passed() {
+                print!("{}", describe_failure(&sc, seed));
+                ok = false;
+            }
+        }
+        println!(
+            "scenario={}: default + {} seeded walks {}",
+            sc.name,
+            SMOKE_SEEDS.len(),
+            if ok { "passed" } else { "FAILED" }
+        );
+    }
+    Ok(ok)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<bool, String> {
+    let seeds = parse_u64(args, "--seeds", 25)?;
+    let start = parse_u64(args, "--start", 1)?;
+    let scenarios = scenario_arg(args)?;
+    let out_dir = flag_value(args, "--out");
+    let failures = sweep(&scenarios, start, seeds);
+    for (scenario, seed, text) in &failures {
+        print!("{text}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            let path = format!("{dir}/{scenario}-seed{seed}.txt");
+            std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("  wrote {path}");
+        }
+    }
+    Ok(failures.is_empty())
+}
+
+fn cmd_replay(args: &[String]) -> Result<bool, String> {
+    let seed = parse_u64(args, "--seed", 1)?;
+    let scenarios = scenario_arg(args)?;
+    let mut ok = true;
+    for sc in &scenarios {
+        let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
+        println!(
+            "scenario={} seed={} decisions={} executed={} faults={:?} violations={:?}",
+            sc.name,
+            seed,
+            report.taken.len(),
+            report.executed,
+            report.fault_stats,
+            report.violations
+        );
+        ok &= report.passed();
+    }
+    Ok(ok)
+}
+
+fn cmd_shrink(args: &[String]) -> Result<bool, String> {
+    let seed = parse_u64(args, "--seed", 1)?;
+    let scenarios = scenario_arg(args)?;
+    let mut any_failed = false;
+    for sc in &scenarios {
+        let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
+        if report.passed() {
+            println!(
+                "scenario={} seed={} passed; nothing to shrink",
+                sc.name, seed
+            );
+            continue;
+        }
+        any_failed = true;
+        print!("{}", describe_failure(sc, seed));
+    }
+    // Exit 1 when a failure was found (and shrunk) — same polarity as sweep.
+    Ok(!any_failed)
+}
+
+fn cmd_exhaustive(args: &[String]) -> Result<bool, String> {
+    let depth = parse_u64(args, "--depth", 6)? as usize;
+    let runs = parse_u64(args, "--runs", 200)?;
+    let scenarios = match flag_value(args, "--scenario") {
+        None => vec![Scenario::small_race()],
+        Some(name) => {
+            vec![Scenario::by_name(&name).ok_or(format!("unknown scenario: {name}"))?]
+        }
+    };
+    let mut ok = true;
+    for sc in &scenarios {
+        let report = explore_exhaustive(sc, depth, runs);
+        println!(
+            "scenario={}: {} schedules explored{}, {} failures",
+            sc.name,
+            report.runs,
+            if report.truncated {
+                " (budget hit)"
+            } else {
+                " (exhausted to depth)"
+            },
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!(
+                "  FAIL prefix={:?} violations={:?}",
+                f.decisions, f.violations
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
+}

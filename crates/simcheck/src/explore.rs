@@ -1,0 +1,202 @@
+//! Running one schedule end to end, and exhaustively enumerating tiny
+//! horizons.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use areplica_core::backend::faulty::{FaultPlan, FaultSite, FaultStats, Faulty};
+use areplica_core::backend::{Clock, ObjectStore as _};
+use areplica_core::{AReplicaBuilder, ProfilerConfig, ReplicationRule};
+use cloudsim::{Cloud, RegionId, World};
+
+use crate::oracle::{self, Violation};
+use crate::scenario::{Scenario, DST_BUCKET, KEY, SRC_BUCKET};
+use crate::schedule::{DeciderHandle, Decision, Mode, PolicyHandle, ScheduleState, Taken};
+
+/// Everything one schedule produced: what the oracles said, the decision
+/// stream that was taken (the schedule's replayable identity), and the
+/// fault/event counters for replay-identity checks.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Oracle violations; empty means the schedule passed.
+    pub violations: Vec<Violation>,
+    /// Every decision made, in consult order. Replaying
+    /// `Mode::Scripted(decisions of taken)` reproduces this run exactly.
+    pub taken: Vec<Taken>,
+    /// Faults the wrapper injected.
+    pub fault_stats: FaultStats,
+    /// Events the simulator executed.
+    pub executed: u64,
+}
+
+impl RunReport {
+    /// Whether the schedule passed every oracle.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The decision list replaying this run.
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.taken.iter().map(|t| t.decision).collect()
+    }
+}
+
+/// The profiler configuration every scenario runs with: the smallest
+/// sample counts the planner accepts, so a schedule spends its decisions on
+/// the replication protocol rather than on profiling traffic.
+fn small_profiler() -> ProfilerConfig {
+    ProfilerConfig {
+        warm_samples: 4,
+        cold_samples: 3,
+        transfer_samples: 4,
+        chunks_per_invocation: 2,
+        notif_samples: 4,
+        mc_trials: 600,
+        ..ProfilerConfig::default()
+    }
+}
+
+/// The bucket pair every scenario replicates across.
+fn regions(sim: &Faulty<cloudsim::world::CloudSim>) -> (RegionId, RegionId) {
+    let regions = &sim.inner().world.regions;
+    let src = regions
+        .lookup(Cloud::Aws, "us-east-1")
+        .expect("paper region set");
+    let dst = regions
+        .lookup(Cloud::Azure, "eastus")
+        .expect("paper region set");
+    (src, dst)
+}
+
+/// Runs `sc` under the schedule selected by `mode` and checks every oracle
+/// against the quiesced world.
+///
+/// Determinism contract: the same `(scenario, mode)` pair always produces
+/// the same [`RunReport`], byte for byte — the world seed fixes the
+/// simulator's draws and the mode fixes every pop/fault decision.
+pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
+    let mut sim = Faulty::new(World::paper_sim(sc.sim_seed), FaultPlan::default());
+    let (src, dst) = regions(&sim);
+    sim.inner_mut().world.trace.set_enabled(true);
+
+    let rule = ReplicationRule::new(src, SRC_BUCKET, dst, DST_BUCKET)
+        .with_batching(false)
+        .with_changelog(false);
+    let _service = AReplicaBuilder::new()
+        .rule(rule)
+        .engine_config(sc.engine.clone())
+        .profiler_config(small_profiler())
+        .install(&mut sim);
+
+    // Install the hooks after service setup so decision 0 lands on protocol
+    // traffic. Default mode leaves the simulator untouched — the byte-
+    // identical baseline.
+    let state = ScheduleState::shared(mode.clone());
+    if !matches!(mode, Mode::Default) {
+        sim.inner_mut()
+            .set_pop_policy(Box::new(PolicyHandle(state.clone())));
+        sim.set_fault_decider(Rc::new(RefCell::new(DeciderHandle(state.clone()))));
+    }
+
+    for (offset, size) in sc.puts.clone() {
+        sim.schedule_in(offset, move |sim| {
+            sim.user_put(src, SRC_BUCKET, KEY, size)
+                .expect("scenario PUT");
+        });
+    }
+    let executed = sim.run_to_completion(sc.max_events);
+
+    let violations = oracle::check(sim.inner(), sc, src, dst, executed);
+    let taken = state.borrow().taken.clone();
+    RunReport {
+        violations,
+        taken,
+        fault_stats: sim.fault_stats(),
+        executed,
+    }
+}
+
+/// One failing schedule found by exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The scripted prefix that failed.
+    pub decisions: Vec<Decision>,
+    /// What the oracles reported.
+    pub violations: Vec<Violation>,
+}
+
+/// What an exhaustive enumeration covered.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveReport {
+    /// Schedules executed.
+    pub runs: u64,
+    /// Failing schedules, in discovery order.
+    pub failures: Vec<Failure>,
+    /// Whether the run budget cut the enumeration short.
+    pub truncated: bool,
+}
+
+/// Exhaustively enumerates schedules of `sc` over the first `max_depth`
+/// decision points, up to `max_runs` schedules.
+///
+/// Breadth-first over scripted prefixes — all single-deviation schedules
+/// run before any two-deviation schedule, so minimal failures surface
+/// first. Each passing run's decision stream is expanded position by
+/// position: every alternative pop index, and a fired-fault alternative at
+/// sites the walk also explores (transient storage faults and
+/// post-transaction kills; see [`crate::schedule`] for why invocation drops
+/// and mid-upload kills are excluded). Failing prefixes are recorded and
+/// not expanded further.
+pub fn explore_exhaustive(sc: &Scenario, max_depth: usize, max_runs: u64) -> ExhaustiveReport {
+    let mut report = ExhaustiveReport::default();
+    let mut stack: std::collections::VecDeque<Vec<Decision>> =
+        std::collections::VecDeque::from([Vec::new()]);
+    while let Some(prefix) = stack.pop_front() {
+        if report.runs >= max_runs {
+            report.truncated = true;
+            break;
+        }
+        report.runs += 1;
+        let run = run_schedule(sc, Mode::Scripted(prefix.clone()));
+        if !run.passed() {
+            report.failures.push(Failure {
+                decisions: prefix,
+                violations: run.violations,
+            });
+            continue;
+        }
+        for (pos, t) in run.taken.iter().enumerate().skip(prefix.len()) {
+            if pos >= max_depth {
+                break;
+            }
+            let alternatives: Vec<Decision> = match t.decision {
+                Decision::Pop(chosen) => (0..t.arity)
+                    .filter(|i| *i != chosen)
+                    .map(Decision::Pop)
+                    .collect(),
+                Decision::Fault(fired) => {
+                    let safe = matches!(
+                        t.site,
+                        Some(
+                            FaultSite::TransientGet
+                                | FaultSite::TransientPut
+                                | FaultSite::PostTransactKill
+                        )
+                    );
+                    if !fired && safe {
+                        vec![Decision::Fault(true)]
+                    } else {
+                        Vec::new()
+                    }
+                }
+            };
+            for alt in alternatives {
+                let mut branch: Vec<Decision> =
+                    run.taken[..pos].iter().map(|t| t.decision).collect();
+                branch.push(alt);
+                stack.push_back(branch);
+            }
+        }
+    }
+    report
+}

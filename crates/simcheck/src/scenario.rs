@@ -1,0 +1,107 @@
+//! The small replication scenarios the checker explores.
+//!
+//! Each scenario is one bucket pair, one key, and a handful of timed PUT
+//! versions — deliberately tiny, so a schedule stays short enough to
+//! enumerate, shrink, and read. Scenario identity plus a walk seed fully
+//! determines a run.
+
+use areplica_core::EngineConfig;
+use simkernel::SimDuration;
+
+/// Source bucket used by every scenario.
+pub const SRC_BUCKET: &str = "src-bucket";
+/// Destination bucket used by every scenario.
+pub const DST_BUCKET: &str = "dst-bucket";
+/// The single key every scenario replicates.
+pub const KEY: &str = "hot.bin";
+
+/// One checker scenario: timed PUT versions of [`KEY`] plus the engine
+/// configuration they replicate under.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (CLI selector and artifact prefix).
+    pub name: &'static str,
+    /// Seed of the simulated world (latency/cost draws), independent of the
+    /// walk seed that picks the schedule.
+    pub sim_seed: u64,
+    /// PUT versions of [`KEY`]: (time after start, fresh size in bytes).
+    pub puts: Vec<(SimDuration, u64)>,
+    /// Engine tunables for the run.
+    pub engine: EngineConfig,
+    /// Event budget; a run that exhausts it is reported as a liveness
+    /// violation (the schedule failed to drain).
+    pub max_events: u64,
+}
+
+impl Scenario {
+    fn base(name: &'static str, puts: Vec<(SimDuration, u64)>) -> Scenario {
+        Scenario {
+            name,
+            sim_seed: 7,
+            puts,
+            engine: EngineConfig {
+                // Keep the replicator fleet small so racing claim/complete
+                // events stay within the exploration window's candidate cap.
+                max_parallelism: 3,
+                ..EngineConfig::default()
+            },
+            max_events: 10_000_000,
+        }
+    }
+
+    /// One 96 MB object — the distributed multipart path with a part pool,
+    /// locks, and several replicators.
+    pub fn distributed() -> Scenario {
+        Scenario::base("distributed", vec![(SimDuration::ZERO, 96 << 20)])
+    }
+
+    /// A 96 MB object overwritten by a 4 MB version while its distributed
+    /// replication is in flight — exercises the If-Match abort path, pool
+    /// abort tombstones, and pending-version handoff on unlock.
+    pub fn overwrite_race() -> Scenario {
+        Scenario::base(
+            "overwrite-race",
+            vec![
+                (SimDuration::ZERO, 96 << 20),
+                (SimDuration::from_millis(1800), 4 << 20),
+            ],
+        )
+    }
+
+    /// Two small versions racing on the local/streamed path — the smallest
+    /// interesting horizon, used for exhaustive enumeration.
+    pub fn small_race() -> Scenario {
+        Scenario::base(
+            "small-race",
+            vec![
+                (SimDuration::ZERO, 4 << 20),
+                (SimDuration::from_millis(300), 2 << 20),
+            ],
+        )
+    }
+
+    /// [`Scenario::distributed`] with upload adoption disabled — the
+    /// seeded-in regression of the pre-fix split-brain bug that the checker
+    /// must catch and shrink (see `EngineConfig::unsafe_disable_upload_adoption`).
+    pub fn canary() -> Scenario {
+        let mut sc = Scenario::distributed();
+        sc.name = "canary";
+        sc.engine.unsafe_disable_upload_adoption = true;
+        sc
+    }
+
+    /// Every scenario, in CLI order.
+    pub fn all() -> Vec<Scenario> {
+        vec![
+            Scenario::distributed(),
+            Scenario::overwrite_race(),
+            Scenario::small_race(),
+            Scenario::canary(),
+        ]
+    }
+
+    /// Looks a scenario up by [`Scenario::name`].
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
+    }
+}

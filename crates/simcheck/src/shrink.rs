@@ -1,0 +1,106 @@
+//! Delta-debugging shrinker for failing schedules.
+//!
+//! A failing run's decision stream usually contains many non-default
+//! decisions that are irrelevant to the failure. The shrinker resets
+//! non-default decisions back to their defaults (pop index 0, fault off) in
+//! ddmin-style chunks, keeping any candidate that still fails, until no
+//! single reset preserves the failure. The result is a minimal scripted
+//! schedule — typically a handful of decisions — that pins the bug as a
+//! regression test.
+//!
+//! Positions, not subsequences: a scripted schedule consults decisions
+//! positionally, so the shrinker never removes entries from the middle
+//! (which would shift every later decision onto a different consult); it
+//! only *defaults* them, then truncates the now-default tail, which is
+//! behaviour-preserving by construction (past the script's end every
+//! decision is the default).
+
+use crate::explore::run_schedule;
+use crate::oracle::Violation;
+use crate::scenario::Scenario;
+use crate::schedule::{Decision, Mode};
+
+/// The non-default decisions of a script, as `(position, decision)` pairs.
+pub fn non_default(decisions: &[Decision]) -> Vec<(usize, Decision)> {
+    decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_default())
+        .map(|(i, d)| (i, *d))
+        .collect()
+}
+
+/// A shrunken failing schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal scripted schedule (trailing defaults truncated).
+    pub script: Vec<Decision>,
+    /// The violations the minimal schedule still triggers.
+    pub violations: Vec<Violation>,
+    /// Schedules executed while shrinking.
+    pub runs: u64,
+}
+
+impl ShrinkResult {
+    /// The non-default decisions that remain — the failure's essence.
+    pub fn essence(&self) -> Vec<(usize, Decision)> {
+        non_default(&self.script)
+    }
+}
+
+/// Shrinks a failing schedule of `sc` to a minimal scripted reproduction.
+///
+/// `decisions` is the recorded stream of a failing run (e.g.
+/// [`crate::RunReport::decisions`]). Returns `None` if the scripted replay
+/// of `decisions` does not fail — the caller handed in a passing schedule,
+/// or recorded it against a different scenario.
+pub fn shrink(sc: &Scenario, decisions: &[Decision]) -> Option<ShrinkResult> {
+    let mut runs = 0u64;
+    let mut fails = |script: &[Decision]| -> Option<Vec<Violation>> {
+        runs += 1;
+        let report = run_schedule(sc, Mode::Scripted(script.to_vec()));
+        (!report.violations.is_empty()).then_some(report.violations)
+    };
+
+    let mut script = decisions.to_vec();
+    let mut violations = fails(&script)?;
+
+    // ddmin over non-default positions: default them in chunks, halving the
+    // chunk size whenever a whole pass makes no progress.
+    let mut chunk = non_default(&script).len().div_ceil(2).max(1);
+    loop {
+        let positions: Vec<usize> = non_default(&script).iter().map(|(i, _)| *i).collect();
+        if positions.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        for window in positions.chunks(chunk) {
+            let mut candidate = script.clone();
+            for &pos in window {
+                candidate[pos] = candidate[pos].default_of();
+            }
+            if let Some(v) = fails(&candidate) {
+                script = candidate;
+                violations = v;
+                progressed = true;
+                // Positions changed; restart the pass over the new script.
+                break;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    while script.last().is_some_and(Decision::is_default) {
+        script.pop();
+    }
+    Some(ShrinkResult {
+        script,
+        violations,
+        runs,
+    })
+}

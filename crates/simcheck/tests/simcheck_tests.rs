@@ -1,0 +1,192 @@
+//! Pinned schedule-exploration regressions.
+//!
+//! Each test here either pins a bug simcheck found (so the schedule that
+//! used to violate an oracle keeps passing on the fixed engine) or pins a
+//! property of the harness itself (byte-identical replay, the seeded-in
+//! canary being caught and shrunk small).
+
+use areplica_core::backend::faulty::FaultSite;
+use simcheck::{explore_exhaustive, run_schedule, shrink, Decision, Mode, Scenario, WalkConfig};
+
+/// The unexplored simulator order must satisfy every oracle on every
+/// scenario — if the baseline fails, schedule exploration is meaningless.
+#[test]
+fn default_schedules_pass_every_oracle() {
+    for sc in Scenario::all().into_iter().filter(|s| s.name != "canary") {
+        let report = run_schedule(&sc, Mode::Default);
+        assert!(
+            report.passed(),
+            "scenario={} default schedule violated: {:?}",
+            sc.name,
+            report.violations
+        );
+    }
+}
+
+/// The determinism contract: the same walk seed replays byte-identically,
+/// and scripting a walk's recorded decisions reproduces the identical run.
+#[test]
+fn walk_replay_is_byte_identical() {
+    let sc = Scenario::overwrite_race();
+    let a = run_schedule(&sc, Mode::Walk(WalkConfig::seeded(5)));
+    let b = run_schedule(&sc, Mode::Walk(WalkConfig::seeded(5)));
+    assert_eq!(a.taken, b.taken);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(a.executed, b.executed);
+    assert_eq!(format!("{:?}", a.violations), format!("{:?}", b.violations));
+
+    let scripted = run_schedule(&sc, Mode::Scripted(a.decisions()));
+    assert_eq!(a.taken, scripted.taken);
+    assert_eq!(a.fault_stats, scripted.fault_stats);
+    assert_eq!(a.executed, scripted.executed);
+}
+
+/// The seeded-in canary (upload adoption disabled, as the engine behaved
+/// before the adoption fix) is caught by a pinned walk seed and shrinks to a
+/// handful of decisions; the same minimal schedule passes with adoption on.
+#[test]
+fn canary_is_caught_and_shrinks_small() {
+    let canary = Scenario::canary();
+    let report = run_schedule(&canary, Mode::Walk(WalkConfig::seeded(29)));
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, simcheck::Violation::OpenMultipartUploads { .. })),
+        "canary walk must leak an upload, got {:?}",
+        report.violations
+    );
+    let min = shrink(&canary, &report.decisions()).expect("canary failure must reproduce scripted");
+    assert!(
+        min.script.len() <= 10,
+        "canary schedule must shrink to <= 10 decisions, got {}",
+        min.script.len()
+    );
+    // The shrunken schedule is a single post-transact kill of the first
+    // orchestrator; with adoption enabled the retried incarnation adopts
+    // the recorded upload instead of leaking it.
+    let fixed = run_schedule(&Scenario::distributed(), Mode::Scripted(min.script.clone()));
+    assert!(
+        fixed.passed(),
+        "adoption-enabled engine failed the canary's minimal schedule: {:?}",
+        fixed.violations
+    );
+}
+
+/// Positions of the `PostTransactKill` consults in a run's decision stream.
+fn kill_sites(report: &simcheck::RunReport) -> Vec<usize> {
+    report
+        .taken
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.site == Some(FaultSite::PostTransactKill))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// A script equal to `base` decisions up to `pos`, with the kill at `pos`
+/// fired.
+fn kill_at(base: &simcheck::RunReport, pos: usize) -> Vec<Decision> {
+    let mut script: Vec<Decision> = base.taken[..pos].iter().map(|t| t.decision).collect();
+    script.push(Decision::Fault(true));
+    script
+}
+
+/// Regression for the lost abort conclusion: killing any single function
+/// incarnation right after one of its DB transactions commits must never
+/// violate an oracle — the platform retry plus the recorded pool state
+/// recover every in-memory continuation the kill destroys.
+///
+/// Before the fix, killing the first aborter after `abort_tx` committed
+/// stalled the task forever (lock held, upload open, pending overwrite
+/// lost): every observer read the `aborted` tombstone as "someone else is
+/// concluding" and retired.
+#[test]
+fn any_single_post_transact_kill_recovers() {
+    for sc in [Scenario::overwrite_race(), Scenario::small_race()] {
+        let base = run_schedule(&sc, Mode::Default);
+        assert!(base.passed());
+        for pos in kill_sites(&base) {
+            let report = run_schedule(&sc, Mode::Scripted(kill_at(&base, pos)));
+            assert!(
+                report.passed(),
+                "scenario={} kill at consult {pos} violated: {:?}",
+                sc.name,
+                report.violations
+            );
+        }
+    }
+}
+
+/// Regression for the orphaned rival upload: a second kill landing on the
+/// adopting incarnation (right after the adoption transaction recorded the
+/// losing upload) used to drop the rival-upload abort, leaving it open at
+/// the destination forever. The pool row now records the orphan and the
+/// row's deleter aborts it.
+///
+/// Sweeps the first kill over the earliest sites, then the second kill over
+/// the consults of each killed run — this covers the shrunken reproduction
+/// (kills at consults 2 and 4 of the overwrite-race stream) and its
+/// neighbours.
+#[test]
+fn any_double_post_transact_kill_recovers() {
+    let sc = Scenario::overwrite_race();
+    let base = run_schedule(&sc, Mode::Default);
+    for first in kill_sites(&base).into_iter().take(4) {
+        let once = run_schedule(&sc, Mode::Scripted(kill_at(&base, first)));
+        assert!(once.passed());
+        let later: Vec<usize> = kill_sites(&once)
+            .into_iter()
+            .filter(|p| *p > first)
+            .collect();
+        for second in later.into_iter().take(4) {
+            let mut script = kill_at(&once, second);
+            // Positions before `second` replay the once-killed stream, which
+            // already contains the first kill.
+            assert_eq!(script[first], Decision::Fault(true));
+            script[second] = Decision::Fault(true);
+            let report = run_schedule(&sc, Mode::Scripted(script));
+            assert!(
+                report.passed(),
+                "kills at consults {first}+{second} violated: {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+/// The shrunken schedule of the walk that first exposed the orphaned rival
+/// upload (overwrite-race, seed 87): kill the orchestrator after pool
+/// creation, then kill its retry after the adoption transaction.
+#[test]
+fn pinned_orphan_upload_schedule_passes() {
+    let script = vec![
+        Decision::Fault(false),
+        Decision::Fault(false),
+        Decision::Fault(true),
+        Decision::Fault(false),
+        Decision::Fault(true),
+    ];
+    for sc in [Scenario::overwrite_race(), Scenario::distributed()] {
+        let report = run_schedule(&sc, Mode::Scripted(script.clone()));
+        assert!(
+            report.passed(),
+            "scenario={} pinned orphan schedule violated: {:?}",
+            sc.name,
+            report.violations
+        );
+    }
+}
+
+/// Exhaustive enumeration over the small-race horizon stays clean on the
+/// fixed engine.
+#[test]
+fn exhaustive_small_race_is_clean() {
+    let report = explore_exhaustive(&Scenario::small_race(), 6, 64);
+    assert!(!report.truncated, "budget must cover the horizon");
+    assert!(
+        report.failures.is_empty(),
+        "exhaustive enumeration found: {:?}",
+        report.failures
+    );
+}

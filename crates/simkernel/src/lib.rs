@@ -38,5 +38,5 @@ mod sim;
 mod time;
 
 pub use metrics::{Histogram, Summary, TimeSeries};
-pub use sim::{CancelToken, RunStats, Sim};
+pub use sim::{CancelToken, EventInfo, PopPolicy, RunStats, Sim};
 pub use time::{SimDuration, SimTime};

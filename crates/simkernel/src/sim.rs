@@ -81,6 +81,46 @@ pub struct RunStats {
     pub cancelled: u64,
 }
 
+/// A queued event as seen by a [`PopPolicy`]: its due time and tie-break
+/// sequence number. The action itself is opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventInfo {
+    /// The timestamp the event was scheduled for.
+    pub at: SimTime,
+    /// The monotone schedule-order sequence number.
+    pub seq: u64,
+}
+
+/// A pluggable event-queue pop policy: a scheduler hook for exploring
+/// alternative interleavings of near-simultaneous events.
+///
+/// When installed via [`Sim::set_pop_policy`], each [`Sim::step`] gathers the
+/// live events whose timestamps fall within [`PopPolicy::window`] of the
+/// earliest pending event (at most [`PopPolicy::max_candidates`] of them) and
+/// lets the policy pick which one runs next. Unchosen candidates go back on
+/// the queue. A deferred event may therefore execute after virtual time has
+/// moved past its timestamp — it runs "late", at the current clock, modelling
+/// the scheduling jitter serverless platforms exhibit. The clock never moves
+/// backwards.
+///
+/// This hook is correctness-exploration tooling (see `crates/simcheck`); no
+/// result-producing run installs a policy, and with no policy installed the
+/// pop path is byte-for-byte the classic earliest-(time, seq) order.
+pub trait PopPolicy {
+    /// Width of the candidate window, measured from the earliest live event.
+    fn window(&self) -> SimDuration;
+
+    /// Upper bound on how many candidates are gathered per step.
+    fn max_candidates(&self) -> usize {
+        8
+    }
+
+    /// Picks the index of the candidate to execute. `candidates` is ordered
+    /// by (time, seq) and never empty; index 0 is the default choice. Out-of-
+    /// range returns are clamped to the last candidate.
+    fn choose(&mut self, now: SimTime, candidates: &[EventInfo]) -> usize;
+}
+
 /// The discrete-event simulator.
 ///
 /// `W` is the simulated world (services, state). Events receive `&mut Sim<W>`
@@ -92,6 +132,7 @@ pub struct Sim<W> {
     master_seed: u64,
     rng: StdRng,
     stats: RunStats,
+    pop_policy: Option<Box<dyn PopPolicy>>,
     /// The simulated world state, freely accessible to events.
     pub world: W,
 }
@@ -106,8 +147,23 @@ impl<W> Sim<W> {
             master_seed,
             rng: derive_rng(master_seed, "sim:master"),
             stats: RunStats::default(),
+            pop_policy: None,
             world,
         }
+    }
+
+    /// Installs a pop policy; subsequent [`Sim::step`] calls route through it.
+    pub fn set_pop_policy(&mut self, policy: Box<dyn PopPolicy>) {
+        self.pop_policy = Some(policy);
+    }
+
+    /// Removes the installed pop policy, restoring default pop order.
+    ///
+    /// Safe to call at any point: events the policy deferred remain queued and
+    /// run next in plain (time, seq) order (the clock simply does not move
+    /// backwards for them).
+    pub fn clear_pop_policy(&mut self) -> Option<Box<dyn PopPolicy>> {
+        self.pop_policy.take()
     }
 
     /// Current virtual time.
@@ -211,9 +267,16 @@ impl<W> Sim<W> {
     /// (the clock still advances past them) and the method keeps popping until
     /// a live event runs or the queue drains.
     pub fn step(&mut self) -> bool {
+        if self.pop_policy.is_some() {
+            return self.step_explored();
+        }
         while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.at >= self.now, "event queue yielded a past event");
-            self.now = ev.at;
+            // Under default pop order events are never past-due; after a pop
+            // policy deferred events and was cleared, leftovers may be, and
+            // they run at the current clock (time never moves backwards).
+            if ev.at > self.now {
+                self.now = ev.at;
+            }
             if let Some(token) = &ev.cancel {
                 if token.is_cancelled() {
                     self.stats.cancelled += 1;
@@ -225,6 +288,54 @@ impl<W> Sim<W> {
             return true;
         }
         false
+    }
+
+    /// [`Sim::step`] under an installed [`PopPolicy`]: gathers the live
+    /// candidates within the policy's window of the earliest pending event and
+    /// executes the one the policy picks, re-queueing the rest.
+    fn step_explored(&mut self) -> bool {
+        let mut policy = self.pop_policy.take().expect("policy checked by step");
+        let (window, max_candidates) = (policy.window(), policy.max_candidates().max(1));
+        let mut candidates: Vec<QueuedEvent<W>> = Vec::new();
+        let mut window_end = SimTime::ZERO;
+        while let Some(ev) = self.queue.pop() {
+            if let Some(token) = &ev.cancel {
+                if token.is_cancelled() {
+                    self.stats.cancelled += 1;
+                    continue;
+                }
+            }
+            if candidates.is_empty() {
+                window_end = ev.at.max(self.now) + window;
+            } else if ev.at > window_end || candidates.len() >= max_candidates {
+                self.queue.push(ev);
+                break;
+            }
+            candidates.push(ev);
+        }
+        if candidates.is_empty() {
+            self.pop_policy = Some(policy);
+            return false;
+        }
+        let infos: Vec<EventInfo> = candidates
+            .iter()
+            .map(|ev| EventInfo {
+                at: ev.at,
+                seq: ev.seq,
+            })
+            .collect();
+        let idx = policy.choose(self.now, &infos).min(candidates.len() - 1);
+        self.pop_policy = Some(policy);
+        let chosen = candidates.swap_remove(idx);
+        for ev in candidates {
+            self.queue.push(ev);
+        }
+        if chosen.at > self.now {
+            self.now = chosen.at;
+        }
+        self.stats.executed += 1;
+        (chosen.action)(self);
+        true
     }
 
     /// Runs events until the queue is empty or `max_events` live events ran.
@@ -421,5 +532,98 @@ mod tests {
         let mut a = sim.fork_rng("component");
         let mut b = sim.fork_rng("component");
         assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    /// Always defers the earliest event: picks the last in-window candidate.
+    struct PickLast {
+        window: SimDuration,
+    }
+
+    impl PopPolicy for PickLast {
+        fn window(&self) -> SimDuration {
+            self.window
+        }
+        fn choose(&mut self, _now: SimTime, candidates: &[EventInfo]) -> usize {
+            candidates.len() - 1
+        }
+    }
+
+    /// Always picks index 0 — must reproduce default order exactly.
+    struct PickFirst;
+
+    impl PopPolicy for PickFirst {
+        fn window(&self) -> SimDuration {
+            SimDuration::from_millis(10)
+        }
+        fn choose(&mut self, _now: SimTime, candidates: &[EventInfo]) -> usize {
+            assert!(!candidates.is_empty());
+            0
+        }
+    }
+
+    #[test]
+    fn pop_policy_can_reorder_events_within_window() {
+        let mut sim = Sim::new(1, ());
+        let log: Log = Rc::default();
+        sim.schedule_at(SimTime::from_nanos(10), log_event(&log, "a"));
+        sim.schedule_at(SimTime::from_nanos(20), log_event(&log, "b"));
+        // Outside the 15 ns window of event "a": not a candidate with it.
+        sim.schedule_at(SimTime::from_nanos(1000), log_event(&log, "c"));
+        sim.set_pop_policy(Box::new(PickLast {
+            window: SimDuration::from_nanos(15),
+        }));
+        sim.run_to_completion(100);
+        // "b" runs first (deferred "a" executes late, at b's clock), "c" last.
+        assert_eq!(*log.borrow(), vec![(20, "b"), (20, "a"), (1000, "c")]);
+    }
+
+    #[test]
+    fn pop_policy_choosing_default_matches_plain_order() {
+        fn run(policy: bool) -> Vec<(u64, &'static str)> {
+            let mut sim = Sim::new(7, ());
+            let log: Log = Rc::default();
+            for (i, label) in ["a", "b", "c", "d"].iter().enumerate() {
+                sim.schedule_at(SimTime::from_nanos(3 * i as u64), log_event(&log, label));
+            }
+            if policy {
+                sim.set_pop_policy(Box::new(PickFirst));
+            }
+            sim.run_to_completion(100);
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn pop_policy_skips_cancelled_candidates() {
+        let mut sim = Sim::new(1, 0u32);
+        let token = sim.schedule_cancellable_at(SimTime::from_nanos(10), |sim| sim.world += 1);
+        sim.schedule_at(SimTime::from_nanos(11), |sim| sim.world += 10);
+        token.cancel();
+        sim.set_pop_policy(Box::new(PickLast {
+            window: SimDuration::from_nanos(100),
+        }));
+        sim.run_to_completion(10);
+        assert_eq!(sim.world, 10);
+        assert_eq!(sim.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn clearing_pop_policy_runs_deferred_events_without_clock_regression() {
+        let mut sim = Sim::new(1, ());
+        let log: Log = Rc::default();
+        sim.schedule_at(SimTime::from_nanos(10), log_event(&log, "a"));
+        sim.schedule_at(SimTime::from_nanos(20), log_event(&log, "b"));
+        sim.set_pop_policy(Box::new(PickLast {
+            window: SimDuration::from_nanos(50),
+        }));
+        // One explored step: runs "b", defers "a".
+        assert!(sim.step());
+        sim.clear_pop_policy();
+        sim.run_to_completion(10);
+        // Deferred "a" runs late, at the clock "b" advanced to.
+        assert_eq!(*log.borrow(), vec![(20, "b"), (20, "a")]);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
     }
 }

@@ -1,0 +1,32 @@
+//! The AReplica control plane.
+//!
+//! The data plane ([`areplica_core`]) moves bytes for one tenant at a
+//! time; this crate owns everything *about* tenants:
+//!
+//! * [`registry`] — the deterministic tenant registry: identity, SLO,
+//!   region set, FaaS-concurrency quota, pricing account. Stored in a
+//!   `BTreeMap`, so iteration (and thus any provisioning loop driven off
+//!   it) is ordered and independent of registration order.
+//! * [`admission`] — per-tenant token-bucket admission control over
+//!   *simulated* time, producing deterministic admit/queue/reject
+//!   decisions with no randomness.
+//! * [`fleet`] — the fleet supervisor: per-tenant watchdog/janitor
+//!   cadences and the activity ledger the core's fleet services record
+//!   into.
+//!
+//! Layering rule (enforced by xlint): this crate reaches backends only
+//! through `areplica_core::backend` traits — it must never depend on
+//! `cloudsim`, and `areplica-core` must never depend on this crate. The
+//! seam between the two planes is [`areplica_core::tenant::TenantCtx`],
+//! which [`TenantRegistry::tenant_ctx`] manufactures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod fleet;
+pub mod registry;
+
+pub use admission::{AdmissionConfig, TokenBucket};
+pub use fleet::FleetSupervisor;
+pub use registry::{TenantRegistry, TenantSpec};

@@ -704,4 +704,19 @@ impl<B: Backend> Backend for Faulty<B> {
     fn tracer(&mut self) -> &mut simtrace::Tracer {
         self.inner.tracer()
     }
+
+    // Tenancy hooks forward explicitly: the trait defaults are no-ops, and
+    // silently dropping scope here would detach the inner backend's cost and
+    // quota attribution from the tenant issuing the operations.
+    fn set_tenant_scope(&mut self, tenant: Option<Rc<str>>) {
+        self.inner.set_tenant_scope(tenant);
+    }
+
+    fn tenant_scope(&self) -> Option<Rc<str>> {
+        self.inner.tenant_scope()
+    }
+
+    fn set_tenant_concurrency_limit(&mut self, tenant: &str, limit: Option<u32>) {
+        self.inner.set_tenant_concurrency_limit(tenant, limit);
+    }
 }

@@ -353,4 +353,28 @@ pub trait Backend: Clock + RngSource + ObjectStore + KvStore + FunctionRuntime +
     /// perturb results. Instrumentation sites guard tag construction on
     /// [`simtrace::Tracer::enabled`].
     fn tracer(&mut self) -> &mut simtrace::Tracer;
+
+    /// Sets the ambient tenant scope: subsequent operations (and the
+    /// continuations they schedule) are attributed to this tenant — cost
+    /// ledger entries, per-tenant RNG streams, FaaS concurrency accounting,
+    /// and trace tags. `None` is the implicit default tenant, for which
+    /// every tenancy mechanism is a no-op. Backends without multi-tenant
+    /// accounting ignore this.
+    fn set_tenant_scope(&mut self, tenant: Option<Rc<str>>) {
+        let _ = tenant;
+    }
+
+    /// The current ambient tenant scope (`None` on backends without
+    /// multi-tenant accounting, and for the default tenant).
+    fn tenant_scope(&self) -> Option<Rc<str>> {
+        None
+    }
+
+    /// Caps a tenant's simultaneously running function instances across all
+    /// regions, beneath the shared per-region platform limits. `None`
+    /// removes the cap. Backends without multi-tenant accounting ignore
+    /// this.
+    fn set_tenant_concurrency_limit(&mut self, tenant: &str, limit: Option<u32>) {
+        let _ = (tenant, limit);
+    }
 }

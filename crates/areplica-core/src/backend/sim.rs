@@ -24,6 +24,8 @@
 //! assert_eq!(service.metrics().completions.len(), 1);
 //! ```
 
+use std::rc::Rc;
+
 use cloudapi::clouddb::Item;
 use cloudapi::faas::{FailureReason, FnHandle, FnSpec, InvocationId, RetryPolicy};
 use cloudapi::objstore::{Content, ETag, ObjectStat, PutApplied, StoreError};
@@ -55,7 +57,11 @@ impl Clock for CloudSim {
     }
 
     fn schedule_in(&mut self, delay: SimDuration, cb: impl FnOnce(&mut Self) + 'static) {
-        Sim::schedule_in(self, delay, cb);
+        // Core-scheduled continuations (watchdog checks, admission
+        // re-queues, setup delays) run on behalf of the tenant that
+        // scheduled them: capture the ambient scope and re-establish it
+        // when the event fires. A no-op for the default tenant.
+        world::schedule_scoped(self, delay, cb);
     }
 
     fn step(&mut self) -> bool {
@@ -352,6 +358,18 @@ impl Backend for CloudSim {
 
     fn tracer(&mut self) -> &mut simtrace::Tracer {
         &mut self.world.trace
+    }
+
+    fn set_tenant_scope(&mut self, tenant: Option<Rc<str>>) {
+        self.world.set_tenant_scope(tenant);
+    }
+
+    fn tenant_scope(&self) -> Option<Rc<str>> {
+        self.world.tenant_scope()
+    }
+
+    fn set_tenant_concurrency_limit(&mut self, tenant: &str, limit: Option<u32>) {
+        self.world.faas.set_tenant_limit(tenant, limit);
     }
 }
 

@@ -38,8 +38,10 @@ use simtrace::{names, SpanId};
 
 use crate::backend::{Backend, Exec, FnBody};
 use crate::config::{EngineConfig, SchedulingMode};
+use crate::fleet::{self, TaskWatch};
 use crate::model::ExecSide;
 use crate::planner::Plan;
+use crate::tenant::TenantCtx;
 
 /// The DB table holding distributed-task state (part pools).
 pub const TASK_TABLE: &str = "areplica_tasks";
@@ -145,6 +147,7 @@ struct TaskCtx<B: Backend> {
     done: Cell<bool>,
     stats: Rc<RefCell<Vec<ReplicatorStat>>>,
     span: SpanId,
+    tenant: TenantCtx,
 }
 
 impl<B: Backend> TaskCtx<B> {
@@ -200,15 +203,49 @@ pub fn execute<B: Backend>(
     on_done: OnDone<B>,
     on_dispatched: OnDispatched<B>,
 ) {
+    execute_for(
+        sim,
+        TenantCtx::default_tenant(),
+        cfg,
+        task,
+        plan,
+        orch,
+        on_done,
+        on_dispatched,
+    );
+}
+
+/// [`execute`] on behalf of a specific tenant: the backend's ambient tenant
+/// scope is established for the task (attributing FaaS concurrency, cost,
+/// and per-tenant RNG streams), and the tenant's fleet cadence governs the
+/// task's watchdog and janitor. With the default tenant this is exactly
+/// [`execute`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_for<B: Backend>(
+    sim: &mut B,
+    tenant: TenantCtx,
+    cfg: EngineConfig,
+    task: TaskSpec,
+    plan: Plan,
+    orch: Option<FnHandle>,
+    on_done: OnDone<B>,
+    on_dispatched: OnDispatched<B>,
+) {
+    if !tenant.is_default() {
+        sim.set_tenant_scope(tenant.tenant_id());
+    }
     let exec_region = plan.side.region(task.src_region, task.dst_region);
     let span = if sim.tracer().enabled() {
         let now = sim.now();
-        let tags = vec![
+        let mut tags = vec![
             ("key", task.key.clone()),
             ("n", plan.n.to_string()),
             ("side", format!("{:?}", plan.side)),
             ("local", plan.local.to_string()),
         ];
+        if let Some(id) = tenant.id() {
+            tags.push(("tenant", id.to_string()));
+        }
         sim.tracer().span_begin(now, names::ENGINE_EXECUTE, tags)
     } else {
         SpanId::NULL
@@ -222,6 +259,7 @@ pub fn execute<B: Backend>(
         done: Cell::new(false),
         stats: Rc::new(RefCell::new(Vec::new())),
         span,
+        tenant,
     });
 
     if plan.local {
@@ -794,11 +832,11 @@ fn start_distributed<B: Backend>(
                             .ok();
                     }
                     // 3. Invoke the replicators, pipelined at I per call;
-                    //    the orchestrator is then done. A platform-side
-                    //    watchdog rescues crash-stalled pools.
+                    //    the orchestrator is then done. The fleet watchdog
+                    //    rescues crash-stalled pools.
                     invoke_replicators(sim, ctx3.clone(), adopted, num_parts);
                     if scheduling == SchedulingMode::PartGranularity {
-                        schedule_watchdog(sim, ctx3, adopted, 0);
+                        register_fleet_watch(sim, ctx3, adopted);
                     }
                     on_dispatched(sim);
                 },
@@ -1223,99 +1261,54 @@ fn conclude_aborted<B: Backend>(
     }
     sim.abort_multipart_now(ctx.task.dst_region, upload_id).ok();
     ctx.finish_once(sim, status);
-    schedule_aborted_pool_cleanup(
+    // The fleet janitor deletes the tombstone after the tenant's TTL.
+    //
+    // Found by simcheck (see EXPERIMENTS.md): aborted pools were terminal
+    // but never deleted — `{aborted: true}` rows accumulated in
+    // `areplica_tasks` forever, one per aborted distributed task. The
+    // delete is guarded on `aborted` so it can never reap a live pool;
+    // reaping also aborts any orphan uploads losing adopters recorded in
+    // the tombstone (see [`adopt_tx`]).
+    let dst_region = ctx.task.dst_region;
+    fleet::schedule_tombstone_cleanup(
         sim,
+        ctx.tenant.fleet_cadence,
+        ctx.tenant.fleet.clone(),
+        ctx.tenant.tenant_id(),
         ctx.exec_region,
-        ctx.task.dst_region,
+        TASK_TABLE,
         ctx.task.task_id(),
-    );
-}
-
-/// How long an aborted pool's tombstone outlives the abort before a janitor
-/// deletes it. Comfortably beyond any straggler replicator's lifetime (the
-/// longest per-cloud function timeout is 1800 s, plus retry backoffs), so
-/// every late claim still observes the `Aborted` terminal state before the
-/// row disappears.
-const ABORTED_POOL_TTL: SimDuration = SimDuration::from_secs(3 * 1800);
-
-/// Deletes an aborted task's tombstone after [`ABORTED_POOL_TTL`].
-///
-/// Found by simcheck (see EXPERIMENTS.md): aborted pools were terminal but
-/// never deleted — `{aborted: true}` rows accumulated in `areplica_tasks`
-/// forever, one per aborted distributed task. The first aborter now
-/// schedules this deferred janitor delete, mirroring the TTL-based cleanup a
-/// production deployment would configure on the task table (TTL reaping is a
-/// free background process, so it goes through [`Backend::db_ttl_expire`]
-/// rather than the metered request path). The delete is guarded on `aborted`
-/// so it can never reap a live pool. Deleting the tombstone also aborts any
-/// orphan uploads losing adopters recorded in it (see [`adopt_tx`]).
-fn schedule_aborted_pool_cleanup<B: Backend>(
-    sim: &mut B,
-    db_region: RegionId,
-    dst_region: RegionId,
-    task_id: String,
-) {
-    sim.schedule_in(ABORTED_POOL_TTL, move |sim| {
-        let expired = sim.db_ttl_expire(db_region, TASK_TABLE, &task_id, |item| {
-            item.get("aborted").and_then(Value::as_bool) == Some(true)
-        });
-        if let Some(item) = expired {
+        |item| item.get("aborted").and_then(Value::as_bool) == Some(true),
+        move |sim: &mut B, item| {
             for orphan in recorded_orphans(&item) {
                 sim.abort_multipart_now(dst_region, orphan).ok();
             }
-        }
-    });
+        },
+    );
 }
 
-/// How often the platform-side watchdog inspects a distributed task.
-const WATCHDOG_INTERVAL: SimDuration = SimDuration::from_secs(90);
-
-/// Maximum watchdog inspections before giving up (bounds runaway tasks).
-const WATCHDOG_MAX_CHECKS: u32 = 40;
-
-/// Schedules the next watchdog inspection for a distributed task.
-///
-/// The watchdog models the dead-letter/janitor machinery a production
-/// deployment runs beside the engine: if every replicator (and its platform
-/// retries) died while holding part leases, the pool stalls with live-looking
-/// leases that nobody will ever re-claim. The watchdog notices a pool that
-/// still exists after a full lease window and invokes one rescue replicator,
-/// whose claim loop picks up the stale parts.
-fn schedule_watchdog<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, checks: u32) {
-    sim.schedule_in(WATCHDOG_INTERVAL, move |sim| {
-        watchdog_check(sim, ctx, upload_id, checks);
-    });
-}
-
-fn watchdog_check<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64, checks: u32) {
-    if ctx.done.get() || checks >= WATCHDOG_MAX_CHECKS {
-        return;
-    }
-    let db_region = ctx.exec_region;
-    let task_id = ctx.task.task_id();
-    let exec = Exec::Platform {
-        region: db_region,
-        mbps: 1000.0,
-    };
-    let ctx2 = ctx.clone();
-    sim.db_get(
-        exec,
-        db_region,
-        TASK_TABLE.into(),
-        task_id,
-        move |sim, item| {
-            // Any surviving pool row while this context is unconcluded is a
-            // stall — including an `aborted` tombstone: treating aborted as
-            // "a peer is concluding" lost the task forever when the first
-            // aborter crashed after its transaction committed (found by
-            // simcheck, see EXPERIMENTS.md). The rescuer's claim loop maps
-            // the tombstone to its recorded terminal status and re-runs the
-            // idempotent conclusion.
-            let stalled = item.is_some();
-            if stalled && !ctx2.done.get() {
-                invoke_rescue_replicator(sim, ctx2.clone(), upload_id);
-                schedule_watchdog(sim, ctx2, upload_id, checks + 1);
-            }
+/// Registers a distributed task with the fleet watchdog
+/// ([`fleet::watch_task`]): on each stalled inspection the fleet runs this
+/// task's rescue — one extra replicator whose claim loop drains stale
+/// leases and re-runs the idempotent conclusion.
+fn register_fleet_watch<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload_id: u64) {
+    let cadence = ctx.tenant.fleet_cadence;
+    let ledger = ctx.tenant.fleet.clone();
+    let done = ctx.clone();
+    let rescuer = ctx.clone();
+    fleet::watch_task(
+        sim,
+        cadence,
+        ledger,
+        TaskWatch {
+            tenant: ctx.tenant.tenant_id(),
+            db_region: ctx.exec_region,
+            table: TASK_TABLE,
+            task_id: ctx.task.task_id(),
+            concluded: Rc::new(move || done.done.get()),
+            rescue: Rc::new(move |sim: &mut B| {
+                invoke_rescue_replicator(sim, rescuer.clone(), upload_id);
+            }),
         },
     );
 }

@@ -31,6 +31,7 @@ pub mod batching;
 pub mod changelog;
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod lock;
 pub mod logger;
 pub mod metrics;
@@ -39,11 +40,13 @@ pub mod overlay;
 pub mod planner;
 pub mod profiler;
 pub mod service;
+pub mod tenant;
 
 #[cfg(feature = "cloudsim")]
 pub use backend::sim::build_model_for;
 pub use backend::{Backend, Clock, Exec, FunctionRuntime, KvStore, ObjectStore, RngSource};
 pub use config::{EngineConfig, ReplicationRule, SchedulingMode};
+pub use fleet::{FleetCadence, FleetHandle, FleetLedger, FleetStats};
 pub use logger::{ObserveOutcome, OnlineLogger};
 pub use metrics::{CompletionRecord, Metrics};
 pub use model::{ExecSide, PathKey, PerfModel};
@@ -51,3 +54,4 @@ pub use overlay::{generate_routed_plan, RelayPlan, RoutedPlan};
 pub use planner::{generate_plan, generate_plan_with_caps, Plan, SideCaps};
 pub use profiler::{ProfileError, ProfilerConfig};
 pub use service::{AReplica, AReplicaBuilder};
+pub use tenant::{AdmissionDecision, AdmissionHandle, AdmissionPolicy, TenantCtx, TenantId};

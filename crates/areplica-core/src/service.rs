@@ -40,6 +40,7 @@ use crate::metrics::{CompletionRecord, Metrics};
 use crate::model::{PathKey, PerfModel};
 use crate::planner::{self, Plan};
 use crate::profiler::{self, ProfilerConfig};
+use crate::tenant::{AdmissionDecision, TenantCtx};
 
 /// Mutable service state shared by every event closure.
 pub struct ServiceState {
@@ -55,6 +56,9 @@ pub struct ServiceState {
     pub batchers: Vec<Batcher>,
     /// Online model updater.
     pub logger: OnlineLogger,
+    /// The tenant this service instance replicates for (the implicit
+    /// default tenant unless the control plane supplied one).
+    pub tenant: TenantCtx,
 }
 
 type St = Rc<RefCell<ServiceState>>;
@@ -71,6 +75,7 @@ pub struct AReplicaBuilder {
     cfg: EngineConfig,
     model: Option<PerfModel>,
     profiler_cfg: ProfilerConfig,
+    tenant: TenantCtx,
 }
 
 impl AReplicaBuilder {
@@ -103,6 +108,17 @@ impl AReplicaBuilder {
         self
     }
 
+    /// Deploys the service for a specific tenant (control-plane path): the
+    /// tenant's quota caps engine parallelism and backend FaaS concurrency,
+    /// its SLO overrides rule SLOs for planning, its admission policy gates
+    /// incoming events, and its fleet cadence governs watchdog/janitor
+    /// services. Without this the service runs as the implicit default
+    /// tenant and behaves exactly as before tenancy existed.
+    pub fn tenant(mut self, tenant: TenantCtx) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// Profiles (if needed), creates buckets, subscribes notifications, and
     /// returns the running service.
     pub fn install<B: Backend>(mut self, sim: &mut B) -> AReplica {
@@ -121,6 +137,14 @@ impl AReplicaBuilder {
         });
         self.profiler_cfg.chunk_size = self.cfg.part_size;
 
+        // Tenant quota caps the engine's parallelism and registers the
+        // backend-side FaaS concurrency limit. No-ops for the default
+        // tenant (no id, no quota).
+        if let (Some(id), Some(limit)) = (self.tenant.id(), self.tenant.faas_concurrency) {
+            self.cfg.max_parallelism = self.cfg.max_parallelism.min(limit);
+            sim.set_tenant_concurrency_limit(id, Some(limit));
+        }
+
         let n_rules = self.rules.len();
         let state: St = Rc::new(RefCell::new(ServiceState {
             rules: self.rules,
@@ -129,6 +153,7 @@ impl AReplicaBuilder {
             metrics: Metrics::default(),
             batchers: (0..n_rules).map(|_| Batcher::new()).collect(),
             logger: OnlineLogger::new(),
+            tenant: self.tenant,
         }));
 
         for rule_idx in 0..n_rules {
@@ -191,6 +216,43 @@ fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectE
         trigger_delete(sim, st, rule_idx, ev.key, ev.etag, ev.seq);
         return;
     }
+    // Tenant admission control: the control plane's token bucket decides
+    // whether this event is processed now, after a deterministic queueing
+    // delay (capacity already reserved — no re-check on fire), or dropped.
+    // The default tenant has no policy and goes straight through.
+    let decision = {
+        let s = st.borrow();
+        s.tenant.admission.as_ref().map(|p| (p.clone(), sim.now()))
+    };
+    if let Some((policy, now)) = decision {
+        match policy.borrow_mut().admit(now, ev.size) {
+            AdmissionDecision::Admit => {}
+            AdmissionDecision::Queue(delay) => {
+                {
+                    let mut s = st.borrow_mut();
+                    s.metrics.admission_queued += 1;
+                    let name = s.tenant.metric("service.admission_queued");
+                    sim.tracer().counter_add(&name, 1);
+                }
+                let st2 = st.clone();
+                sim.schedule_in(delay, move |sim| {
+                    process_object_event(sim, st2, rule_idx, ev);
+                });
+                return;
+            }
+            AdmissionDecision::Reject => {
+                let mut s = st.borrow_mut();
+                s.metrics.admission_rejected += 1;
+                let name = s.tenant.metric("service.admission_rejected");
+                sim.tracer().counter_add(&name, 1);
+                return;
+            }
+        }
+    }
+    process_object_event(sim, st, rule_idx, ev);
+}
+
+fn process_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectEvent) {
     // SLO-bounded batching (Algorithm 4).
     let decision = {
         let mut s = st.borrow_mut();
@@ -330,18 +392,27 @@ fn trigger_replication<B: Backend>(
     // the replication delay the metrics account (trace-vs-metrics
     // cross-checks rely on this).
     let span = if sim.tracer().enabled() {
-        let tags = vec![
+        let mut tags = vec![
             ("rule", rule_idx.to_string()),
             ("key", key.clone()),
             ("etag", format!("{:016x}", etag.0)),
             ("size", size.to_string()),
             ("event_time_ns", event_time.as_nanos().to_string()),
         ];
+        if let Some(id) = st.borrow().tenant.id() {
+            tags.push(("tenant", id.to_string()));
+        }
         sim.tracer().span_begin(event_time, names::TASK, tags)
     } else {
         SpanId::NULL
     };
     sim.tracer().counter_add("service.tasks", 1);
+    // Per-tenant metrics scope (absent for the default tenant, keeping the
+    // default metric registry byte-identical).
+    if !st.borrow().tenant.is_default() {
+        let name = st.borrow().tenant.metric("service.tasks");
+        sim.tracer().counter_add(&name, 1);
+    }
     let spec = sim.default_fn_spec(src_region);
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         orchestrate(
@@ -574,6 +645,8 @@ fn plan_and_execute<B: Backend>(
             size,
             event_time,
         };
+        // A per-tenant SLO (control-plane registry) overrides the rule's.
+        let rule_slo = s.tenant.slo.or(rule_slo);
         // Remaining SLO budget, net of the already-elapsed notification
         // stage: SLO_rep = SLO - (now - event_time).
         let slo_rep = rule_slo.map(|slo| {
@@ -655,8 +728,10 @@ fn plan_and_execute<B: Backend>(
     // the end of the transfer for local plans, or once the replicators are
     // dispatched otherwise.
     let release_handle = handle;
-    engine::execute(
+    let tenant = st.borrow().tenant.clone();
+    engine::execute_for(
         sim,
+        tenant,
         cfg,
         task,
         plan,

@@ -47,4 +47,5 @@ fn main() {
     run("fig22_batching", &ex::fig22_batching::run);
     run("fig23_trace_replay", &ex::fig23_trace_replay::run);
     run("ablation_part_size", &ex::ablation_part_size::run);
+    run("multi_tenant", &ex::multi_tenant::run);
 }

@@ -1,0 +1,5 @@
+//! Regenerates the multi-tenant fairness / cost-attribution report.
+fn main() {
+    let report = bench::experiments::multi_tenant::run();
+    bench::write_report("multi_tenant", &report);
+}

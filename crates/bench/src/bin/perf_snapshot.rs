@@ -1,0 +1,68 @@
+//! Seeds the ROADMAP item-4 perf trajectory: one `BENCH_<pr>.json` per PR
+//! recording (a) raw event throughput through `simkernel` and (b) wall-clock
+//! for a fixed-scale fig17 run. CI and future PRs compare successive files to
+//! catch hot-path regressions.
+//!
+//! Wall-clock numbers here are machine-dependent by nature; the file records
+//! a trajectory on the CI fleet, not a portable benchmark. Simulated outputs
+//! (`results/*.txt`) stay wall-clock-free — see `bench::WallTimer`.
+
+use bench::WallTimer;
+use simkernel::{Sim, SimDuration};
+
+/// Events pushed through the bare kernel for the throughput figure.
+const KERNEL_EVENTS: u64 = 2_000_000;
+
+/// Measures raw simkernel dispatch throughput: a self-rescheduling chain with
+/// a small fan-out, so the heap sees both pop-and-push churn and bursts.
+fn kernel_events_per_sec() -> (u64, f64) {
+    let mut sim: Sim<u64> = Sim::new(0x6001, 0);
+    fn tick(sim: &mut Sim<u64>) {
+        sim.world += 1;
+        if sim.world >= KERNEL_EVENTS {
+            return;
+        }
+        sim.schedule_in(SimDuration::from_micros(7), tick);
+        if sim.world.is_multiple_of(16) {
+            for i in 0..4 {
+                sim.schedule_in(SimDuration::from_micros(2 + i), |sim| sim.world += 1);
+            }
+        }
+    }
+    sim.schedule_in(SimDuration::ZERO, tick);
+    let timer = WallTimer::start();
+    sim.run_to_completion(u64::MAX);
+    let secs = timer.elapsed_secs();
+    (sim.stats().executed, secs)
+}
+
+fn main() {
+    // Pin the experiment scale so successive snapshots time identical work
+    // regardless of the caller's environment.
+    std::env::set_var("AREPLICA_SCALE", "1");
+    std::env::remove_var("AREPLICA_SEED");
+
+    let (kernel_events, kernel_secs) = kernel_events_per_sec();
+    let kernel_eps = kernel_events as f64 / kernel_secs;
+
+    let timer = WallTimer::start();
+    let report = bench::experiments::fig17_scheduling::run();
+    let fig17_secs = timer.elapsed_secs();
+    assert!(
+        report.contains("part"),
+        "fig17 run produced an unexpected report"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"pr\": 6,\n  \"kernel_events\": {kernel_events},\n  \
+         \"kernel_wall_secs\": {kernel_secs:.4},\n  \
+         \"kernel_events_per_sec\": {kernel_eps:.0},\n  \
+         \"fig17_scale\": 1.0,\n  \"fig17_wall_secs\": {fig17_secs:.3}\n}}\n"
+    );
+    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+    std::fs::write(&out, &json).expect("write perf snapshot");
+    // xlint::allow(no-adhoc-stderr, designated sink: echoes the committed BENCH_<pr>.json, never in results)
+    println!("{json}");
+    // xlint::allow(no-adhoc-stderr, designated sink: operator-facing progress line, never in results)
+    eprintln!("[saved {out}]");
+}

@@ -1,7 +1,8 @@
 //! The workspace's single sanctioned wall-clock site.
 //!
 //! Experiments are timed for *operator progress reporting only* — elapsed
-//! wall time is printed to stderr and never reaches a report or a
+//! wall time is printed to stderr or recorded in the `BENCH_<pr>.json` perf
+//! trajectory (see the `perf_snapshot` bin) and never reaches a report or a
 //! `results/*.txt` file, so it cannot perturb replay determinism. Every
 //! other crate must use the `Clock` backend trait / simkernel virtual time;
 //! `xlint`'s `no-wall-clock` rule enforces that, and this helper carries

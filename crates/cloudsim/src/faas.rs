@@ -44,6 +44,10 @@ struct Instance {
     exec: Option<ExecState>,
     /// Bumped on every reuse; guards warm-expiry races.
     use_count: u64,
+    /// Tenant the instance belongs to (`None` = the implicit default
+    /// tenant). Warm reuse never crosses tenants, so one tenant's warm pool
+    /// cannot change another tenant's cold/warm pattern.
+    tenant: Option<Rc<str>>,
 }
 
 struct Pending {
@@ -52,6 +56,8 @@ struct Pending {
     body: FnBody,
     attempt: u32,
     policy: RetryPolicy,
+    /// Captured from the ambient tenant scope at invoke time.
+    tenant: Option<Rc<str>>,
 }
 
 #[derive(Default)]
@@ -61,11 +67,28 @@ struct RegionFaas {
     queued: VecDeque<Pending>,
 }
 
+/// Per-tenant FaaS concurrency accounting on the shared regional quota.
+#[derive(Default)]
+struct TenantFaas {
+    /// Concurrency quota across all regions (`None` = unlimited).
+    limit: Option<u32>,
+    /// Instances currently reserved or executing for the tenant.
+    active: u32,
+    /// High-water mark of `active` (the quota-conformance oracle's input).
+    peak: u32,
+    /// Invocations deferred because the tenant was at its quota.
+    throttled: u64,
+    /// Invocations waiting for a tenant slot (admitted before the regional
+    /// queue: a quota is a promise about the tenant, not the region).
+    queued: VecDeque<(RegionId, Pending)>,
+}
+
 /// The multi-region function runtime.
 #[derive(Default)]
 pub struct FaasRuntime {
     regions: BTreeMap<RegionId, RegionFaas>,
     instances: BTreeMap<InstanceId, Instance>,
+    tenants: BTreeMap<Rc<str>, TenantFaas>,
     next_instance: u64,
     next_invocation: u64,
     /// Dead-letter queue (inspectable by tests and experiments).
@@ -127,6 +150,42 @@ impl FaasRuntime {
     pub fn warm_in(&self, region: RegionId) -> usize {
         self.regions.get(&region).map_or(0, |r| r.warm.len())
     }
+
+    /// Sets (or clears) a tenant's cross-region FaaS concurrency quota.
+    pub fn set_tenant_limit(&mut self, tenant: &str, limit: Option<u32>) {
+        self.tenants.entry(Rc::from(tenant)).or_default().limit = limit;
+    }
+
+    /// A tenant's currently active instance count.
+    pub fn tenant_active(&self, tenant: &str) -> u32 {
+        self.tenants.get(tenant).map_or(0, |t| t.active)
+    }
+
+    /// High-water mark of a tenant's concurrent instances over the run.
+    pub fn tenant_peak(&self, tenant: &str) -> u32 {
+        self.tenants.get(tenant).map_or(0, |t| t.peak)
+    }
+
+    /// Invocations the tenant's quota deferred so far.
+    pub fn tenant_throttled(&self, tenant: &str) -> u64 {
+        self.tenants.get(tenant).map_or(0, |t| t.throttled)
+    }
+
+    fn acquire(&mut self, tenant: &Option<Rc<str>>) {
+        if let Some(t) = tenant {
+            let ta = self.tenants.entry(t.clone()).or_default();
+            ta.active += 1;
+            ta.peak = ta.peak.max(ta.active);
+        }
+    }
+
+    fn release(&mut self, tenant: &Option<Rc<str>>) {
+        if let Some(t) = tenant {
+            if let Some(ta) = self.tenants.get_mut(t) {
+                ta.active = ta.active.saturating_sub(1);
+            }
+        }
+    }
 }
 
 /// The default spec for a region (the evaluation's per-cloud configuration).
@@ -179,13 +238,18 @@ pub fn invoke_after(
         let d = world.params.cloud(cloud).invoke_latency.clone();
         SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
     };
+    let tenant = world.tenant_scope();
     if world.trace.enabled() {
         let label = world.regions.label(region);
+        let mut tags = vec![("region", label)];
+        if let Some(t) = &tenant {
+            tags.push(("tenant", t.to_string()));
+        }
         world.trace.span_complete(
             now + delay,
             api_latency,
             simtrace::names::FAAS_INVOKE_API,
-            vec![("region", label)],
+            tags,
         );
         world.trace.counter_add("faas.invocations", 1);
     }
@@ -195,6 +259,7 @@ pub fn invoke_after(
         body,
         attempt: 0,
         policy,
+        tenant,
     };
     sim.schedule_in(delay + api_latency, move |sim| {
         accept(sim, region, pending);
@@ -205,6 +270,7 @@ pub fn invoke_after(
 fn accept(sim: &mut CloudSim, region: RegionId, pending: Pending) {
     let now = sim.now();
     let world = &mut sim.world;
+    world.set_tenant_scope(pending.tenant.clone());
     world.faas.stats.attempts += 1;
 
     // Prune expired warm instances.
@@ -229,19 +295,50 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
     let limit = sim.world.params.cloud(cloud).concurrency_limit;
 
     let world = &mut sim.world;
+    world.set_tenant_scope(pending.tenant.clone());
+
+    // Tenant quota gate — checked before warm reuse, because the quota caps
+    // the tenant's concurrency regardless of where the instance comes from
+    // (warm reuse bypasses only the *regional* limit, matching platforms).
+    if let Some(t) = pending.tenant.clone() {
+        let ta = world.faas.tenants.entry(t.clone()).or_default();
+        if let Some(lim) = ta.limit {
+            if ta.active >= lim {
+                ta.throttled += 1;
+                world.faas.stats.throttled += 1;
+                if world.trace.enabled() {
+                    let label = world.regions.label(region);
+                    world.trace.instant(
+                        now,
+                        "faas.tenant_throttled",
+                        vec![("region", label), ("tenant", t.to_string())],
+                    );
+                    world
+                        .trace
+                        .counter_add(&simtrace::scoped(&t, "faas.throttled"), 1);
+                }
+                let ta = world.faas.tenants.entry(t).or_default();
+                ta.queued.push_back((region, pending));
+                return;
+            }
+        }
+    }
+
+    let world = &mut sim.world;
     let rf = world.faas.regions.entry(region).or_default();
 
     // Warm reuse: LIFO keeps recently used instances hot, matching real
-    // platforms' placement preference.
+    // platforms' placement preference. Reuse never crosses tenants.
     if let Some(pos) = rf.warm.iter().rposition(|(id, _)| {
         world
             .faas
             .instances
             .get(id)
-            .is_some_and(|i| i.spec.config == pending.spec.config)
+            .is_some_and(|i| i.spec.config == pending.spec.config && i.tenant == pending.tenant)
     }) {
         let (instance, _) = rf.warm.remove(pos);
         rf.active += 1;
+        world.faas.acquire(&pending.tenant);
         world.faas.stats.warm_starts += 1;
         if world.trace.enabled() {
             let label = world.regions.label(region);
@@ -256,6 +353,7 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
 
     if rf.active < limit {
         rf.active += 1;
+        world.faas.acquire(&pending.tenant);
         world.faas.stats.cold_starts += 1;
         world.faas.next_instance += 1;
         let instance = InstanceId(world.faas.next_instance);
@@ -271,6 +369,7 @@ fn try_start(sim: &mut CloudSim, region: RegionId, pending: Pending) {
                 speed_factor,
                 exec: None,
                 use_count: 0,
+                tenant: pending.tenant.clone(),
             },
         );
         // Scale-out batching: new instances only materialize on the
@@ -331,6 +430,8 @@ fn exec_begin(sim: &mut CloudSim, region: RegionId, instance: InstanceId, pendin
     let now = sim.now();
     let deadline = now + pending.spec.timeout;
     let invocation = pending.invocation;
+    // The body's operations are attributed to the invocation's tenant.
+    sim.world.set_tenant_scope(pending.tenant.clone());
     {
         let inst = sim
             .world
@@ -358,6 +459,7 @@ fn exec_begin(sim: &mut CloudSim, region: RegionId, instance: InstanceId, pendin
             pending.attempt,
             pending.policy,
             pending.spec,
+            pending.tenant.clone(),
         ),
     );
 
@@ -411,6 +513,16 @@ pub fn finish(sim: &mut CloudSim, handle: FnHandle) {
     if !sim.world.faas.is_live(handle) {
         return;
     }
+    let tenant = sim
+        .world
+        .faas
+        .instances
+        .get(&handle.instance)
+        .and_then(|i| i.tenant.clone());
+    // Billing (and any follow-on work) is attributed to the instance's
+    // tenant — this covers completions delivered outside the body's own
+    // causal chain.
+    sim.world.set_tenant_scope(tenant.clone());
     bill_execution(sim, handle);
     sim.world.faas_retry_contexts.remove(&handle.invocation);
     let now = sim.now();
@@ -432,6 +544,7 @@ pub fn finish(sim: &mut CloudSim, handle: FnHandle) {
         rf.active -= 1;
         rf.warm.push((handle.instance, expires_at));
     }
+    sim.world.faas.release(&tenant);
     // Reclaim the warm slot when it expires unused.
     let instance = handle.instance;
     let region = handle.region;
@@ -449,6 +562,7 @@ pub fn finish(sim: &mut CloudSim, handle: FnHandle) {
             }
         }
     });
+    dequeue_tenant(sim, &tenant);
     dequeue_next(sim, handle.region);
 }
 
@@ -458,6 +572,13 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
     if !sim.world.faas.is_live(handle) {
         return;
     }
+    let tenant = sim
+        .world
+        .faas
+        .instances
+        .get(&handle.instance)
+        .and_then(|i| i.tenant.clone());
+    sim.world.set_tenant_scope(tenant.clone());
     bill_execution(sim, handle);
     if reason == FailureReason::Crash {
         sim.world.faas.stats.crashes += 1;
@@ -467,9 +588,10 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
     if let Some(rf) = sim.world.faas.regions.get_mut(&handle.region) {
         rf.active -= 1;
     }
+    sim.world.faas.release(&tenant);
 
     let ctx = sim.world.faas_retry_contexts.remove(&handle.invocation);
-    if let Some((body, attempt, policy, spec)) = ctx {
+    if let Some((body, attempt, policy, spec, ctx_tenant)) = ctx {
         if attempt < policy.max_retries {
             sim.world.faas.stats.retries += 1;
             if sim.world.trace.enabled() {
@@ -495,6 +617,7 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
                     body,
                     attempt: attempt + 1,
                     policy,
+                    tenant: ctx_tenant,
                 };
                 accept(sim, region, pending);
             });
@@ -519,7 +642,32 @@ pub fn fail(sim: &mut CloudSim, handle: FnHandle, reason: FailureReason) {
             });
         }
     }
+    dequeue_tenant(sim, &tenant);
     dequeue_next(sim, handle.region);
+}
+
+/// Starts a tenant-queued invocation if the tenant is back below its quota.
+/// Checked before the regional queue: a freed slot belongs to the tenant
+/// that held it.
+fn dequeue_tenant(sim: &mut CloudSim, tenant: &Option<Rc<str>>) {
+    let Some(t) = tenant else { return };
+    let next = {
+        let Some(ta) = sim.world.faas.tenants.get_mut(t) else {
+            return;
+        };
+        let below = match ta.limit {
+            Some(lim) => ta.active < lim,
+            None => true,
+        };
+        if below {
+            ta.queued.pop_front()
+        } else {
+            None
+        }
+    };
+    if let Some((region, pending)) = next {
+        try_start(sim, region, pending);
+    }
 }
 
 fn dequeue_next(sim: &mut CloudSim, region: RegionId) {

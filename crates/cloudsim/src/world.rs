@@ -55,6 +55,10 @@ pub enum Executor {
     },
 }
 
+/// Parked state needed to re-invoke a failed function: `(body, attempt,
+/// retry policy, spec, owning tenant)`.
+pub(crate) type RetryContext = (FnBody, u32, RetryPolicy, FnSpec, Option<Rc<str>>);
+
 /// The complete simulated world.
 pub struct World {
     /// Ground-truth performance parameters.
@@ -84,7 +88,25 @@ pub struct World {
     faas_rng: StdRng,
     net_rng: StdRng,
     db_rng: StdRng,
-    pub(crate) faas_retry_contexts: BTreeMap<InvocationId, (FnBody, u32, RetryPolicy, FnSpec)>,
+    pub(crate) faas_retry_contexts: BTreeMap<InvocationId, RetryContext>,
+    /// Master seed, kept so per-tenant RNG streams can be derived lazily.
+    seed: u64,
+    /// The ambient tenant scope: which tenant the operation currently being
+    /// issued is attributed to. `None` is the implicit default tenant — the
+    /// single-tenant path every pre-tenancy experiment runs on, with
+    /// unchanged ledger writes and RNG streams. The timed operation wrappers
+    /// capture the scope at call time and re-establish it when their
+    /// continuations fire, so attribution follows causal chains without the
+    /// core threading a tenant through every callback.
+    tenant_scope: Option<Rc<str>>,
+    /// Per-tenant cost attribution: every `charge` under a tenant scope is
+    /// dual-written here in addition to the global ledger.
+    tenant_ledgers: BTreeMap<Rc<str>, CostLedger>,
+    /// Lazily-derived per-(tenant, stream) RNG streams. Tenants draw from
+    /// their own streams so one tenant's load cannot perturb another
+    /// tenant's sampled latencies — the property that makes a tenant's
+    /// shared-run cost bit-equal to its solo run.
+    tenant_rngs: BTreeMap<(Rc<str>, &'static str), StdRng>,
 }
 
 impl World {
@@ -114,6 +136,10 @@ impl World {
             net_rng: derive_rng(seed, "world:net"),
             db_rng: derive_rng(seed, "world:db"),
             faas_retry_contexts: BTreeMap::new(),
+            seed,
+            tenant_scope: None,
+            tenant_ledgers: BTreeMap::new(),
+            tenant_rngs: BTreeMap::new(),
         }
     }
 
@@ -133,9 +159,38 @@ impl World {
         Sim::new(seed, World::paper(seed))
     }
 
-    /// Records a charge on the ledger.
+    /// Records a charge on the ledger. Under a tenant scope the charge is
+    /// also attributed to that tenant's ledger.
     pub fn charge(&mut self, cloud: Cloud, category: CostCategory, amount: Money) {
+        if let Some(tenant) = &self.tenant_scope {
+            self.tenant_ledgers
+                .entry(tenant.clone())
+                .or_default()
+                .charge(cloud, category, amount);
+        }
         self.ledger.charge(cloud, category, amount);
+    }
+
+    /// The ambient tenant scope (see the field docs).
+    pub fn tenant_scope(&self) -> Option<Rc<str>> {
+        self.tenant_scope.clone()
+    }
+
+    /// Sets the ambient tenant scope. Drivers set it around the external
+    /// events of a tenant (e.g. its `user_put`s); the operation wrappers
+    /// propagate it along causal chains from there.
+    pub fn set_tenant_scope(&mut self, scope: Option<Rc<str>>) {
+        self.tenant_scope = scope;
+    }
+
+    /// A tenant's attributed cost ledger, if it has been charged at all.
+    pub fn tenant_ledger(&self, tenant: &str) -> Option<&CostLedger> {
+        self.tenant_ledgers.get(tenant)
+    }
+
+    /// Tenants with attributed charges, in deterministic order.
+    pub fn tenant_ledgers(&self) -> impl Iterator<Item = (&str, &CostLedger)> {
+        self.tenant_ledgers.iter().map(|(t, l)| (&**t, l))
     }
 
     /// The object store of a region.
@@ -172,19 +227,35 @@ impl World {
         NotificationTarget(self.next_handler)
     }
 
-    /// RNG stream for FaaS timing draws.
+    /// RNG stream for FaaS timing draws (per-tenant under a tenant scope).
     pub fn faas_rng_mut(&mut self) -> &mut StdRng {
-        &mut self.faas_rng
+        match self.tenant_scope.clone() {
+            None => &mut self.faas_rng,
+            Some(t) => self.tenant_rng(t, "faas"),
+        }
     }
 
-    /// RNG stream for network/VM draws.
+    /// RNG stream for network/VM draws (per-tenant under a tenant scope).
     pub fn net_rng_mut(&mut self) -> &mut StdRng {
-        &mut self.net_rng
+        match self.tenant_scope.clone() {
+            None => &mut self.net_rng,
+            Some(t) => self.tenant_rng(t, "net"),
+        }
     }
 
-    /// RNG stream for DB latency draws.
+    /// RNG stream for DB latency draws (per-tenant under a tenant scope).
     pub fn db_rng_mut(&mut self) -> &mut StdRng {
-        &mut self.db_rng
+        match self.tenant_scope.clone() {
+            None => &mut self.db_rng,
+            Some(t) => self.tenant_rng(t, "db"),
+        }
+    }
+
+    fn tenant_rng(&mut self, tenant: Rc<str>, stream: &'static str) -> &mut StdRng {
+        let seed = self.seed;
+        self.tenant_rngs
+            .entry((tenant.clone(), stream))
+            .or_insert_with(|| derive_rng(seed, &format!("tenant:{tenant}:{stream}")))
     }
 
     /// Resolves an executor to its profile, or `None` if it is dead.
@@ -248,6 +319,30 @@ impl World {
     }
 }
 
+/// Schedules `cb` with the current tenant scope captured and re-established
+/// when the event fires, so operation continuations stay attributed to the
+/// tenant that issued the operation. On the default-tenant path the captured
+/// scope is `None` and re-establishing it is a no-op.
+pub fn schedule_scoped(
+    sim: &mut CloudSim,
+    delay: SimDuration,
+    cb: impl FnOnce(&mut CloudSim) + 'static,
+) {
+    let scope = sim.world.tenant_scope.clone();
+    sim.schedule_in(delay, move |sim| {
+        sim.world.tenant_scope = scope;
+        cb(sim);
+    });
+}
+
+/// Appends the ambient tenant as a span tag (only under a tenant scope, so
+/// default-path trace output is unchanged).
+fn tenant_tag(world: &World, tags: &mut Vec<(&'static str, String)>) {
+    if let Some(t) = &world.tenant_scope {
+        tags.push(("tenant", t.to_string()));
+    }
+}
+
 /// Samples a crash for the executor (fault injection); returns `true` and
 /// fails the instance if a crash fires.
 fn maybe_crash(sim: &mut CloudSim, exec: Executor) -> bool {
@@ -288,7 +383,22 @@ pub fn run_leg(
         Direction::Upload => (profile.region, remote),
     };
     let n_active = sim.world.net.begin_leg(from, to);
-    let dur = {
+    let dur = if sim.world.tenant_scope.is_some() {
+        // Tenant-scoped legs draw from the tenant's own stream; the ground
+        // truth is cloned to split the borrow (off the default path).
+        let params = sim.world.params.clone();
+        let regions = sim.world.regions.clone();
+        sample_leg_duration(
+            &params,
+            &regions,
+            &profile,
+            remote,
+            dir,
+            bytes,
+            n_active,
+            sim.world.net_rng_mut(),
+        )
+    } else {
         // Direct field access splits the borrows (params/regions shared,
         // RNG exclusive) without cloning per leg.
         let world = &mut sim.world;
@@ -307,16 +417,15 @@ pub fn run_leg(
         let now = sim.now();
         let from_label = sim.world.regions.label(from);
         let to_label = sim.world.regions.label(to);
-        sim.world.trace.span_complete(
-            now,
-            dur,
-            simtrace::names::NET_LEG,
-            vec![
-                ("from", from_label),
-                ("to", to_label),
-                ("bytes", bytes.to_string()),
-            ],
-        );
+        let mut tags = vec![
+            ("from", from_label),
+            ("to", to_label),
+            ("bytes", bytes.to_string()),
+        ];
+        tenant_tag(&sim.world, &mut tags);
+        sim.world
+            .trace
+            .span_complete(now, dur, simtrace::names::NET_LEG, tags);
         sim.world.trace.counter_add("net.legs", 1);
         sim.world
             .trace
@@ -337,7 +446,7 @@ pub fn run_leg(
             .egress_cost(src_cloud, src_geo, dst_cloud, dst_geo, bytes);
         sim.world.charge(src_cloud, CostCategory::Egress, cost);
     }
-    sim.schedule_in(dur, move |sim| {
+    schedule_scoped(sim, dur, move |sim| {
         sim.world.net.end_leg(from, to);
         if sim.world.exec_alive(exec) {
             cb(sim);
@@ -395,7 +504,7 @@ pub fn fanout_notifications(sim: &mut CloudSim, region: RegionId, applied: &PutA
                 sim.world.trace.counter_add("notif.deliveries", 1);
             }
             let ev = applied.event.clone();
-            sim.schedule_in(delay, move |sim| handler(sim, region, ev));
+            schedule_scoped(sim, delay, move |sim| handler(sim, region, ev));
         }
     }
 }
@@ -479,9 +588,9 @@ fn trace_api_call(
     if sim.world.trace.enabled() {
         let now = sim.now();
         let label = sim.world.regions.label(region);
-        sim.world
-            .trace
-            .span_complete(now, rtt, name, vec![("region", label)]);
+        let mut tags = vec![("region", label)];
+        tenant_tag(&sim.world, &mut tags);
+        sim.world.trace.span_complete(now, rtt, name, tags);
         sim.world.trace.counter_add(counter, 1);
     }
 }
@@ -503,7 +612,7 @@ pub fn stat_object(
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
     trace_api_call(sim, region, rtt, "store.stat", "store.ops.stat");
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -545,7 +654,7 @@ pub fn get_object_range(
         );
         sim.world.trace.counter_add("store.ops.get_range", 1);
     }
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -623,7 +732,7 @@ pub fn delete_object(
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
     trace_api_call(sim, region, rtt, "store.delete", "store.ops.delete");
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -661,7 +770,7 @@ pub fn copy_object(
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
     trace_api_call(sim, region, rtt, "store.copy", "store.ops.copy");
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -701,7 +810,7 @@ pub fn create_multipart(
         "store.create_multipart",
         "store.ops.create_multipart",
     );
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -761,7 +870,7 @@ pub fn complete_multipart(
         simtrace::names::STORE_COMMIT,
         "store.ops.complete_multipart",
     );
-    sim.schedule_in(rtt, move |sim| {
+    schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -795,7 +904,7 @@ pub fn db_get(
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
     trace_api_call(sim, region, latency, "db.get", "db.ops.get");
-    sim.schedule_in(latency, move |sim| {
+    schedule_scoped(sim, latency, move |sim| {
         if !sim.world.exec_alive(exec) {
             return;
         }
@@ -827,7 +936,7 @@ pub fn db_transact<T: 'static>(
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
     trace_api_call(sim, region, latency, "db.transact", "db.ops.transact");
-    sim.schedule_in(latency, move |sim| {
+    schedule_scoped(sim, latency, move |sim| {
         // The transaction commits server-side even if the caller died; only
         // the callback delivery depends on liveness (matching DynamoDB).
         charge_db(&mut sim.world, region, 1, 1);
@@ -869,7 +978,11 @@ pub fn workflow_delay(
     let fee = sim.world.catalog.cloud(cloud).workflow.per_1k_transitions / 1_000.0 * 2.0;
     sim.world
         .charge(cloud, CostCategory::Workflow, Money::from_dollars(fee));
-    sim.schedule_cancellable_in(delay, cb)
+    let scope = sim.world.tenant_scope.clone();
+    sim.schedule_cancellable_in(delay, move |sim| {
+        sim.world.tenant_scope = scope;
+        cb(sim)
+    })
 }
 
 /// Charges the S3 Replication Time Control surcharge for replicated bytes.

@@ -5,8 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use areplica_core::backend::faulty::{FaultPlan, FaultSite, FaultStats, Faulty};
-use areplica_core::backend::{Clock, ObjectStore as _};
-use areplica_core::{AReplicaBuilder, ProfilerConfig, ReplicationRule};
+use areplica_core::backend::{Backend, Clock, ObjectStore as _};
+use areplica_core::{AReplicaBuilder, ProfilerConfig, ReplicationRule, TenantCtx};
 use cloudsim::{Cloud, RegionId, World};
 
 use crate::oracle::{self, Violation};
@@ -27,6 +27,10 @@ pub struct RunReport {
     pub fault_stats: FaultStats,
     /// Events the simulator executed.
     pub executed: u64,
+    /// Per-tenant FaaS accounting after quiescence, in scenario order
+    /// (multi-tenant scenarios only): (tenant id, peak concurrent
+    /// instances, starts the quota deferred).
+    pub tenant_faas: Vec<(String, u32, u64)>,
 }
 
 impl RunReport {
@@ -79,14 +83,41 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
     let (src, dst) = regions(&sim);
     sim.inner_mut().world.trace.set_enabled(true);
 
-    let rule = ReplicationRule::new(src, SRC_BUCKET, dst, DST_BUCKET)
-        .with_batching(false)
-        .with_changelog(false);
-    let _service = AReplicaBuilder::new()
-        .rule(rule)
-        .engine_config(sc.engine.clone())
-        .profiler_config(small_profiler())
-        .install(&mut sim);
+    // Classic scenarios run one anonymous service on the shared bucket
+    // pair; multi-tenant scenarios run one service per tenant on per-tenant
+    // buckets, with the control plane's FaaS quota applied at install.
+    let mut services = Vec::new();
+    if sc.tenants.is_empty() {
+        let rule = ReplicationRule::new(src, SRC_BUCKET, dst, DST_BUCKET)
+            .with_batching(false)
+            .with_changelog(false);
+        services.push(
+            AReplicaBuilder::new()
+                .rule(rule)
+                .engine_config(sc.engine.clone())
+                .profiler_config(small_profiler())
+                .install(&mut sim),
+        );
+    } else {
+        for t in &sc.tenants {
+            let mut tenant = TenantCtx::named(t.id);
+            if let Some(limit) = t.faas_concurrency {
+                tenant = tenant.with_faas_concurrency(limit);
+            }
+            let rule =
+                ReplicationRule::new(src, format!("src-{}", t.id), dst, format!("dst-{}", t.id))
+                    .with_batching(false)
+                    .with_changelog(false);
+            services.push(
+                AReplicaBuilder::new()
+                    .rule(rule)
+                    .engine_config(sc.engine.clone())
+                    .profiler_config(small_profiler())
+                    .tenant(tenant)
+                    .install(&mut sim),
+            );
+        }
+    }
 
     // Install the hooks after service setup so decision 0 lands on protocol
     // traffic. Default mode leaves the simulator untouched — the byte-
@@ -98,21 +129,56 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
         sim.set_fault_decider(Rc::new(RefCell::new(DeciderHandle(state.clone()))));
     }
 
-    for (offset, size) in sc.puts.clone() {
-        sim.schedule_in(offset, move |sim| {
-            sim.user_put(src, SRC_BUCKET, KEY, size)
-                .expect("scenario PUT");
-        });
+    if sc.tenants.is_empty() {
+        for (offset, size) in sc.puts.clone() {
+            sim.schedule_in(offset, move |sim| {
+                sim.user_put(src, SRC_BUCKET, KEY, size)
+                    .expect("scenario PUT");
+            });
+        }
+    } else {
+        // Schedule each tenant's PUTs under its scope: the inner simulator
+        // captures the ambient scope at schedule time, so the event (and
+        // every continuation it spawns) is attributed to the tenant.
+        for t in &sc.tenants {
+            sim.set_tenant_scope(Some(Rc::from(t.id)));
+            let bucket: Rc<str> = Rc::from(format!("src-{}", t.id));
+            for (i, &(offset, size)) in t.puts.iter().enumerate() {
+                let bucket = bucket.clone();
+                sim.schedule_in(offset, move |sim| {
+                    sim.user_put(src, &bucket, &format!("obj-{i}"), size)
+                        .expect("scenario PUT");
+                });
+            }
+            sim.set_tenant_scope(None);
+        }
     }
     let executed = sim.run_to_completion(sc.max_events);
 
-    let violations = oracle::check(sim.inner(), sc, src, dst, executed);
+    let violations = if sc.tenants.is_empty() {
+        oracle::check(sim.inner(), sc, src, dst, executed)
+    } else {
+        oracle::check_tenants(sim.inner(), sc, src, dst, executed)
+    };
+    let tenant_faas = sc
+        .tenants
+        .iter()
+        .map(|t| {
+            let faas = &sim.inner().world.faas;
+            (
+                t.id.to_string(),
+                faas.tenant_peak(t.id),
+                faas.tenant_throttled(t.id),
+            )
+        })
+        .collect();
     let taken = state.borrow().taken.clone();
     RunReport {
         violations,
         taken,
         fault_stats: sim.fault_stats(),
         executed,
+        tenant_faas,
     }
 }
 

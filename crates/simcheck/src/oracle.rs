@@ -53,6 +53,31 @@ pub enum Violation {
         /// Open span count.
         count: usize,
     },
+    /// A tenant's object never reached its destination bucket
+    /// (multi-tenant convergence).
+    TenantMissingReplica {
+        /// Tenant whose replication stalled or was starved.
+        tenant: String,
+        /// The key that is missing at the destination.
+        key: String,
+    },
+    /// A tenant's replica bytes differ from its newest source version.
+    TenantDiverged {
+        /// Tenant with the divergent replica.
+        tenant: String,
+        /// The divergent key.
+        key: String,
+    },
+    /// A tenant's peak concurrent FaaS instances exceeded its quota
+    /// (quota conformance — the admission/quota gate was bypassed).
+    QuotaExceeded {
+        /// Tenant that overdrew its quota.
+        tenant: String,
+        /// Peak concurrent instances observed.
+        peak: u32,
+        /// The quota the control plane granted.
+        limit: u32,
+    },
 }
 
 /// Runs every oracle against the quiesced simulator.
@@ -97,6 +122,76 @@ pub fn check(
         }
     }
 
+    quiescent_state_checks(sim, src, dst, &mut violations);
+    violations
+}
+
+/// Runs the oracles for a multi-tenant scenario: per-tenant convergence
+/// (every object each tenant PUT is replicated byte-for-byte into that
+/// tenant's destination bucket — a quiet tenant must converge even while a
+/// neighbor bursts), per-tenant quota conformance (no tenant's peak FaaS
+/// concurrency exceeds the quota the control plane granted), and the same
+/// quiescent-state leak checks as the single-tenant path.
+pub fn check_tenants(
+    sim: &CloudSim,
+    sc: &Scenario,
+    src: RegionId,
+    dst: RegionId,
+    executed: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if executed >= sc.max_events {
+        violations.push(Violation::NotDrained { executed });
+        return violations;
+    }
+
+    for t in &sc.tenants {
+        let src_bucket = format!("src-{}", t.id);
+        let dst_bucket = format!("dst-{}", t.id);
+        for i in 0..t.puts.len() {
+            let key = format!("obj-{i}");
+            let newest = sim
+                .read_full_now(src, &src_bucket, &key)
+                .expect("scenario PUT a source object; it cannot vanish");
+            match sim.read_full_now(dst, &dst_bucket, &key) {
+                Err(_) => violations.push(Violation::TenantMissingReplica {
+                    tenant: t.id.to_string(),
+                    key,
+                }),
+                Ok((content, _etag)) => {
+                    if !content.same_bytes(&newest.0) {
+                        violations.push(Violation::TenantDiverged {
+                            tenant: t.id.to_string(),
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(limit) = t.faas_concurrency {
+            let peak = sim.world.faas.tenant_peak(t.id);
+            if peak > limit {
+                violations.push(Violation::QuotaExceeded {
+                    tenant: t.id.to_string(),
+                    peak,
+                    limit,
+                });
+            }
+        }
+    }
+
+    quiescent_state_checks(sim, src, dst, &mut violations);
+    violations
+}
+
+/// The scenario-independent quiescence oracles: no open multipart uploads,
+/// no leaked lock/task rows, and `task` span parity.
+fn quiescent_state_checks(
+    sim: &CloudSim,
+    src: RegionId,
+    dst: RegionId,
+    violations: &mut Vec<Violation>,
+) {
     for region in [src, dst] {
         let uploads = sim.world.objstore(region).open_multipart_uploads();
         if !uploads.is_empty() {
@@ -128,6 +223,4 @@ pub fn check(
     if open_tasks != 0 {
         violations.push(Violation::OpenTaskSpans { count: open_tasks });
     }
-
-    violations
 }

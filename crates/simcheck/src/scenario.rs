@@ -15,6 +15,18 @@ pub const DST_BUCKET: &str = "dst-bucket";
 /// The single key every scenario replicates.
 pub const KEY: &str = "hot.bin";
 
+/// One tenant's workload in a multi-tenant scenario.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant id (also names its buckets: `src-<id>` / `dst-<id>`).
+    pub id: &'static str,
+    /// FaaS-concurrency quota the control plane grants this tenant.
+    pub faas_concurrency: Option<u32>,
+    /// Independent objects this tenant PUTs: (time after start, size in
+    /// bytes). Put `i` writes key `obj-<i>` in the tenant's source bucket.
+    pub puts: Vec<(SimDuration, u64)>,
+}
+
 /// One checker scenario: timed PUT versions of [`KEY`] plus the engine
 /// configuration they replicate under.
 #[derive(Debug, Clone)]
@@ -25,12 +37,17 @@ pub struct Scenario {
     /// walk seed that picks the schedule.
     pub sim_seed: u64,
     /// PUT versions of [`KEY`]: (time after start, fresh size in bytes).
+    /// Ignored when `tenants` is non-empty.
     pub puts: Vec<(SimDuration, u64)>,
     /// Engine tunables for the run.
     pub engine: EngineConfig,
     /// Event budget; a run that exhausts it is reported as a liveness
     /// violation (the schedule failed to drain).
     pub max_events: u64,
+    /// Multi-tenant workloads. Empty (the classic scenarios) runs the
+    /// single-tenant path on [`SRC_BUCKET`]/[`DST_BUCKET`]; non-empty runs
+    /// one service per tenant on per-tenant buckets, with quotas applied.
+    pub tenants: Vec<TenantLoad>,
 }
 
 impl Scenario {
@@ -46,6 +63,7 @@ impl Scenario {
                 ..EngineConfig::default()
             },
             max_events: 10_000_000,
+            tenants: Vec::new(),
         }
     }
 
@@ -90,12 +108,37 @@ impl Scenario {
         sc
     }
 
+    /// Two tenants sharing one world: a quiet tenant replicating a single
+    /// object while a noisy neighbor bursts six, under a tight
+    /// FaaS-concurrency quota. The oracles assert the quiet tenant still
+    /// converges and that neither tenant's concurrency peak exceeds its
+    /// quota (the noisy burst must be throttled, not privileged).
+    pub fn noisy_neighbor() -> Scenario {
+        let mut sc = Scenario::base("noisy-neighbor", Vec::new());
+        sc.tenants = vec![
+            TenantLoad {
+                id: "quiet",
+                faas_concurrency: Some(3),
+                puts: vec![(SimDuration::ZERO, 8 << 20)],
+            },
+            TenantLoad {
+                id: "noisy",
+                faas_concurrency: Some(2),
+                puts: (0..6)
+                    .map(|i| (SimDuration::from_millis(i * 40), 16 << 20))
+                    .collect(),
+            },
+        ];
+        sc
+    }
+
     /// Every scenario, in CLI order.
     pub fn all() -> Vec<Scenario> {
         vec![
             Scenario::distributed(),
             Scenario::overwrite_race(),
             Scenario::small_race(),
+            Scenario::noisy_neighbor(),
             Scenario::canary(),
         ]
     }

@@ -190,3 +190,32 @@ fn exhaustive_small_race_is_clean() {
         report.failures
     );
 }
+
+/// The noisy-neighbor scenario must demonstrate *real* quota pressure, not
+/// pass vacuously: the bursting tenant's starts are actually deferred by
+/// its quota, neither tenant's peak exceeds its grant, and the quiet
+/// tenant still converges (the oracles inside `run_schedule` check that).
+#[test]
+fn noisy_neighbor_throttles_the_burst_under_quota() {
+    let report = run_schedule(&Scenario::noisy_neighbor(), Mode::Default);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    let faas: std::collections::BTreeMap<&str, (u32, u64)> = report
+        .tenant_faas
+        .iter()
+        .map(|(id, peak, throttled)| (id.as_str(), (*peak, *throttled)))
+        .collect();
+    let (noisy_peak, noisy_throttled) = faas["noisy"];
+    assert!(
+        (1..=2).contains(&noisy_peak),
+        "noisy peak {noisy_peak} must be positive and within its quota of 2"
+    );
+    assert!(
+        noisy_throttled > 0,
+        "a six-object burst under a quota of 2 must defer at least one start"
+    );
+    let (quiet_peak, _) = faas["quiet"];
+    assert!(
+        (1..=3).contains(&quiet_peak),
+        "quiet peak {quiet_peak} must be positive and within its quota of 3"
+    );
+}

@@ -42,6 +42,16 @@ pub use registry::Registry;
 
 use simkernel::{SimDuration, SimTime};
 
+/// Scopes a metric name to a tenant: `scoped("acme", "faas.throttled")` →
+/// `"tenant.acme.faas.throttled"`. Per-tenant metrics live beside the global
+/// ones in the same registry, so one snapshot renders both in deterministic
+/// order. The default tenant records under the unscoped name only — callers
+/// scope a metric only when operating for a named tenant, which keeps
+/// default-path snapshots byte-identical to the pre-tenancy output.
+pub fn scoped(tenant: &str, name: &str) -> String {
+    format!("tenant.{tenant}.{name}")
+}
+
 /// Canonical span/instant/counter names, shared by every instrumented crate
 /// so queries and per-phase breakdowns agree on the taxonomy. See DESIGN.md
 /// "Observability" for what each phase means in the paper's delay model.
@@ -364,6 +374,21 @@ mod tests {
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_nanos(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn scoped_names_nest_under_tenant() {
+        assert_eq!(
+            scoped("acme", "faas.throttled"),
+            "tenant.acme.faas.throttled"
+        );
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.counter_add(&scoped("acme", "tasks"), 2);
+        tr.counter_add("tasks", 1);
+        let snap = tr.render_metrics_snapshot();
+        assert!(snap.contains("tenant.acme.tasks"));
+        assert!(snap.contains("tasks"));
     }
 
     #[test]

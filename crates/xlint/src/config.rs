@@ -49,24 +49,38 @@ impl Default for Config {
             root_crate: "areplica".into(),
             unordered_crates: vec![
                 "areplica-core".into(),
+                "areplica-control".into(),
                 "cloudsim".into(),
                 "simkernel".into(),
                 "baselines".into(),
             ],
-            unwrap_crates: vec!["areplica-core".into()],
+            unwrap_crates: vec!["areplica-core".into(), "areplica-control".into()],
             stderr_crates: vec![
                 "areplica-core".into(),
+                "areplica-control".into(),
                 "cloudsim".into(),
                 "simkernel".into(),
                 "baselines".into(),
                 "bench".into(),
             ],
             wall_clock_exempt: Vec::new(),
-            layering: vec![LayeringRule {
-                krate: "areplica-core".into(),
-                forbid: "cloudsim".into(),
-                allow: vec!["crates/areplica-core/src/backend/sim.rs".into()],
-            }],
+            layering: vec![
+                LayeringRule {
+                    krate: "areplica-core".into(),
+                    forbid: "cloudsim".into(),
+                    allow: vec!["crates/areplica-core/src/backend/sim.rs".into()],
+                },
+                LayeringRule {
+                    krate: "areplica-control".into(),
+                    forbid: "cloudsim".into(),
+                    allow: Vec::new(),
+                },
+                LayeringRule {
+                    krate: "areplica-core".into(),
+                    forbid: "areplica_control".into(),
+                    allow: Vec::new(),
+                },
+            ],
         }
     }
 }

@@ -283,6 +283,50 @@ pub fn world(seed: u64) -> cloudsim::world::CloudSim {
 pub use cloudsim::WorldParams as SimWorldParams;
 "##,
     },
+    Fixture {
+        name: "layering-control-into-cloudsim",
+        rel_path: "crates/areplica-control/src/fixture.rs",
+        rule: "layering",
+        expect: Expect::Fires,
+        source: r##"
+pub fn peek(sim: &cloudsim::world::CloudSim) -> u32 {
+    sim.world.faas.tenant_peak("acme")
+}
+"##,
+    },
+    Fixture {
+        name: "layering-core-into-control",
+        rel_path: "crates/areplica-core/src/engine_fixture.rs",
+        rule: "layering",
+        expect: Expect::Fires,
+        source: r##"
+pub fn call_up(reg: &areplica_control::TenantRegistry) -> bool {
+    areplica_control::TenantRegistry::contains(reg, "acme")
+}
+"##,
+    },
+    Fixture {
+        name: "layering-clean-control-uses-core",
+        rel_path: "crates/areplica-control/src/fixture.rs",
+        rule: "layering",
+        expect: Expect::Clean,
+        source: r##"
+pub fn grant() -> areplica_core::TenantCtx {
+    areplica_core::TenantCtx::named("acme")
+}
+"##,
+    },
+    Fixture {
+        name: "layering-clean-bench-uses-control",
+        rel_path: "crates/bench/src/runners_fixture.rs",
+        rule: "layering",
+        expect: Expect::Clean,
+        source: r##"
+pub fn registry() -> areplica_control::TenantRegistry {
+    areplica_control::TenantRegistry::new()
+}
+"##,
+    },
     // ---- no-unwrap-in-lib ---------------------------------------------
     Fixture {
         name: "unwrap-violating",

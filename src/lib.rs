@@ -8,8 +8,10 @@
 //!
 //! This facade crate re-exports the public API of every workspace member:
 //!
-//! * [`core`] ([`areplica_core`]) — the replication system: engine, lock,
+//! * [`core`] ([`areplica_core`]) — the data plane: engine, lock,
 //!   performance model, planner, profiler, changelog, batching.
+//! * [`control`] ([`areplica_control`]) — the control plane: tenant
+//!   registry, token-bucket admission control, fleet supervision.
 //! * [`sim`] ([`cloudsim`]) — the simulated AWS/Azure/GCP world.
 //! * [`stats`] — distributions and extreme-value machinery.
 //! * [`kernel`] ([`simkernel`]) — the deterministic event simulator.
@@ -54,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use areplica_control as control;
 pub use areplica_core as core;
 pub use areplica_traces as traces;
 pub use baselines;
@@ -64,9 +67,12 @@ pub use stats;
 
 /// Everything needed for typical use, in one import.
 pub mod prelude {
+    pub use areplica_control::{
+        AdmissionConfig, FleetSupervisor, TenantRegistry, TenantSpec, TokenBucket,
+    };
     pub use areplica_core::{
         AReplica, AReplicaBuilder, CompletionRecord, EngineConfig, ExecSide, Metrics, PerfModel,
-        Plan, ProfilerConfig, ReplicationRule, SchedulingMode,
+        Plan, ProfilerConfig, ReplicationRule, SchedulingMode, TenantCtx,
     };
     pub use cloudsim::world::{user_delete, user_put, CloudSim};
     pub use cloudsim::{Cloud, Geo, RegionId, World};

@@ -1,17 +1,26 @@
 //! Seeds the ROADMAP item-4 perf trajectory: one `BENCH_<pr>.json` per PR
-//! recording (a) raw event throughput through `simkernel` and (b) wall-clock
-//! for a fixed-scale fig17 run. CI and future PRs compare successive files to
-//! catch hot-path regressions.
+//! recording (a) raw event throughput through `simkernel`, (b) wall-clock
+//! for a fixed-scale fig17 run, and — since PR 7 — (c) wall-clock for the
+//! fig23 trace replay and the full experiment suite at a pinned small scale.
+//! CI and future PRs compare successive files to catch hot-path regressions.
 //!
 //! Wall-clock numbers here are machine-dependent by nature; the file records
 //! a trajectory on the CI fleet, not a portable benchmark. Simulated outputs
-//! (`results/*.txt`) stay wall-clock-free — see `bench::WallTimer`.
+//! (`results/*.txt`) stay wall-clock-free — see `bench::WallTimer`. The
+//! comparison against the previous PR's committed snapshot is *soft*: it
+//! prints a warning on regression but never fails the run, because absolute
+//! wall-clock varies across machines.
 
+use bench::experiments as ex;
 use bench::WallTimer;
 use simkernel::{Sim, SimDuration};
 
 /// Events pushed through the bare kernel for the throughput figure.
 const KERNEL_EVENTS: u64 = 2_000_000;
+
+/// Scale pinned for the fig23 + full-suite timings: large enough that the
+/// hot paths dominate, small enough to keep the snapshot under a minute.
+const SUITE_SCALE: &str = "0.02";
 
 /// Measures raw simkernel dispatch throughput: a self-rescheduling chain with
 /// a small fan-out, so the heap sees both pop-and-push churn and bursts.
@@ -36,6 +45,87 @@ fn kernel_events_per_sec() -> (u64, f64) {
     (sim.stats().executed, secs)
 }
 
+/// Runs every experiment as a library call (reports are discarded, so
+/// nothing under `results/` is touched) and returns total wall-clock.
+fn suite_wall_secs() -> f64 {
+    let experiments: &[(&str, &dyn Fn() -> String)] = &[
+        ("fig02_put_sizes", &ex::fig02_put_sizes::run),
+        ("fig03_throughput", &ex::fig03_throughput::run),
+        (
+            "fig04_skyplane_breakdown",
+            &ex::fig04_skyplane_breakdown::run,
+        ),
+        ("fig05_skyplane_dynamic", &ex::fig05_skyplane_dynamic::run),
+        ("fig06_bandwidth_config", &ex::fig06_bandwidth_config::run),
+        ("fig07_scaling", &ex::fig07_scaling::run),
+        ("fig08_asymmetry", &ex::fig08_asymmetry::run),
+        ("fig09_variability", &ex::fig09_variability::run),
+        ("table1_aws", &|| {
+            ex::tables_delay_cost::run(1, (cloudsim::Cloud::Aws, "us-east-1"))
+        }),
+        ("table2_azure", &|| {
+            ex::tables_delay_cost::run(2, (cloudsim::Cloud::Azure, "eastus"))
+        }),
+        ("table3_gcp", &|| {
+            ex::tables_delay_cost::run(3, (cloudsim::Cloud::Gcp, "us-east1"))
+        }),
+        ("fig16_bulk", &ex::fig16_bulk::run),
+        ("fig17_scheduling_ablation", &ex::fig17_scheduling::run),
+        ("fig18_model_accuracy", &ex::fig18_19_model_accuracy::run),
+        ("table4_model_accuracy", &ex::table4_model_accuracy::run),
+        ("fig20_region_selection", &ex::fig20_region_selection::run),
+        ("fig21_changelog", &ex::fig21_changelog::run),
+        ("fig22_batching", &ex::fig22_batching::run),
+        ("fig23_trace_replay", &ex::fig23_trace_replay::run),
+        ("ablation_part_size", &ex::ablation_part_size::run),
+        ("multi_tenant", &ex::multi_tenant::run),
+    ];
+    let timer = WallTimer::start();
+    for (name, f) in experiments {
+        let report = f();
+        assert!(!report.is_empty(), "{name} produced an empty report");
+    }
+    timer.elapsed_secs()
+}
+
+/// Pulls `"key": <number>` out of a prior snapshot without a JSON parser.
+fn json_number(src: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = &src[src.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Soft regression check against the previous PR's committed snapshot:
+/// warn-only, since wall-clock is machine-dependent.
+fn compare_against(prev_path: &str, kernel_eps: f64, fig17_secs: f64) {
+    let Ok(prev) = std::fs::read_to_string(prev_path) else {
+        // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft-check notice, never in results)
+        eprintln!("[no {prev_path} to compare against]");
+        return;
+    };
+    if let Some(prev_eps) = json_number(&prev, "kernel_events_per_sec") {
+        if kernel_eps < prev_eps * 0.8 {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft regression warning, never in results)
+            eprintln!(
+                "WARNING: kernel throughput regressed >20% vs {prev_path}: \
+                 {kernel_eps:.0} vs {prev_eps:.0} events/s"
+            );
+        }
+    }
+    if let Some(prev_fig17) = json_number(&prev, "fig17_wall_secs") {
+        if fig17_secs > prev_fig17 * 1.5 + 0.05 {
+            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft regression warning, never in results)
+            eprintln!(
+                "WARNING: fig17 wall-clock regressed >50% vs {prev_path}: \
+                 {fig17_secs:.3}s vs {prev_fig17:.3}s"
+            );
+        }
+    }
+}
+
 fn main() {
     // Pin the experiment scale so successive snapshots time identical work
     // regardless of the caller's environment.
@@ -46,20 +136,35 @@ fn main() {
     let kernel_eps = kernel_events as f64 / kernel_secs;
 
     let timer = WallTimer::start();
-    let report = bench::experiments::fig17_scheduling::run();
+    let report = ex::fig17_scheduling::run();
     let fig17_secs = timer.elapsed_secs();
     assert!(
         report.contains("part"),
         "fig17 run produced an unexpected report"
     );
 
+    // The replay-heavy and whole-suite figures run at a pinned small scale;
+    // the point is trend over PRs, not absolute magnitude.
+    std::env::set_var("AREPLICA_SCALE", SUITE_SCALE);
+    let timer = WallTimer::start();
+    let report = ex::fig23_trace_replay::run();
+    let fig23_secs = timer.elapsed_secs();
+    assert!(
+        report.contains("window"),
+        "fig23 run produced an unexpected report"
+    );
+    let suite_secs = suite_wall_secs();
+
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"pr\": 6,\n  \"kernel_events\": {kernel_events},\n  \
+        "{{\n  \"schema\": 2,\n  \"pr\": 7,\n  \"kernel_events\": {kernel_events},\n  \
          \"kernel_wall_secs\": {kernel_secs:.4},\n  \
          \"kernel_events_per_sec\": {kernel_eps:.0},\n  \
-         \"fig17_scale\": 1.0,\n  \"fig17_wall_secs\": {fig17_secs:.3}\n}}\n"
+         \"fig17_scale\": 1.0,\n  \"fig17_wall_secs\": {fig17_secs:.3},\n  \
+         \"fig23_scale\": {SUITE_SCALE},\n  \"fig23_wall_secs\": {fig23_secs:.3},\n  \
+         \"suite_scale\": {SUITE_SCALE},\n  \"suite_wall_secs\": {suite_secs:.3}\n}}\n"
     );
-    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+    compare_against("BENCH_6.json", kernel_eps, fig17_secs);
+    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
     std::fs::write(&out, &json).expect("write perf snapshot");
     // xlint::allow(no-adhoc-stderr, designated sink: echoes the committed BENCH_<pr>.json, never in results)
     println!("{json}");

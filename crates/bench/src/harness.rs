@@ -1,6 +1,5 @@
 //! Report formatting, scaling, and output plumbing shared by experiments.
 
-use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -159,9 +158,9 @@ impl Table {
         let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
             for (i, c) in cells.iter().enumerate() {
                 if i == 0 {
-                    let _ = write!(out, "{:<w$}", c, w = widths[i]);
+                    out.push_str(&format!("{:<w$}", c, w = widths[i]));
                 } else {
-                    let _ = write!(out, "  {:>w$}", c, w = widths[i]);
+                    out.push_str(&format!("  {:>w$}", c, w = widths[i]));
                 }
             }
             out.push('\n');

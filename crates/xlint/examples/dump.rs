@@ -1,0 +1,68 @@
+//! Debug tool: prints the parsed top-level statement shapes of a file.
+//!
+//! ```text
+//! cargo run -p xlint --example dump -- crates/areplica-core/src/engine.rs
+//! ```
+//!
+//! Parse errors print first; then one line per function with its top-level
+//! statement heads — the quickest way to see what the AST layer made of a
+//! construct the flow walker is mishandling.
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: dump <file.rs>");
+    let src = std::fs::read_to_string(path).expect("readable file");
+    let lexed = xlint::lexer::lex(&src);
+    let parsed = xlint::ast::parse(&lexed.tokens);
+    for e in &parsed.errors {
+        println!("ERROR {}: {}", e.line, e.message);
+    }
+    for f in &parsed.fns {
+        println!(
+            "fn {} params={:?} line={} stmts={} end={}",
+            f.name,
+            f.params,
+            f.line,
+            f.body.stmts.len(),
+            f.body.end_line
+        );
+        for s in &f.body.stmts {
+            println!("  {:?}", stmt_head(s));
+        }
+    }
+}
+fn stmt_head(s: &xlint::ast::Stmt) -> String {
+    match s {
+        xlint::ast::Stmt::Let {
+            pat, init, line, ..
+        } => format!(
+            "let {:?} = {} @{}",
+            pat,
+            init.as_ref().map(head).unwrap_or_default(),
+            line
+        ),
+        xlint::ast::Stmt::Expr { expr, semi } => format!("expr {} semi={}", head(expr), semi),
+        xlint::ast::Stmt::Item => "item".into(),
+    }
+}
+fn head(e: &xlint::ast::Expr) -> String {
+    use xlint::ast::Expr::*;
+    match e {
+        Call { path, args, .. } => format!("Call({}, {} args)", path.join("::"), args.len()),
+        MethodCall { name, args, .. } => format!("Method(.{}, {} args)", name, args.len()),
+        Macro { name, .. } => format!("Macro({name})"),
+        Closure { params, .. } => format!("Closure({:?})", params),
+        If { .. } => "If".into(),
+        Match { arms, .. } => format!("Match({} arms)", arms.len()),
+        Loop { .. } => "Loop".into(),
+        Block { .. } => "Block".into(),
+        Path { segs, .. } => format!("Path({})", segs.join("::")),
+        Field { name, .. } => format!("Field(.{name})"),
+        StructLit { path, .. } => format!("StructLit({})", path.join("::")),
+        Try { .. } => "Try".into(),
+        Return { .. } => "Return".into(),
+        Jump { .. } => "Jump".into(),
+        Lit { .. } => "Lit".into(),
+        Tuple { items, .. } => format!("Tuple({})", items.len()),
+        Other { children, .. } => format!("Other({})", children.len()),
+    }
+}

@@ -21,6 +21,30 @@ pub struct LayeringRule {
     pub allow: Vec<String>,
 }
 
+/// A `[[resource]]` entry: an acquire/release pair the flow analysis
+/// (`protocol-resource-balance`) enforces.
+#[derive(Debug, Clone)]
+pub struct ResourceSpec {
+    /// Human name used in findings ("replication lock", "multipart upload").
+    pub kind: String,
+    /// Crates whose sources are checked for acquires.
+    pub crates: Vec<String>,
+    /// Function whose call is the acquire site.
+    pub acquire: String,
+    /// How the acquired value binds: `"return"`, `"callback-param:N"`,
+    /// `"transact-callback-param:N"`, or `"reach"` (no value — every path
+    /// must reach a release call through the call graph).
+    pub bind: String,
+    /// Functions that conclude the obligation when the value reaches them
+    /// (or, for `reach` binds, when any path calls into them).
+    pub release: Vec<String>,
+    /// Functions that take over the obligation (ownership handoff).
+    pub handoff: Vec<String>,
+    /// Match-arm pattern identifiers that discharge the obligation — the
+    /// not-acquired / peer-owns-it outcomes of the protocol.
+    pub exempt_arms: Vec<String>,
+}
+
 /// Parsed configuration with per-rule scoping.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -38,6 +62,18 @@ pub struct Config {
     pub wall_clock_exempt: Vec<String>,
     /// Layering constraints.
     pub layering: Vec<LayeringRule>,
+    /// Acquire/release pairs for `protocol-resource-balance`.
+    pub resources: Vec<ResourceSpec>,
+    /// Crates where `span-balance` applies (span_begin/span_end pairing).
+    pub span_crates: Vec<String>,
+    /// Crates where `determinism-taint` applies.
+    pub taint_crates: Vec<String>,
+    /// Identifiers whose values are wall-clock/entropy tainted.
+    pub taint_sources: Vec<String>,
+    /// Functions tainted values must not flow into.
+    pub taint_sinks: Vec<String>,
+    /// Crates where `no-dropped-result` applies (lib sources only).
+    pub dropped_result_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -81,8 +117,101 @@ impl Default for Config {
                     allow: Vec::new(),
                 },
             ],
+            resources: default_resources(),
+            span_crates: vec!["areplica-core".into()],
+            taint_crates: vec![
+                "areplica-core".into(),
+                "areplica-control".into(),
+                "cloudsim".into(),
+                "simkernel".into(),
+                "baselines".into(),
+                "bench".into(),
+            ],
+            taint_sources: vec![
+                "WallTimer".into(),
+                "Instant".into(),
+                "SystemTime".into(),
+                "elapsed_secs".into(),
+            ],
+            taint_sinks: vec![
+                "schedule_in".into(),
+                "schedule_at".into(),
+                "db_transact".into(),
+                "db_put".into(),
+                "put_object".into(),
+                "user_put".into(),
+                "upload_part".into(),
+                "create_multipart".into(),
+                "complete_multipart".into(),
+                "invoke".into(),
+                "invoke_after".into(),
+                "write_report".into(),
+            ],
+            dropped_result_crates: vec![
+                "areplica-core".into(),
+                "areplica-control".into(),
+                "cloudsim".into(),
+                "simkernel".into(),
+                "simtrace".into(),
+                "cloudapi".into(),
+                "baselines".into(),
+                "bench".into(),
+                "areplica-traces".into(),
+                "stats".into(),
+                "pricing".into(),
+            ],
         }
     }
+}
+
+/// The workspace's real protocol resources — mirrored in `xlint.toml`.
+fn default_resources() -> Vec<ResourceSpec> {
+    let multipart_exempt = vec![
+        "Concluded".to_string(),
+        "NothingClaimable".to_string(),
+        "AlreadyConcluded".to_string(),
+        "Gone".to_string(),
+        "NoSuchUpload".to_string(),
+        "Busy".to_string(),
+    ];
+    vec![
+        ResourceSpec {
+            kind: "replication lock".into(),
+            crates: vec!["areplica-core".into()],
+            acquire: "try_lock_tx".into(),
+            bind: "reach".into(),
+            release: vec!["unlock_tx".into()],
+            handoff: Vec::new(),
+            exempt_arms: vec!["Busy".into()],
+        },
+        ResourceSpec {
+            kind: "abort tombstone".into(),
+            crates: vec!["areplica-core".into()],
+            acquire: "abort_tx".into(),
+            bind: "reach".into(),
+            release: vec!["conclude_aborted".into()],
+            handoff: Vec::new(),
+            exempt_arms: vec!["Gone".into()],
+        },
+        ResourceSpec {
+            kind: "multipart upload".into(),
+            crates: vec!["areplica-core".into()],
+            acquire: "create_multipart".into(),
+            bind: "callback-param:1".into(),
+            release: vec!["complete_multipart".into(), "abort_multipart_now".into()],
+            handoff: vec!["adopt_tx".into()],
+            exempt_arms: multipart_exempt.clone(),
+        },
+        ResourceSpec {
+            kind: "adopted upload".into(),
+            crates: vec!["areplica-core".into()],
+            acquire: "adopt_tx".into(),
+            bind: "transact-callback-param:1".into(),
+            release: vec!["complete_multipart".into(), "abort_multipart_now".into()],
+            handoff: Vec::new(),
+            exempt_arms: multipart_exempt,
+        },
+    ]
 }
 
 /// Config file parse error.
@@ -121,6 +250,12 @@ impl Config {
             stderr_crates: Vec::new(),
             wall_clock_exempt: Vec::new(),
             layering: Vec::new(),
+            resources: Vec::new(),
+            span_crates: Vec::new(),
+            taint_crates: Vec::new(),
+            taint_sources: Vec::new(),
+            taint_sinks: Vec::new(),
+            dropped_result_crates: Vec::new(),
         };
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -136,6 +271,16 @@ impl Config {
                         krate: String::new(),
                         forbid: String::new(),
                         allow: Vec::new(),
+                    });
+                } else if h.trim() == "resource" {
+                    cfg.resources.push(ResourceSpec {
+                        kind: String::new(),
+                        crates: Vec::new(),
+                        acquire: String::new(),
+                        bind: "return".into(),
+                        release: Vec::new(),
+                        handoff: Vec::new(),
+                        exempt_arms: Vec::new(),
                     });
                 } else {
                     return Err(ConfigError {
@@ -176,6 +321,44 @@ impl Config {
                 ("rules.no-wall-clock", "exempt_paths") => {
                     cfg.wall_clock_exempt = parse_string_array(value).map_err(err)?
                 }
+                ("rules.span-balance", "crates") => {
+                    cfg.span_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.determinism-taint", "crates") => {
+                    cfg.taint_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.determinism-taint", "sources") => {
+                    cfg.taint_sources = parse_string_array(value).map_err(err)?
+                }
+                ("rules.determinism-taint", "sinks") => {
+                    cfg.taint_sinks = parse_string_array(value).map_err(err)?
+                }
+                ("rules.no-dropped-result", "crates") => {
+                    cfg.dropped_result_crates = parse_string_array(value).map_err(err)?
+                }
+                ("[[resource]]", k) => {
+                    let entry = cfg.resources.last_mut().ok_or_else(|| ConfigError {
+                        line: lineno,
+                        message: "resource key outside [[resource]]".into(),
+                    })?;
+                    match k {
+                        "kind" => entry.kind = parse_string(value).map_err(err)?,
+                        "crates" => entry.crates = parse_string_array(value).map_err(err)?,
+                        "acquire" => entry.acquire = parse_string(value).map_err(err)?,
+                        "bind" => entry.bind = parse_string(value).map_err(err)?,
+                        "release" => entry.release = parse_string_array(value).map_err(err)?,
+                        "handoff" => entry.handoff = parse_string_array(value).map_err(err)?,
+                        "exempt_arms" => {
+                            entry.exempt_arms = parse_string_array(value).map_err(err)?
+                        }
+                        other => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown resource key `{other}`"),
+                            })
+                        }
+                    }
+                }
                 ("[[layering]]", k) => {
                     let entry = cfg.layering.last_mut().ok_or_else(|| ConfigError {
                         line: lineno,
@@ -206,6 +389,30 @@ impl Config {
                 return Err(ConfigError {
                     line: 0,
                     message: format!("[[layering]] entry {i} needs both `crate` and `forbid`"),
+                });
+            }
+        }
+        for (i, r) in cfg.resources.iter().enumerate() {
+            if r.kind.is_empty() || r.acquire.is_empty() || r.release.is_empty() {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!(
+                        "[[resource]] entry {i} needs `kind`, `acquire`, and `release`"
+                    ),
+                });
+            }
+            let bind_ok = r.bind == "return"
+                || r.bind == "reach"
+                || r.bind
+                    .strip_prefix("callback-param:")
+                    .is_some_and(|n| n.parse::<usize>().is_ok())
+                || r.bind
+                    .strip_prefix("transact-callback-param:")
+                    .is_some_and(|n| n.parse::<usize>().is_ok());
+            if !bind_ok {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("[[resource]] entry {i}: unknown bind `{}`", r.bind),
                 });
             }
         }

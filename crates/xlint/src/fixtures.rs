@@ -495,6 +495,459 @@ pub fn head(xs: &[u64]) -> u64 {
 pub fn noop() {}
 "##,
     },
+    // ---- protocol-resource-balance -------------------------------------
+    // Historical bug 1 (PR 4's lost abort): an abort tombstone is written,
+    // but one observer arm retires without re-running the idempotent
+    // conclusion.
+    Fixture {
+        name: "prb-lost-abort-historical",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn abort_task(sim: &mut Sim, task: u64) {
+    sim.db_transact(task, abort_tx(task), move |sim, outcome| match outcome {
+        AbortOutcome::First => {
+            conclude_aborted(sim, task);
+        }
+        AbortOutcome::Repeat => {
+            // BUG: a repeat observer assumes the first aborter concluded;
+            // if that incarnation crashed post-commit, nobody ever does.
+            retire(sim);
+        }
+    });
+}
+fn conclude_aborted(sim: &mut Sim, task: u64) {
+    sim.teardown(task);
+}
+fn retire(sim: &mut Sim) {
+    sim.finish();
+}
+"##,
+    },
+    Fixture {
+        name: "prb-lost-abort-fixed-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn abort_task(sim: &mut Sim, task: u64) {
+    sim.db_transact(task, abort_tx(task), move |sim, outcome| match outcome {
+        AbortOutcome::First => {
+            conclude_aborted(sim, task);
+        }
+        AbortOutcome::Repeat => {
+            // Conclusion is a function of recorded state any observer
+            // re-runs; duplicates are harmless.
+            conclude_aborted(sim, task);
+        }
+    });
+}
+fn conclude_aborted(sim: &mut Sim, task: u64) {
+    sim.teardown(task);
+}
+"##,
+    },
+    // Historical bug 2 (PR 4's orphaned rival upload): a second live
+    // incarnation abandons its own multipart upload un-aborted when it
+    // discovers a rival already recorded in the pool.
+    Fixture {
+        name: "prb-rival-upload-historical",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn prepare(sim: &mut Sim, task: Task) {
+    sim.create_multipart(task.dst, move |sim, upload_id| {
+        sim.db_get(task.id, move |sim, row| match row {
+            PoolRow::Existing(rival) => {
+                // BUG: work the rival's upload and silently drop our own —
+                // it stays open at the destination forever.
+                stream_parts(sim, rival);
+            }
+            PoolRow::Fresh => {
+                stream_parts(sim, upload_id);
+            }
+        });
+    });
+}
+fn stream_parts(sim: &mut Sim, upload_id: u64) {
+    sim.complete_multipart(upload_id);
+}
+"##,
+    },
+    Fixture {
+        name: "prb-rival-upload-fixed-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn prepare(sim: &mut Sim, task: Task) {
+    sim.create_multipart(task.dst, move |sim, upload_id| {
+        sim.db_get(task.id, move |sim, row| match row {
+            PoolRow::Existing(rival) => {
+                // Discard our rival upload promptly, then work theirs.
+                sim.abort_multipart_now(task.dst, upload_id).ok();
+                stream_parts(sim, rival);
+            }
+            PoolRow::Fresh => {
+                stream_parts(sim, upload_id);
+            }
+        });
+    });
+}
+fn stream_parts(sim: &mut Sim, upload_id: u64) {
+    sim.complete_multipart(upload_id);
+}
+"##,
+    },
+    // Historical bug 3 (PR 4, second shape): a rescuer opens a fresh upload,
+    // then retires on the already-concluded path without aborting it — the
+    // orphan is never adopted by anyone.
+    Fixture {
+        name: "prb-orphan-upload-historical",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn rescue(sim: &mut Sim, task: Task) {
+    sim.create_multipart(task.dst, move |sim, upload_id| {
+        sim.db_get(task.id, move |sim, row| {
+            if row.concluded {
+                // BUG: the rescuer raced the original incarnation and lost;
+                // it retires without aborting the upload it just opened.
+                return;
+            }
+            stream_parts(sim, upload_id);
+        });
+    });
+}
+fn stream_parts(sim: &mut Sim, upload_id: u64) {
+    sim.complete_multipart(upload_id);
+}
+"##,
+    },
+    // The fixed adoption protocol: handing the upload id to `adopt_tx`
+    // records it in the pool row, whose deleters re-abort orphans.
+    Fixture {
+        name: "prb-adopt-handoff-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn prepare(sim: &mut Sim, task: Task) {
+    sim.create_multipart(task.dst, move |sim, upload_id| {
+        sim.db_transact(task.id, adopt_tx(upload_id), move |sim, adopted| {
+            stream_parts(sim, adopted);
+        });
+    });
+}
+fn stream_parts(sim: &mut Sim, upload_id: u64) {
+    sim.complete_multipart(upload_id);
+}
+"##,
+    },
+    // Reach-mode lock pairing: `try_lock_tx` must reach `unlock_tx` on every
+    // path (PR 3's split-brain shape); `Busy` is the not-acquired arm.
+    Fixture {
+        name: "prb-lock-leak-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn with_lock(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, try_lock_tx(key), move |sim, got| match got {
+        LockResult::Busy => {}
+        LockResult::Acquired => {
+            if sim.overloaded() {
+                // BUG: shed-load path retires while still holding the lock.
+                return;
+            }
+            do_work(sim, key);
+        }
+    });
+}
+fn do_work(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, unlock_tx(key), move |_sim, _outcome| {});
+}
+"##,
+    },
+    Fixture {
+        name: "prb-lock-balanced-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn with_lock(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, try_lock_tx(key), move |sim, got| match got {
+        LockResult::Busy => {}
+        LockResult::Acquired => {
+            do_work(sim, key);
+        }
+    });
+}
+fn do_work(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, unlock_tx(key), move |_sim, _outcome| {});
+}
+"##,
+    },
+    Fixture {
+        name: "prb-pragma-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn with_lock(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, try_lock_tx(key), move |sim, got| match got {
+        LockResult::Busy => {}
+        LockResult::Acquired => {
+            if sim.overloaded() {
+                // xlint::allow(protocol-resource-balance, shed-load path: the lease-expiry reaper unlocks abandoned rows)
+                return;
+            }
+            do_work(sim, key);
+        }
+    });
+}
+fn do_work(sim: &mut Sim, key: u64) {
+    sim.db_transact(key, unlock_tx(key), move |_sim, _outcome| {});
+}
+"##,
+    },
+    // ---- span-balance ---------------------------------------------------
+    Fixture {
+        name: "span-leak-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "span-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn run_task(sim: &mut Sim) {
+    let span = sim.tracer().span_begin(sim.now(), "task");
+    if sim.failed() {
+        // BUG: the failure path never closes the task span.
+        return;
+    }
+    sim.tracer().span_end(sim.now(), span);
+}
+"##,
+    },
+    Fixture {
+        name: "span-balanced-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "span-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn run_task(sim: &mut Sim) {
+    let span = sim.tracer().span_begin(sim.now(), "task");
+    if sim.failed() {
+        sim.tracer().span_end(sim.now(), span);
+        return;
+    }
+    sim.tracer().span_end(sim.now(), span);
+}
+"##,
+    },
+    // The workspace's real guard idiom: acquire and close both behind
+    // `tracer().enabled()` — the optimistic if-join must keep this clean.
+    Fixture {
+        name: "span-enabled-guard-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "span-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn run_task(sim: &mut Sim) {
+    let span = if sim.tracer().enabled() {
+        sim.tracer().span_begin(sim.now(), "task")
+    } else {
+        SpanId::NULL
+    };
+    work(sim);
+    if sim.tracer().enabled() {
+        sim.tracer().span_end_tagged(sim.now(), span, vec![]);
+    }
+}
+fn work(sim: &mut Sim) {
+    sim.step();
+}
+"##,
+    },
+    // Storing the span in a context struct transfers the obligation to the
+    // struct's consumers (engine's TaskCtx shape).
+    Fixture {
+        name: "span-escape-struct-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "span-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn make_ctx(sim: &mut Sim, task: Task) -> Ctx {
+    let span = sim.tracer().span_begin(sim.now(), "task");
+    Ctx { task, span }
+}
+"##,
+    },
+    Fixture {
+        name: "span-pragma-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "span-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn run_task(sim: &mut Sim) {
+    // xlint::allow(span-balance, diagnostic probe span: the tracer prunes unclosed probe spans at export)
+    let span = sim.tracer().span_begin(sim.now(), "probe");
+    let _keep = span;
+}
+"##,
+    },
+    // ---- determinism-taint ----------------------------------------------
+    Fixture {
+        name: "taint-sink-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Fires,
+        source: r##"
+pub fn profile(sim: &mut Sim) {
+    let timer = WallTimer::start();
+    let elapsed = timer.elapsed_secs();
+    // BUG: wall-clock time decides a sim event's schedule — replays drift.
+    sim.schedule_in(elapsed, move |_sim| {});
+}
+"##,
+    },
+    // Taint must survive arithmetic and `format!` on the way to a sink.
+    Fixture {
+        name: "taint-propagation-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Fires,
+        source: r##"
+pub fn emit(sim: &mut Sim) {
+    let timer = WallTimer::start();
+    let line = format!("{}", timer.elapsed_secs() * 2.0);
+    sim.write_report("fig", line);
+}
+"##,
+    },
+    // Wall time that stays in operator-facing channels is fine.
+    Fixture {
+        name: "taint-no-sink-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Clean,
+        source: r##"
+pub fn profile() -> f64 {
+    let timer = WallTimer::start();
+    timer.elapsed_secs()
+}
+"##,
+    },
+    // Virtual time into a sink is the normal case, not taint.
+    Fixture {
+        name: "taint-sim-time-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Clean,
+        source: r##"
+pub fn pace(sim: &mut Sim, delay: u64) {
+    let now = sim.now();
+    sim.schedule_in(now + delay, move |_sim| {});
+}
+"##,
+    },
+    Fixture {
+        name: "taint-pragma-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Clean,
+        source: r##"
+pub fn snapshot(sim: &mut Sim) {
+    let timer = WallTimer::start();
+    let line = format!("{}", timer.elapsed_secs());
+    // xlint::allow(determinism-taint, perf snapshot only: wall-clock feeds BENCH_*.json and never results/)
+    sim.write_report("bench", line);
+}
+"##,
+    },
+    // ---- no-dropped-result ----------------------------------------------
+    Fixture {
+        name: "dropped-result-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-dropped-result",
+        expect: Expect::Fires,
+        source: r##"
+pub fn cleanup(sim: &mut Sim, key: u64) {
+    let _ = sim.delete_row(key);
+}
+"##,
+    },
+    // Plain binding silencers (no call in the initializer) are idiomatic
+    // closure-capture hints, not discarded Results.
+    Fixture {
+        name: "dropped-result-silencer-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-dropped-result",
+        expect: Expect::Clean,
+        source: r##"
+pub fn capture(tenant: u64, job: &Job) {
+    let _ = tenant;
+    let _ = &job;
+    let _ = (tenant, tenant);
+}
+"##,
+    },
+    // Binaries may discard results (their errors surface at the terminal).
+    Fixture {
+        name: "dropped-result-bin-clean",
+        rel_path: "crates/areplica-core/src/bin/fixture.rs",
+        rule: "no-dropped-result",
+        expect: Expect::Clean,
+        source: r##"
+pub fn cleanup(sim: &mut Sim, key: u64) {
+    let _ = sim.delete_row(key);
+}
+"##,
+    },
+    Fixture {
+        name: "dropped-result-test-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-dropped-result",
+        expect: Expect::Clean,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        let _ = super::run();
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "dropped-result-pragma-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-dropped-result",
+        expect: Expect::Clean,
+        source: r##"
+pub fn cleanup(sim: &mut Sim, key: u64) {
+    // xlint::allow(no-dropped-result, best-effort cache eviction: a miss here is re-reaped by the janitor)
+    let _ = sim.delete_row(key);
+}
+"##,
+    },
+    // ---- parse-error recovery -------------------------------------------
+    // A file the parser cannot fully digest degrades to token-level rules
+    // instead of aborting: the wall-clock hit inside the broken fn still
+    // surfaces.
+    Fixture {
+        name: "parse-error-degrades-to-token-rules",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "no-wall-clock",
+        expect: Expect::Fires,
+        source: r##"
+pub fn broken( {
+    let t0 = std::time::Instant::now();
+}
+"##,
+    },
 ];
 
 /// Runs every fixture through the engine with the default config; returns a

@@ -14,8 +14,10 @@
 //! * [`fixtures::run_self_test`] — run the engine against the embedded
 //!   violating/clean/pragma'd corpus.
 
+pub mod ast;
 pub mod config;
 pub mod fixtures;
+pub mod flow;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -31,15 +33,37 @@ const ALWAYS_SKIP_DIRS: [&str; 3] = ["target", ".git", ".github"];
 /// Walks `root` and lints every workspace `.rs` file, honouring
 /// `cfg.skip` path prefixes. Findings come back sorted by path, then line.
 pub fn lint_root(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    lint_root_filtered(root, cfg, None)
+}
+
+/// Like [`lint_root`], but when `only` is given, findings are reported just
+/// for the listed workspace-relative paths (`--changed-only`). The whole
+/// workspace is still lexed and parsed so cross-file call summaries stay
+/// accurate — an edited callee must re-surface leaks at its callers.
+pub fn lint_root_filtered(
+    root: &Path,
+    cfg: &Config,
+    only: Option<&[String]>,
+) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, cfg, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut prepared = Vec::new();
     for rel in files {
         let abs = root.join(&rel);
         let src = std::fs::read_to_string(&abs)?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(rules::check_file(&rel_str, &src, cfg));
+        prepared.push(rules::prepare(&rel_str, &src, cfg));
+    }
+    let summaries = rules::build_summaries(&prepared, cfg);
+    let mut findings = Vec::new();
+    for p in &prepared {
+        if let Some(list) = only {
+            if !list.iter().any(|f| f == &p.rel) {
+                continue;
+            }
+        }
+        findings.extend(rules::check_prepared(p, cfg, &summaries));
     }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));

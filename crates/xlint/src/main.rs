@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! xlint [--root DIR] [--format human|json] [--self-test] [--list-rules]
+//!       [--changed-only FILE...]
 //! ```
+//!
+//! `--changed-only` consumes the remaining arguments as workspace-relative
+//! paths (the shape `git diff --name-only` emits) and reports findings only
+//! for those files; the whole workspace is still parsed so interprocedural
+//! summaries stay accurate.
 //!
 //! Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage/IO
 //! error. CI runs `cargo run -p xlint --release` as a hard gate.
@@ -18,9 +24,14 @@ fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut self_test = false;
+    let mut changed_only: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--changed-only" => {
+                let files: Vec<String> = args.by_ref().map(|f| f.replace('\\', "/")).collect();
+                changed_only = Some(files);
+            }
             "--format" => match args.next().as_deref().and_then(Format::parse) {
                 Some(f) => format = f,
                 None => return usage("--format takes `human` or `json`"),
@@ -75,7 +86,14 @@ fn main() -> ExitCode {
         }
     };
 
-    match xlint::lint_root(&root, &cfg) {
+    // An empty --changed-only list (no .rs files in the diff) is a no-op
+    // success, matching `git diff --name-only -- '*.rs'` piping.
+    if matches!(&changed_only, Some(list) if list.is_empty()) {
+        println!("xlint: no files to lint");
+        return ExitCode::SUCCESS;
+    }
+
+    match xlint::lint_root_filtered(&root, &cfg, changed_only.as_deref()) {
         Ok(findings) => {
             print!("{}", render(&findings, format));
             if findings.is_empty() {
@@ -93,6 +111,8 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("xlint: {msg}");
-    eprintln!("usage: xlint [--root DIR] [--format human|json] [--self-test] [--list-rules]");
+    eprintln!(
+        "usage: xlint [--root DIR] [--format human|json] [--self-test] [--list-rules] [--changed-only FILE...]"
+    );
     ExitCode::from(2)
 }

@@ -6,12 +6,15 @@
 //! rare construct the heuristics misread. Rules, what they catch, and why,
 //! are documented in DESIGN.md ("Determinism invariants").
 
+use crate::ast::{self, ParsedFile};
 use crate::config::Config;
+use crate::flow::{self, SemInput, Summaries};
 use crate::lexer::{lex, LexedFile, Tok, Token};
 use std::collections::BTreeSet;
 
-/// All rule names, for pragma validation and `--list-rules`.
-pub const RULE_NAMES: [&str; 7] = [
+/// All rule names, for pragma validation and `--list-rules`. The last four
+/// are the v2 flow-aware rules (see `flow`).
+pub const RULE_NAMES: [&str; 11] = [
     "no-wall-clock",
     "no-os-entropy",
     "no-unordered-iteration",
@@ -19,6 +22,10 @@ pub const RULE_NAMES: [&str; 7] = [
     "no-unwrap-in-lib",
     "no-adhoc-stderr",
     "bad-pragma",
+    "protocol-resource-balance",
+    "span-balance",
+    "determinism-taint",
+    "no-dropped-result",
 ];
 
 /// A single lint finding.
@@ -64,24 +71,84 @@ fn classify(rel: &str, cfg: &Config) -> FileScope {
     }
 }
 
-/// Lints one file's source text. `rel` is the workspace-relative path used
-/// for scoping and reporting.
-pub fn check_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+/// One lexed + parsed file, ready for the two-pass workspace lint: parse
+/// everything first, build cross-file call summaries, then check each file.
+pub struct Prepared {
+    pub rel: String,
+    scope: FileScope,
+    pub lexed: LexedFile,
+    pub parsed: ParsedFile,
+}
+
+impl Prepared {
+    /// Lines where the parser gave up; those functions degrade to
+    /// token-level rules only.
+    pub fn parse_errors(&self) -> &[ast::ParseError] {
+        &self.parsed.errors
+    }
+
+    fn sem_input(&self) -> SemInput<'_> {
+        SemInput {
+            rel: &self.rel,
+            krate: &self.scope.krate,
+            in_src: self.scope.in_src,
+            lib_src: self.scope.lib_src,
+            test_tree: self.scope.test_tree,
+            lexed: &self.lexed,
+            parsed: &self.parsed,
+        }
+    }
+}
+
+/// Lexes and parses one file. Never fails: parse errors are recorded per
+/// item and the affected functions simply drop out of the semantic pass.
+pub fn prepare(rel: &str, src: &str, cfg: &Config) -> Prepared {
     let scope = classify(rel, cfg);
     let lexed = lex(src);
+    let parsed = ast::parse(&lexed.tokens);
+    Prepared {
+        rel: rel.to_string(),
+        scope,
+        lexed,
+        parsed,
+    }
+}
+
+/// Builds cross-file call summaries from every prepared file.
+pub fn build_summaries(files: &[Prepared], cfg: &Config) -> Summaries {
+    let inputs: Vec<SemInput<'_>> = files.iter().map(|p| p.sem_input()).collect();
+    flow::build_summaries(&inputs, cfg)
+}
+
+/// Runs all rules — token-level and flow-aware — over one prepared file.
+pub fn check_prepared(p: &Prepared, cfg: &Config, summaries: &Summaries) -> Vec<Finding> {
+    let rel = p.rel.as_str();
+    let scope = &p.scope;
+    let lexed = &p.lexed;
     let mut out = Vec::new();
 
-    pragma_hygiene(rel, &lexed, &mut out);
-    wall_clock(rel, &scope, &lexed, cfg, &mut out);
-    os_entropy(rel, &scope, &lexed, &mut out);
-    unordered_iteration(rel, &scope, &lexed, cfg, &mut out);
-    layering(rel, &scope, &lexed, cfg, &mut out);
-    unwrap_in_lib(rel, &scope, &lexed, cfg, &mut out);
-    adhoc_stderr(rel, &scope, &lexed, cfg, &mut out);
+    pragma_hygiene(rel, lexed, &mut out);
+    wall_clock(rel, scope, lexed, cfg, &mut out);
+    os_entropy(rel, scope, lexed, &mut out);
+    unordered_iteration(rel, scope, lexed, cfg, &mut out);
+    layering(rel, scope, lexed, cfg, &mut out);
+    unwrap_in_lib(rel, scope, lexed, cfg, &mut out);
+    adhoc_stderr(rel, scope, lexed, cfg, &mut out);
+    flow::check_semantic(&p.sem_input(), cfg, summaries, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out.dedup();
     out
+}
+
+/// Lints one file's source text in isolation (fixtures, unit tests):
+/// interprocedural summaries are built from this file alone. `rel` is the
+/// workspace-relative path used for scoping and reporting.
+pub fn check_file(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let p = prepare(rel, src, cfg);
+    let files = [p];
+    let summaries = build_summaries(&files, cfg);
+    check_prepared(&files[0], cfg, &summaries)
 }
 
 fn ident_at(toks: &[Token], i: usize) -> Option<&str> {

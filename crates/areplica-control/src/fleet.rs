@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use areplica_core::fleet::{FleetCadence, FleetHandle, FleetLedger};
+use simtrace::alert::AlertEvent;
 
 /// Per-tenant fleet cadences plus the shared activity ledger.
 #[derive(Debug, Default)]
@@ -54,6 +55,19 @@ impl FleetSupervisor {
     /// Read access to the ledger.
     pub fn with_ledger<R>(&self, f: impl FnOnce(&FleetLedger) -> R) -> R {
         f(&self.ledger.borrow())
+    }
+
+    /// Records one burn-rate alert transition into the per-tenant activity
+    /// ledger — the hook the SLO monitor ([`crate::slo::SloMonitor`]) calls
+    /// on every transition, and the record a future adaptive planner reads.
+    pub fn record_alert(&self, ev: AlertEvent) {
+        self.ledger.borrow_mut().record_alert(ev);
+    }
+
+    /// The deterministic alert log across all tenants (fixed-format lines
+    /// grouped by tenant in sorted order; empty string when nothing fired).
+    pub fn alert_log(&self) -> String {
+        self.ledger.borrow().render_alert_log()
     }
 
     /// Deterministic per-tenant fleet activity report (one line per tenant

@@ -13,6 +13,9 @@
 //! * [`fleet`] — the fleet supervisor: per-tenant watchdog/janitor
 //!   cadences and the activity ledger the core's fleet services record
 //!   into.
+//! * [`slo`] — the SLO monitor: burn-rate alert rules built from tenant
+//!   specs, evaluated on sim-time ticks against `simtrace`'s sliding
+//!   windows, with fire/resolve transitions recorded in the fleet ledger.
 //!
 //! Layering rule (enforced by xlint): this crate reaches backends only
 //! through `areplica_core::backend` traits — it must never depend on
@@ -26,7 +29,9 @@
 pub mod admission;
 pub mod fleet;
 pub mod registry;
+pub mod slo;
 
 pub use admission::{AdmissionConfig, TokenBucket};
 pub use fleet::FleetSupervisor;
 pub use registry::{TenantRegistry, TenantSpec};
+pub use slo::SloMonitor;

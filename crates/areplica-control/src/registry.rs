@@ -24,6 +24,9 @@ pub struct TenantSpec {
     pub id: String,
     /// Per-tenant replication SLO; overrides rule SLOs in the data plane.
     pub slo: Option<SimDuration>,
+    /// SLO attainment target in (0, 1) for burn-rate monitoring (`None` =
+    /// the monitor's default policy target).
+    pub slo_target: Option<f64>,
     /// Regions this tenant replicates between.
     pub regions: Vec<RegionId>,
     /// FaaS-concurrency quota across the tenant's replication tasks.
@@ -41,6 +44,7 @@ impl TenantSpec {
         TenantSpec {
             id: id.to_string(),
             slo: None,
+            slo_target: None,
             regions: Vec::new(),
             faas_concurrency: None,
             admission: None,
@@ -51,6 +55,12 @@ impl TenantSpec {
     /// Sets the SLO override.
     pub fn with_slo(mut self, slo: SimDuration) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// Sets the SLO attainment target for burn-rate monitoring.
+    pub fn with_slo_target(mut self, target: f64) -> Self {
+        self.slo_target = Some(target);
         self
     }
 

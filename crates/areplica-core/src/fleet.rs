@@ -28,6 +28,7 @@ use std::rc::Rc;
 use cloudapi::clouddb::Item;
 use cloudapi::RegionId;
 use simkernel::SimDuration;
+use simtrace::alert::AlertEvent;
 
 use crate::backend::{Backend, Exec};
 use crate::tenant::TenantId;
@@ -76,9 +77,16 @@ pub struct FleetStats {
 
 /// Fleet activity ledger, keyed by tenant (the default tenant records
 /// under `"default"`). BTreeMap so iteration order is deterministic.
+///
+/// Besides the fleet-service counters, the ledger is where the control
+/// plane's SLO monitor deposits burn-rate [`AlertEvent`]s — the per-tenant
+/// activity record a future adaptive planner consumes. Alert recording is
+/// pure memory (no scheduling, no randomness), like every other ledger
+/// update.
 #[derive(Debug, Default)]
 pub struct FleetLedger {
     per_tenant: BTreeMap<String, FleetStats>,
+    alerts: BTreeMap<String, Vec<AlertEvent>>,
 }
 
 impl FleetLedger {
@@ -102,6 +110,36 @@ impl FleetLedger {
     /// All tenants with recorded activity, in deterministic (sorted) order.
     pub fn tenants(&self) -> impl Iterator<Item = (&str, &FleetStats)> {
         self.per_tenant.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Records one burn-rate alert transition under the event's tenant.
+    pub fn record_alert(&mut self, ev: AlertEvent) {
+        self.alerts.entry(ev.tenant.clone()).or_default().push(ev);
+    }
+
+    /// One tenant's alert transitions, in recording order.
+    pub fn alerts(&self, tenant: &str) -> &[AlertEvent] {
+        self.alerts.get(tenant).map_or(&[], Vec::as_slice)
+    }
+
+    /// Tenants with recorded alerts, in deterministic (sorted) order.
+    pub fn alert_tenants(&self) -> impl Iterator<Item = &str> {
+        self.alerts.keys().map(|k| k.as_str())
+    }
+
+    /// Renders every recorded alert as fixed-format lines, grouped by
+    /// tenant in sorted order (byte-deterministic; see
+    /// [`AlertEvent::render`]).
+    pub fn render_alert_log(&self) -> String {
+        let mut out = String::new();
+        for (tenant, evs) in &self.alerts {
+            out.push_str(&format!("# alerts tenant={tenant}\n"));
+            for ev in evs {
+                out.push_str(&ev.render());
+                out.push('\n');
+            }
+        }
+        out
     }
 }
 
@@ -241,6 +279,34 @@ mod tests {
         assert_eq!(c.watchdog_interval, SimDuration::from_secs(90));
         assert_eq!(c.watchdog_max_checks, 40);
         assert_eq!(c.aborted_pool_ttl, SimDuration::from_secs(5400));
+    }
+
+    #[test]
+    fn alert_log_groups_by_tenant_in_sorted_order() {
+        use simkernel::SimTime;
+        use simtrace::alert::AlertKind;
+        let ev = |tenant: &str, kind| AlertEvent {
+            at: SimTime::from_nanos(930 * 1_000_000_000),
+            rule: "slo-burn".into(),
+            tenant: tenant.into(),
+            kind,
+            fast_burn: 50.0,
+            slow_burn: 7.5,
+            fast_bad: 3,
+            fast_total: 4,
+        };
+        let mut l = FleetLedger::new();
+        l.record_alert(ev("zeta", AlertKind::Fired));
+        l.record_alert(ev("alpha", AlertKind::Fired));
+        l.record_alert(ev("zeta", AlertKind::Resolved));
+        assert_eq!(l.alerts("zeta").len(), 2);
+        assert_eq!(l.alerts("missing").len(), 0);
+        assert_eq!(l.alert_tenants().collect::<Vec<_>>(), vec!["alpha", "zeta"]);
+        let log = l.render_alert_log();
+        assert!(log.starts_with("# alerts tenant=alpha\n"));
+        assert!(log.contains("930.000 FIRE slo-burn tenant=zeta"));
+        assert!(log.contains("RESOLVE"));
+        assert_eq!(log, l.render_alert_log());
     }
 
     #[test]

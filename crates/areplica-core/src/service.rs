@@ -232,7 +232,10 @@ fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectE
                     let mut s = st.borrow_mut();
                     s.metrics.admission_queued += 1;
                     let name = s.tenant.metric("service.admission_queued");
-                    sim.tracer().counter_add(&name, 1);
+                    // Timestamped so admission pressure is queryable over
+                    // sliding windows (dashboards); the cumulative counter
+                    // is unchanged.
+                    sim.tracer().counter_add_at(now, &name, 1);
                 }
                 let st2 = st.clone();
                 sim.schedule_in(delay, move |sim| {
@@ -244,7 +247,7 @@ fn on_object_event<B: Backend>(sim: &mut B, st: St, rule_idx: usize, ev: ObjectE
                 let mut s = st.borrow_mut();
                 s.metrics.admission_rejected += 1;
                 let name = s.tenant.metric("service.admission_rejected");
-                sim.tracer().counter_add(&name, 1);
+                sim.tracer().counter_add_at(now, &name, 1);
                 return;
             }
         }
@@ -798,6 +801,22 @@ fn conclude<B: Backend>(
                     side,
                     via_changelog,
                 });
+                // Live SLO accounting: classify the completion against the
+                // effective SLO (tenant override, else rule) and feed the
+                // windowed good/bad counters the burn-rate monitor watches.
+                // Pure registry memory, gated on enablement — untraced runs
+                // pay one branch.
+                if sim.tracer().enabled() {
+                    if let Some(slo) = s.tenant.slo.or(s.rules[rule_idx].slo) {
+                        let delay = now.saturating_since(event_time);
+                        let verdict = if delay <= slo { "slo.good" } else { "slo.bad" };
+                        let name = s.tenant.metric(verdict);
+                        sim.tracer().counter_add_at(now, &name, 1);
+                        let dname = s.tenant.metric("slo.delay_secs");
+                        sim.tracer()
+                            .histogram_record_at(now, &dname, delay.as_secs_f64());
+                    }
+                }
                 // Online logger: compare the mean prediction with reality.
                 if let Some((plan, predicted_mean, actual, _)) = plan_info {
                     let r = &s.rules[rule_idx];

@@ -48,4 +48,5 @@ fn main() {
     run("fig23_trace_replay", &ex::fig23_trace_replay::run);
     run("ablation_part_size", &ex::ablation_part_size::run);
     run("multi_tenant", &ex::multi_tenant::run);
+    run("slo_burn", &ex::slo_burn::run);
 }

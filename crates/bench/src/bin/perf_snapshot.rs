@@ -79,6 +79,7 @@ fn suite_wall_secs() -> f64 {
         ("fig23_trace_replay", &ex::fig23_trace_replay::run),
         ("ablation_part_size", &ex::ablation_part_size::run),
         ("multi_tenant", &ex::multi_tenant::run),
+        ("slo_burn", &ex::slo_burn::run),
     ];
     let timer = WallTimer::start();
     for (name, f) in experiments {
@@ -99,8 +100,15 @@ fn json_number(src: &str, key: &str) -> Option<f64> {
 }
 
 /// Soft regression check against the previous PR's committed snapshot:
-/// warn-only, since wall-clock is machine-dependent.
-fn compare_against(prev_path: &str, kernel_eps: f64, fig17_secs: f64) {
+/// warn-only, since wall-clock is machine-dependent. Every shared field is
+/// compared — throughput downward, each wall-clock figure upward.
+fn compare_against(
+    prev_path: &str,
+    kernel_eps: f64,
+    fig17_secs: f64,
+    fig23_secs: f64,
+    suite_secs: f64,
+) {
     let Ok(prev) = std::fs::read_to_string(prev_path) else {
         // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft-check notice, never in results)
         eprintln!("[no {prev_path} to compare against]");
@@ -115,13 +123,19 @@ fn compare_against(prev_path: &str, kernel_eps: f64, fig17_secs: f64) {
             );
         }
     }
-    if let Some(prev_fig17) = json_number(&prev, "fig17_wall_secs") {
-        if fig17_secs > prev_fig17 * 1.5 + 0.05 {
-            // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft regression warning, never in results)
-            eprintln!(
-                "WARNING: fig17 wall-clock regressed >50% vs {prev_path}: \
-                 {fig17_secs:.3}s vs {prev_fig17:.3}s"
-            );
+    for (key, secs) in [
+        ("fig17_wall_secs", fig17_secs),
+        ("fig23_wall_secs", fig23_secs),
+        ("suite_wall_secs", suite_secs),
+    ] {
+        if let Some(prev_secs) = json_number(&prev, key) {
+            if secs > prev_secs * 1.5 + 0.05 {
+                // xlint::allow(no-adhoc-stderr, designated sink: operator-facing soft regression warning, never in results)
+                eprintln!(
+                    "WARNING: {key} regressed >50% vs {prev_path}: \
+                     {secs:.3}s vs {prev_secs:.3}s"
+                );
+            }
         }
     }
 }
@@ -156,15 +170,21 @@ fn main() {
     let suite_secs = suite_wall_secs();
 
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"pr\": 7,\n  \"kernel_events\": {kernel_events},\n  \
+        "{{\n  \"schema\": 2,\n  \"pr\": 8,\n  \"kernel_events\": {kernel_events},\n  \
          \"kernel_wall_secs\": {kernel_secs:.4},\n  \
          \"kernel_events_per_sec\": {kernel_eps:.0},\n  \
          \"fig17_scale\": 1.0,\n  \"fig17_wall_secs\": {fig17_secs:.3},\n  \
          \"fig23_scale\": {SUITE_SCALE},\n  \"fig23_wall_secs\": {fig23_secs:.3},\n  \
          \"suite_scale\": {SUITE_SCALE},\n  \"suite_wall_secs\": {suite_secs:.3}\n}}\n"
     );
-    compare_against("BENCH_6.json", kernel_eps, fig17_secs);
-    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
+    compare_against(
+        "BENCH_7.json",
+        kernel_eps,
+        fig17_secs,
+        fig23_secs,
+        suite_secs,
+    );
+    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".into());
     std::fs::write(&out, &json).expect("write perf snapshot");
     // xlint::allow(no-adhoc-stderr, designated sink: echoes the committed BENCH_<pr>.json, never in results)
     println!("{json}");

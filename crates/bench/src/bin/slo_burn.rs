@@ -1,0 +1,12 @@
+//! Regenerates the SLO burn-rate alerting report, plus (with
+//! `--dash-out[=DIR]`) the dashboard stream, alert log, and
+//! flight-recorder dump — all byte-deterministic for a fixed seed.
+fn main() {
+    let art = bench::experiments::slo_burn::run_full();
+    bench::write_report("slo_burn", &art.report);
+    if let Some(dir) = bench::dash_out_dir() {
+        bench::write_dash(&dir, "slo_burn.dash.txt", &art.dashboards);
+        bench::write_dash(&dir, "slo_burn.alerts.txt", &art.alert_log);
+        bench::write_dash(&dir, "slo_burn.flight.json", &art.flight_dump);
+    }
+}

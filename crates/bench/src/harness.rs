@@ -49,6 +49,47 @@ pub fn trace_out_dir() -> Option<PathBuf> {
     })
 }
 
+/// Dashboard output directory from a `--dash-out[=DIR]` CLI flag (or the
+/// `AREPLICA_DASH_OUT` env var as a fallback). `None` means dashboard
+/// artifacts are not written. A bare `--dash-out` (or empty env var) uses
+/// the results directory. Mirrors [`trace_out_dir`].
+pub fn dash_out_dir() -> Option<PathBuf> {
+    let mut dir: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--dash-out" {
+            dir = Some(String::new());
+        } else if let Some(d) = arg.strip_prefix("--dash-out=") {
+            dir = Some(d.to_string());
+        }
+    }
+    let dir = dir.or_else(|| std::env::var("AREPLICA_DASH_OUT").ok())?;
+    Some(if dir.is_empty() {
+        std::env::var("AREPLICA_RESULTS_DIR")
+            .unwrap_or_else(|_| "results".to_string())
+            .into()
+    } else {
+        dir.into()
+    })
+}
+
+/// Writes one named dashboard artifact (dashboard stream, alert log, or
+/// flight-recorder dump) into `dir`. The content is a pure function of the
+/// simulation seed — identically-seeded runs must produce byte-identical
+/// files, which CI checks with `cmp`.
+pub fn write_dash(dir: &Path, filename: &str, content: &str) {
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(filename);
+    if let Err(e) = fs::write(&path, content) {
+        // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        // xlint::allow(no-adhoc-stderr, designated sink: operator-facing save diagnostics, never in results)
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
 /// The paper's per-phase delay taxonomy, derived purely from the trace:
 /// `I` invocation API, `D` cold start, `P` scheduler postponement,
 /// `S` transfer setup + wire legs, `C` multipart commit.

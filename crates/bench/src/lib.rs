@@ -24,8 +24,8 @@ pub mod runners;
 pub mod walltimer;
 
 pub use harness::{
-    human_bytes, phase_breakdown, scaled, seed, trace_artifacts, trace_out_dir, write_report,
-    write_trace, Table,
+    dash_out_dir, human_bytes, phase_breakdown, scaled, seed, trace_artifacts, trace_out_dir,
+    write_dash, write_report, write_trace, Table,
 };
 pub use runners::{measure_areplica_once, profile_pairs, wait_for_completions};
 pub use walltimer::WallTimer;

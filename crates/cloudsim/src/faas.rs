@@ -89,6 +89,12 @@ pub struct FaasRuntime {
     regions: BTreeMap<RegionId, RegionFaas>,
     instances: BTreeMap<InstanceId, Instance>,
     tenants: BTreeMap<Rc<str>, TenantFaas>,
+    /// Per-tenant performance degradation (≥ 1.0 = that many times
+    /// slower). Models the instance-level performance drift serverless
+    /// platforms exhibit over time; experiments inject it mid-run to
+    /// exercise SLO burn-rate monitoring. Empty (all 1.0) in every
+    /// result-producing run, so default behavior is untouched.
+    slowdowns: BTreeMap<Rc<str>, f64>,
     next_instance: u64,
     next_invocation: u64,
     /// Dead-letter queue (inspectable by tests and experiments).
@@ -124,11 +130,18 @@ impl FaasRuntime {
     }
 
     /// The persistent speed factor of an instance (1.0 if unknown — only
-    /// possible for a dead instance whose transfers are being dropped).
+    /// possible for a dead instance whose transfers are being dropped),
+    /// divided by the owning tenant's injected slowdown, if any.
     pub fn speed_factor(&self, instance: InstanceId) -> f64 {
-        self.instances
-            .get(&instance)
-            .map_or(1.0, |i| i.speed_factor)
+        self.instances.get(&instance).map_or(1.0, |i| {
+            let slow = i
+                .tenant
+                .as_ref()
+                .and_then(|t| self.slowdowns.get(t))
+                .copied()
+                .unwrap_or(1.0);
+            i.speed_factor / slow.max(1e-9)
+        })
     }
 
     /// The spec of an instance, if alive.
@@ -154,6 +167,24 @@ impl FaasRuntime {
     /// Sets (or clears) a tenant's cross-region FaaS concurrency quota.
     pub fn set_tenant_limit(&mut self, tenant: &str, limit: Option<u32>) {
         self.tenants.entry(Rc::from(tenant)).or_default().limit = limit;
+    }
+
+    /// Injects a performance slowdown for one tenant's instances: every
+    /// transfer driven by the tenant's functions runs `factor`× slower
+    /// (1.0 clears the injection). Deterministic — it scales already-sampled
+    /// speed factors and draws no randomness — and visible only to runs
+    /// that call it, so committed results never change.
+    pub fn set_tenant_slowdown(&mut self, tenant: &str, factor: f64) {
+        if factor == 1.0 {
+            self.slowdowns.remove(tenant);
+        } else {
+            self.slowdowns.insert(Rc::from(tenant), factor.max(1e-9));
+        }
+    }
+
+    /// The tenant's currently injected slowdown (1.0 = none).
+    pub fn tenant_slowdown(&self, tenant: &str) -> f64 {
+        self.slowdowns.get(tenant).copied().unwrap_or(1.0)
     }
 
     /// A tenant's currently active instance count.

@@ -3,14 +3,15 @@
 //! ```text
 //! simcheck smoke                                   # fixed-seed gate (CI)
 //! simcheck sweep  --seeds N [--start S] [--scenario NAME] [--out DIR]
-//! simcheck replay --seed K [--scenario NAME]       # run + report one walk
-//! simcheck shrink --seed K [--scenario NAME]       # minimize a failing walk
+//! simcheck replay --seed K [--scenario NAME] [--out DIR]
+//! simcheck shrink --seed K [--scenario NAME] [--out DIR]
 //! simcheck exhaustive [--scenario NAME] [--depth D] [--runs N]
 //! ```
 //!
 //! Exit status 0 means every explored schedule passed; 1 means at least one
-//! failed (the shrunken reproduction is printed and, for sweeps, written to
-//! `--out`); 2 means usage error.
+//! failed (the shrunken reproduction is printed and, with `--out`, written
+//! to `DIR` beside a `<scenario>-seed<K>.flight.json` flight-recorder dump
+//! of the failing run's trace tail); 2 means usage error.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -27,8 +28,8 @@ fn usage() -> ExitCode {
          \n\
          smoke                                    fixed-seed pass/fail gate\n\
          sweep  --seeds N [--start S] [--scenario NAME] [--out DIR]\n\
-         replay --seed K [--scenario NAME]\n\
-         shrink --seed K [--scenario NAME]\n\
+         replay --seed K [--scenario NAME] [--out DIR]\n\
+         shrink --seed K [--scenario NAME] [--out DIR]\n\
          exhaustive [--scenario NAME] [--depth D] [--runs N]\n\
          \n\
          scenarios: {}",
@@ -68,10 +69,13 @@ fn scenario_arg(args: &[String]) -> Result<Vec<Scenario>, String> {
     }
 }
 
-/// Renders a failing walk: the seed, the violations, and the shrunken
-/// scripted reproduction.
-fn describe_failure(sc: &Scenario, seed: u64) -> String {
+/// Renders a failing walk — the seed, the violations, and the shrunken
+/// scripted reproduction — plus the flight-recorder dump that ships beside
+/// it. The dump is taken from replaying the *minimized* script (so its
+/// trace tail matches the repro), falling back to the original walk's.
+fn describe_failure(sc: &Scenario, seed: u64) -> (String, Option<String>) {
     let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
+    let mut dump = report.flight_dump.clone();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -93,6 +97,10 @@ fn describe_failure(sc: &Scenario, seed: u64) -> String {
             );
             let _ = writeln!(out, "  script: {:?}", min.script);
             let _ = writeln!(out, "  essence: {:?}", min.essence());
+            let rerun = run_schedule(sc, Mode::Scripted(min.script.clone()));
+            if rerun.flight_dump.is_some() {
+                dump = rerun.flight_dump;
+            }
         }
         None => {
             let _ = writeln!(
@@ -101,11 +109,34 @@ fn describe_failure(sc: &Scenario, seed: u64) -> String {
             );
         }
     }
-    out
+    (out, dump)
 }
 
-/// Runs `seeds` walks per scenario; returns the failure descriptions.
-fn sweep(scenarios: &[Scenario], start: u64, seeds: u64) -> Vec<(String, u64, String)> {
+/// Writes a failure's flight-recorder dump as
+/// `DIR/<scenario>-seed<K>.flight.json`.
+fn write_flight_dump(
+    dir: &str,
+    scenario: &str,
+    seed: u64,
+    dump: &Option<String>,
+) -> Result<(), String> {
+    let Some(dump) = dump else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let path = format!("{dir}/{scenario}-seed{seed}.flight.json");
+    std::fs::write(&path, dump).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  wrote {path}");
+    Ok(())
+}
+
+/// Runs `seeds` walks per scenario; returns the failure descriptions and
+/// their flight dumps.
+fn sweep(
+    scenarios: &[Scenario],
+    start: u64,
+    seeds: u64,
+) -> Vec<(String, u64, String, Option<String>)> {
     let mut failures = Vec::new();
     for sc in scenarios {
         let mut failed = 0u64;
@@ -113,7 +144,8 @@ fn sweep(scenarios: &[Scenario], start: u64, seeds: u64) -> Vec<(String, u64, St
             let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
             if !report.passed() {
                 failed += 1;
-                failures.push((sc.name.to_string(), seed, describe_failure(sc, seed)));
+                let (text, dump) = describe_failure(sc, seed);
+                failures.push((sc.name.to_string(), seed, text, dump));
             }
         }
         println!(
@@ -169,7 +201,7 @@ fn cmd_smoke() -> Result<bool, String> {
         for seed in SMOKE_SEEDS {
             let report = run_schedule(&sc, Mode::Walk(WalkConfig::seeded(seed)));
             if !report.passed() {
-                print!("{}", describe_failure(&sc, seed));
+                print!("{}", describe_failure(&sc, seed).0);
                 ok = false;
             }
         }
@@ -189,13 +221,14 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
     let scenarios = scenario_arg(args)?;
     let out_dir = flag_value(args, "--out");
     let failures = sweep(&scenarios, start, seeds);
-    for (scenario, seed, text) in &failures {
+    for (scenario, seed, text, dump) in &failures {
         print!("{text}");
         if let Some(dir) = &out_dir {
             std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
             let path = format!("{dir}/{scenario}-seed{seed}.txt");
             std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
             println!("  wrote {path}");
+            write_flight_dump(dir, scenario, *seed, dump)?;
         }
     }
     Ok(failures.is_empty())
@@ -204,6 +237,7 @@ fn cmd_sweep(args: &[String]) -> Result<bool, String> {
 fn cmd_replay(args: &[String]) -> Result<bool, String> {
     let seed = parse_u64(args, "--seed", 1)?;
     let scenarios = scenario_arg(args)?;
+    let out_dir = flag_value(args, "--out");
     let mut ok = true;
     for sc in &scenarios {
         let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
@@ -216,6 +250,9 @@ fn cmd_replay(args: &[String]) -> Result<bool, String> {
             report.fault_stats,
             report.violations
         );
+        if let Some(dir) = &out_dir {
+            write_flight_dump(dir, sc.name, seed, &report.flight_dump)?;
+        }
         ok &= report.passed();
     }
     Ok(ok)
@@ -224,6 +261,7 @@ fn cmd_replay(args: &[String]) -> Result<bool, String> {
 fn cmd_shrink(args: &[String]) -> Result<bool, String> {
     let seed = parse_u64(args, "--seed", 1)?;
     let scenarios = scenario_arg(args)?;
+    let out_dir = flag_value(args, "--out");
     let mut any_failed = false;
     for sc in &scenarios {
         let report = run_schedule(sc, Mode::Walk(WalkConfig::seeded(seed)));
@@ -235,7 +273,15 @@ fn cmd_shrink(args: &[String]) -> Result<bool, String> {
             continue;
         }
         any_failed = true;
-        print!("{}", describe_failure(sc, seed));
+        let (text, dump) = describe_failure(sc, seed);
+        print!("{text}");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+            let path = format!("{dir}/{}-seed{seed}.txt", sc.name);
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("  wrote {path}");
+            write_flight_dump(dir, sc.name, seed, &dump)?;
+        }
     }
     // Exit 1 when a failure was found (and shrunk) — same polarity as sweep.
     Ok(!any_failed)

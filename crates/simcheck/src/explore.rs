@@ -31,6 +31,10 @@ pub struct RunReport {
     /// (multi-tenant scenarios only): (tenant id, peak concurrent
     /// instances, starts the quota deferred).
     pub tenant_faas: Vec<(String, u32, u64)>,
+    /// Flight-recorder dump captured at the moment an oracle failed
+    /// (`None` when every oracle passed). Deterministic: replaying the
+    /// same schedule reproduces the dump byte for byte.
+    pub flight_dump: Option<String>,
 }
 
 impl RunReport {
@@ -172,6 +176,14 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
             )
         })
         .collect();
+    // On oracle failure, capture the flight recorder's last-events ring so
+    // the shrunken repro ships with the trace tail that led up to it.
+    let flight_dump = if violations.is_empty() {
+        None
+    } else {
+        let trace = &sim.inner().world.trace;
+        Some(trace.flight_dump_open(None).flight_dump_close())
+    };
     let taken = state.borrow().taken.clone();
     RunReport {
         violations,
@@ -179,6 +191,7 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
         fault_stats: sim.fault_stats(),
         executed,
         tenant_faas,
+        flight_dump,
     }
 }
 

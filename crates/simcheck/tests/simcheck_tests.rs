@@ -73,6 +73,33 @@ fn canary_is_caught_and_shrinks_small() {
     );
 }
 
+/// An oracle failure must ship with a flight-recorder dump of the run's
+/// trace tail, and the dump must be byte-stable: the same failing walk
+/// replayed twice produces the identical artifact. Passing runs carry no
+/// dump at all.
+#[test]
+fn oracle_failures_capture_a_byte_stable_flight_dump() {
+    let canary = Scenario::canary();
+    let a = run_schedule(&canary, Mode::Walk(WalkConfig::seeded(29)));
+    let b = run_schedule(&canary, Mode::Walk(WalkConfig::seeded(29)));
+    assert!(!a.passed(), "seed 29 must trip the canary");
+    let dump_a = a.flight_dump.as_deref().expect("failure must carry a dump");
+    let dump_b = b.flight_dump.as_deref().expect("failure must carry a dump");
+    assert!(!dump_a.is_empty(), "the dump must record trace events");
+    assert!(
+        dump_a.contains("\"traceEvents\""),
+        "the dump must be a Chrome trace"
+    );
+    assert_eq!(dump_a, dump_b, "identical runs must dump identical bytes");
+
+    let clean = run_schedule(&Scenario::small_race(), Mode::Default);
+    assert!(clean.passed());
+    assert!(
+        clean.flight_dump.is_none(),
+        "passing runs must not capture a dump"
+    );
+}
+
 /// Positions of the `PostTransactKill` consults in a run's decision stream.
 fn kill_sites(report: &simcheck::RunReport) -> Vec<usize> {
     report

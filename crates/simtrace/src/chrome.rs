@@ -72,16 +72,18 @@ pub(crate) fn export(tracer: &Tracer) -> String {
 }
 
 /// Microsecond timestamp with exactly three decimals, e.g. `1500000.250`.
-fn ts(at: SimTime) -> String {
+/// Shared with the flight-recorder dump so both artifacts format time
+/// identically.
+pub(crate) fn ts(at: SimTime) -> String {
     micros(at.as_nanos())
 }
 
-fn micros(nanos: u64) -> String {
+pub(crate) fn micros(nanos: u64) -> String {
     format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
 }
 
 /// `"k":"v"` pairs for an `args` object, in tag recording order.
-fn args(tags: &[(&'static str, String)]) -> String {
+pub(crate) fn args(tags: &[(&'static str, String)]) -> String {
     let mut out = String::new();
     for (i, (k, v)) in tags.iter().enumerate() {
         if i > 0 {
@@ -95,7 +97,7 @@ fn args(tags: &[(&'static str, String)]) -> String {
 }
 
 /// Minimal JSON string encoder (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

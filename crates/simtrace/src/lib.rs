@@ -33,11 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 mod chrome;
+pub mod dash;
 mod query;
+mod recorder;
 mod registry;
+pub mod window;
 
 pub use query::TraceQuery;
+pub use recorder::{FlightDump, FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use registry::Registry;
 
 use simkernel::{SimDuration, SimTime};
@@ -190,6 +195,7 @@ pub struct Tracer {
     open: std::collections::BTreeMap<u64, usize>,
     next_id: u64,
     registry: Registry,
+    flight: FlightRecorder,
 }
 
 impl Tracer {
@@ -255,6 +261,13 @@ impl Tracer {
                 span: idx,
                 first_extra_tag,
             });
+            let span = &self.spans[idx];
+            self.flight.record(FlightEntry {
+                at: span.start,
+                dur: span.duration(),
+                name: span.name,
+                tags: span.tags.clone(),
+            });
         }
     }
 
@@ -272,6 +285,12 @@ impl Tracer {
         }
         self.next_id += 1;
         let idx = self.spans.len();
+        self.flight.record(FlightEntry {
+            at: start,
+            dur: Some(duration),
+            name,
+            tags: tags.clone(),
+        });
         self.spans.push(Span {
             id: self.next_id,
             name,
@@ -288,6 +307,12 @@ impl Tracer {
             return;
         }
         let idx = self.instants.len();
+        self.flight.record(FlightEntry {
+            at,
+            dur: None,
+            name,
+            tags: tags.clone(),
+        });
         self.instants.push(InstantEvent { at, name, tags });
         self.recs.push(Rec::Mark(idx));
     }
@@ -311,6 +336,57 @@ impl Tracer {
         if self.enabled {
             self.registry.histogram_record(name, value);
         }
+    }
+
+    /// Adds `delta` to a named counter *and* its sliding window at sim time
+    /// `at` (see [`Registry::counter_add_at`]). No-op while disabled.
+    pub fn counter_add_at(&mut self, at: SimTime, name: &str, delta: u64) {
+        if self.enabled {
+            self.registry.counter_add_at(at, name, delta);
+        }
+    }
+
+    /// Records a sample into a named histogram *and* its sliding window at
+    /// sim time `at`. No-op while disabled.
+    pub fn histogram_record_at(&mut self, at: SimTime, name: &str, value: f64) {
+        if self.enabled {
+            self.registry.histogram_record_at(at, name, value);
+        }
+    }
+
+    /// The sliding-window store (read side; shorthand for
+    /// `registry().windows()`).
+    pub fn windows(&self) -> &window::WindowStore {
+        self.registry.windows()
+    }
+
+    /// The flight recorder's per-tenant rings (read side).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Opens a flight-recorder dump over one tenant's ring (`Some`) or
+    /// every tenant's ring in sorted-tenant order (`None`). The returned
+    /// [`FlightDump`] is truncated JSON until
+    /// [`FlightDump::flight_dump_close`] seals it — the open/close pair is
+    /// enforced by xlint's resource-balance rule.
+    pub fn flight_dump_open(&self, tenant: Option<&str>) -> FlightDump {
+        let mut dump = FlightDump::begin();
+        match tenant {
+            Some(t) => {
+                for e in self.flight.entries(t) {
+                    dump.push(t, e);
+                }
+            }
+            None => {
+                for t in self.flight.tenants() {
+                    for e in self.flight.entries(t) {
+                        dump.push(t, e);
+                    }
+                }
+            }
+        }
+        dump
     }
 
     /// All recorded spans, in creation order.
@@ -461,6 +537,56 @@ mod tests {
         assert_eq!(tr.registry().counter("a"), 2);
         assert_eq!(tr.registry().gauge("g"), Some(1.5));
         assert_eq!(tr.registry().histogram("h").map(|h| h.len()), Some(1));
+    }
+
+    #[test]
+    fn flight_recorder_captures_closed_events_per_tenant() {
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        // One tenant-tagged complete span, one tenant-tagged instant, one
+        // begin/end span for the default tenant.
+        tr.span_complete(
+            t(1),
+            SimDuration::from_secs(2),
+            names::TASK,
+            vec![("tenant", "acme".into()), ("key", "a".into())],
+        );
+        tr.instant(t(2), names::ENGINE_ABORT, vec![("tenant", "acme".into())]);
+        let id = tr.span_begin(t(3), names::NET_LEG, vec![]);
+        tr.span_end(t(5), id);
+        assert_eq!(
+            tr.flight().tenants().collect::<Vec<_>>(),
+            vec!["acme", "default"]
+        );
+        assert_eq!(tr.flight().entries("acme").count(), 2);
+        // The begin/end span lands in the ring only once it closes, with
+        // its full duration.
+        let default: Vec<_> = tr.flight().entries("default").collect();
+        assert_eq!(default.len(), 1);
+        assert_eq!(default[0].dur, Some(SimDuration::from_secs(2)));
+
+        let a = tr.flight_dump_open(Some("acme")).flight_dump_close();
+        let b = tr.flight_dump_open(Some("acme")).flight_dump_close();
+        assert_eq!(a, b, "flight dump must be byte-deterministic");
+        assert!(a.contains("\"tenant\":\"acme\""));
+        assert!(!a.contains("net.leg"), "tenant dump leaked another tenant");
+        let all = tr.flight_dump_open(None).flight_dump_close();
+        assert!(all.contains("net.leg") && all.contains("engine.abort"));
+    }
+
+    #[test]
+    fn disabled_tracer_keeps_flight_ring_empty() {
+        let mut tr = Tracer::new();
+        tr.span_complete(t(1), SimDuration::from_secs(1), names::TASK, vec![]);
+        tr.instant(t(2), names::ENGINE_ABORT, vec![]);
+        assert_eq!(tr.flight().tenants().count(), 0);
+        assert_eq!(
+            tr.flight_dump_open(None)
+                .flight_dump_close()
+                .matches("\"ph\"")
+                .count(),
+            0
+        );
     }
 
     #[test]

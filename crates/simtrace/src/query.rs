@@ -189,4 +189,69 @@ mod tests {
         assert_eq!(sums[names::NET_LEG], (3, SimDuration::from_secs(6)));
         assert_eq!(sums[names::TASK], (1, SimDuration::ZERO));
     }
+
+    /// Two tenants' spans interleave in one trace; the `tenant` tag slices
+    /// them apart exactly, alone and combined with other filters.
+    #[test]
+    fn tenant_tag_filters_slice_a_shared_trace() {
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        for (i, tenant) in ["noisy", "quiet", "noisy", "noisy"].iter().enumerate() {
+            tr.span_complete(
+                SimTime::from_nanos(i as u64 * 1_000),
+                SimDuration::from_secs(1),
+                names::NET_LEG,
+                vec![("tenant", tenant.to_string()), ("region", "a".into())],
+            );
+        }
+        tr.instant(
+            SimTime::ZERO,
+            names::ENGINE_ABORT,
+            vec![("tenant", "quiet".into())],
+        );
+        assert_eq!(tr.query().tag("tenant", "noisy").count(), 3);
+        assert_eq!(tr.query().tag("tenant", "quiet").count(), 1);
+        assert_eq!(
+            tr.query()
+                .name(names::NET_LEG)
+                .tag("tenant", "noisy")
+                .tag("region", "a")
+                .count(),
+            3
+        );
+        assert_eq!(tr.query().tag("tenant", "quiet").instant_count(), 1);
+        assert_eq!(tr.query().tag("tenant", "absent").count(), 0);
+        assert_eq!(
+            tr.query().tag("tenant", "noisy").total_duration(),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    /// Scoped metric names keep per-tenant windowed counters fully
+    /// separated: one tenant's burst never bleeds into the other's rates,
+    /// and the cumulative registry sees both under distinct names.
+    #[test]
+    fn scoped_windowed_counters_stay_per_tenant() {
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        let noisy = crate::scoped("noisy", "slo.bad");
+        let quiet = crate::scoped("quiet", "slo.good");
+        assert_eq!(noisy, "tenant.noisy.slo.bad");
+        for i in 0..5u64 {
+            tr.counter_add_at(SimTime::from_nanos(i * 60 * 1_000_000_000), &noisy, 2);
+        }
+        tr.counter_add_at(SimTime::from_nanos(120 * 1_000_000_000), &quiet, 7);
+        let now = SimTime::from_nanos(300 * 1_000_000_000);
+        let hour = SimDuration::from_secs(3600);
+        assert_eq!(tr.windows().counter_sum(&noisy, now, hour), 10);
+        assert_eq!(tr.windows().counter_sum(&quiet, now, hour), 7);
+        // Cross-tenant names never alias.
+        assert_eq!(
+            tr.windows().counter_sum("tenant.quiet.slo.bad", now, hour),
+            0
+        );
+        let snapshot = tr.render_metrics_snapshot();
+        assert!(snapshot.contains("tenant.noisy.slo.bad 10"));
+        assert!(snapshot.contains("tenant.quiet.slo.good 7"));
+    }
 }

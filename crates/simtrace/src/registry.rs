@@ -4,18 +4,27 @@
 
 use std::collections::BTreeMap;
 
-use simkernel::Histogram;
+use simkernel::{Histogram, SimTime};
+
+use crate::window::{WindowSpec, WindowStore};
 
 /// Counters, gauges, and histograms under sorted string names.
 ///
 /// Naming convention (see DESIGN.md "Observability"):
 /// `<subsystem>.<event>[.<qualifier>]`, e.g. `faas.cold_starts`,
 /// `logger.window_evictions`, `store.ops.put`.
+///
+/// Metrics recorded through the `_at` variants additionally feed a
+/// [`WindowStore`] of sliding time windows — the live-query side consumed
+/// by burn-rate alerting and dashboards. Windowed state never appears in
+/// [`Registry::render`], so snapshot output is independent of window
+/// geometry.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    windows: WindowStore,
 }
 
 impl Registry {
@@ -40,6 +49,33 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .record(value);
+    }
+
+    /// Adds `delta` to the named counter *and* its sliding window at sim
+    /// time `at` — the timestamped variant live instrumentation uses so the
+    /// same event feeds both the cumulative snapshot and windowed queries.
+    pub fn counter_add_at(&mut self, at: SimTime, name: &str, delta: u64) {
+        self.counter_add(name, delta);
+        self.windows.counter_add(at, name, delta);
+    }
+
+    /// Records one sample into the named histogram *and* its sliding
+    /// window at sim time `at`.
+    pub fn histogram_record_at(&mut self, at: SimTime, name: &str, value: f64) {
+        self.histogram_record(name, value);
+        self.windows.histogram_record(at, name, value);
+    }
+
+    /// The sliding-window store (read side, for alert engines and
+    /// dashboards).
+    pub fn windows(&self) -> &WindowStore {
+        &self.windows
+    }
+
+    /// Replaces the window geometry. Call before recording: existing
+    /// windowed state is discarded (cumulative metrics are unaffected).
+    pub fn set_window_spec(&mut self, spec: WindowSpec) {
+        self.windows = WindowStore::new(spec);
     }
 
     /// Current value of a counter (0 if never touched).
@@ -128,6 +164,31 @@ mod tests {
         r.histogram_record("h", 3.0);
         assert_eq!(r.histogram("h").unwrap().len(), 2);
         assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn timestamped_variants_feed_both_sides_and_never_render() {
+        use simkernel::SimDuration;
+        let mut r = Registry::new();
+        let at = SimTime::from_nanos(90_000_000_000);
+        r.counter_add_at(at, "slo.bad", 2);
+        r.histogram_record_at(at, "slo.delay_secs", 4.5);
+        // Cumulative side sees the event…
+        assert_eq!(r.counter("slo.bad"), 2);
+        assert_eq!(r.histogram("slo.delay_secs").unwrap().len(), 1);
+        // …and so does the windowed side…
+        let w = r.windows();
+        assert_eq!(w.counter_sum("slo.bad", at, SimDuration::from_secs(60)), 2);
+        assert_eq!(
+            w.percentile("slo.delay_secs", at, SimDuration::from_secs(60), 50.0),
+            Some(4.5)
+        );
+        // …but render output is exactly what the plain variants produce:
+        // window geometry never leaks into snapshots.
+        let mut plain = Registry::new();
+        plain.counter_add("slo.bad", 2);
+        plain.histogram_record("slo.delay_secs", 4.5);
+        assert_eq!(r.render(), plain.render());
     }
 
     #[test]

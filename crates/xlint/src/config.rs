@@ -146,6 +146,9 @@ impl Default for Config {
                 "invoke".into(),
                 "invoke_after".into(),
                 "write_report".into(),
+                "write_dash".into(),
+                "record_alert".into(),
+                "flight_dump_open".into(),
             ],
             dropped_result_crates: vec![
                 "areplica-core".into(),
@@ -210,6 +213,15 @@ fn default_resources() -> Vec<ResourceSpec> {
             release: vec!["complete_multipart".into(), "abort_multipart_now".into()],
             handoff: Vec::new(),
             exempt_arms: multipart_exempt,
+        },
+        ResourceSpec {
+            kind: "flight dump".into(),
+            crates: vec!["simtrace".into(), "bench".into(), "simcheck".into()],
+            acquire: "flight_dump_open".into(),
+            bind: "return".into(),
+            release: vec!["flight_dump_close".into()],
+            handoff: Vec::new(),
+            exempt_arms: Vec::new(),
         },
     ]
 }

@@ -714,6 +714,36 @@ fn do_work(sim: &mut Sim, key: u64) {
 }
 "##,
     },
+    // Flight-recorder dumps (return-mode): an opened dump is truncated
+    // JSON until `flight_dump_close` consumes it.
+    Fixture {
+        name: "prb-flight-dump-leak-fires",
+        rel_path: "crates/bench/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn dump_on_failure(tracer: &Tracer, failed: bool) -> String {
+    let dump = tracer.flight_dump_open(None);
+    if failed {
+        // BUG: bail out while the dump is still open — truncated JSON.
+        return String::new();
+    }
+    dump.flight_dump_close()
+}
+"##,
+    },
+    Fixture {
+        name: "prb-flight-dump-closed-clean",
+        rel_path: "crates/bench/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn dump(tracer: &Tracer) -> String {
+    let dump = tracer.flight_dump_open(None);
+    dump.flight_dump_close()
+}
+"##,
+    },
     // ---- span-balance ---------------------------------------------------
     Fixture {
         name: "span-leak-fires",
@@ -850,6 +880,32 @@ pub fn profile() -> f64 {
 pub fn pace(sim: &mut Sim, delay: u64) {
     let now = sim.now();
     sim.schedule_in(now + delay, move |_sim| {});
+}
+"##,
+    },
+    // The observability emit paths are sinks too: wall-clock must never
+    // reach a dashboard artifact (they are byte-compared across runs).
+    Fixture {
+        name: "taint-dash-sink-fires",
+        rel_path: "crates/bench/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Fires,
+        source: r##"
+pub fn emit(dir: &Path) {
+    let timer = WallTimer::start();
+    let line = format!("rendered in {}", timer.elapsed_secs());
+    write_dash(dir, "slo_burn.dash.txt", &line);
+}
+"##,
+    },
+    Fixture {
+        name: "taint-dash-sim-derived-clean",
+        rel_path: "crates/bench/src/fixture.rs",
+        rule: "determinism-taint",
+        expect: Expect::Clean,
+        source: r##"
+pub fn emit(dir: &Path, frame: &DashFrame) {
+    write_dash(dir, "slo_burn.dash.txt", &frame.render());
 }
 "##,
     },

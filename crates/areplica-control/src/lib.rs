@@ -16,6 +16,10 @@
 //! * [`slo`] — the SLO monitor: burn-rate alert rules built from tenant
 //!   specs, evaluated on sim-time ticks against `simtrace`'s sliding
 //!   windows, with fire/resolve transitions recorded in the fleet ledger.
+//! * [`breaker`] — per-(tenant, destination) circuit breakers over
+//!   windowed error ratios, consulted by the data plane through
+//!   [`areplica_core::health::BreakerProbe`]; transitions land in the
+//!   fleet ledger next to burn-rate alerts.
 //!
 //! Layering rule (enforced by xlint): this crate reaches backends only
 //! through `areplica_core::backend` traits — it must never depend on
@@ -27,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod breaker;
 pub mod fleet;
 pub mod registry;
 pub mod slo;
 
 pub use admission::{AdmissionConfig, TokenBucket};
+pub use breaker::{BreakerConfig, BreakerSet};
 pub use fleet::FleetSupervisor;
 pub use registry::{TenantRegistry, TenantSpec};
 pub use slo::SloMonitor;

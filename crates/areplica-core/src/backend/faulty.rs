@@ -69,7 +69,27 @@ pub struct FaultPlan {
     /// `upload_part` (counted across the whole run), dropping its
     /// continuation.
     pub kill_lease_holder_after_parts: Option<u32>,
+    /// When set, the decider is additionally consulted at
+    /// [`FaultSite::OutageOpen`] / [`FaultSite::OutageClose`] around
+    /// data-plane writes toward this region, so a schedule can open and
+    /// close a regional object-store outage at adversarial points. While a
+    /// window is open, writes toward the region are black-holed and retried
+    /// after `retry_backoff` (each retry re-consults the close site), so the
+    /// platform's retry budget is never consumed and liveness is preserved;
+    /// a window that refuses to close is forced shut after
+    /// [`FORCED_OUTAGE_CLOSE`] consecutive denials. `None` (the default)
+    /// consults neither site, leaving existing decision streams untouched.
+    pub outage_region: Option<RegionId>,
 }
+
+/// Most outage windows one schedule may open (see
+/// [`FaultPlan::outage_region`]).
+pub const MAX_OUTAGES: u32 = 2;
+
+/// Consecutive [`FaultSite::OutageClose`] denials after which an open
+/// window is forced shut, bounding how long a schedule can black-hole a
+/// region (a script that ends mid-window would otherwise never close it).
+pub const FORCED_OUTAGE_CLOSE: u32 = 12;
 
 impl Default for FaultPlan {
     fn default() -> Self {
@@ -80,6 +100,7 @@ impl Default for FaultPlan {
             invocation_drop_rate: 0.0,
             retry_backoff: SimDuration::from_millis(250),
             kill_lease_holder_after_parts: None,
+            outage_region: None,
         }
     }
 }
@@ -98,6 +119,10 @@ pub struct FaultStats {
     /// Functions crashed right after a committed DB transaction
     /// (decider-only fault point).
     pub post_transact_kills: u64,
+    /// Outage windows opened (see [`FaultPlan::outage_region`]).
+    pub outages_opened: u64,
+    /// Writes black-holed by an open outage window.
+    pub outage_blocked_ops: u64,
 }
 
 /// A point in the wrapped backend's operation stream where a fault can be
@@ -119,6 +144,13 @@ pub enum FaultSite {
     /// commits — the write survives, the continuation does not, and the
     /// platform retries the whole function body.
     PostTransactKill,
+    /// A regional outage window may open at this write toward
+    /// [`FaultPlan::outage_region`] (consulted only while no window is
+    /// open and the [`MAX_OUTAGES`] budget remains).
+    OutageOpen,
+    /// The open outage window may close at this blocked write (consulted
+    /// on every black-holed retry while a window is open).
+    OutageClose,
 }
 
 /// Schedule-controlled fault injection: when installed via
@@ -137,6 +169,8 @@ struct FaultState {
     rng: StdRng,
     completed_uploads: u32,
     fake_invocations: u64,
+    outage_active: bool,
+    outage_denials: u32,
     stats: FaultStats,
 }
 
@@ -147,6 +181,8 @@ impl FaultState {
             plan,
             completed_uploads: 0,
             fake_invocations: 0,
+            outage_active: false,
+            outage_denials: 0,
             stats: FaultStats::default(),
         }
     }
@@ -212,6 +248,54 @@ impl<B: Backend> Faulty<B> {
         match &self.decider {
             Some(d) => d.borrow_mut().decide(site),
             None => self.draw(rate_of),
+        }
+    }
+
+    /// Consults the outage decision sites for a data-plane write toward
+    /// `region`. Returns the backoff to retry after when the write is
+    /// black-holed by an active (or just-opened) outage window, `None`
+    /// when it may proceed. Off-target regions and plans without
+    /// [`FaultPlan::outage_region`] never reach a decision site, so
+    /// pre-outage decision streams replay unchanged.
+    fn outage_gate(&mut self, region: RegionId) -> Option<SimDuration> {
+        if self.state.borrow().plan.outage_region != Some(region) {
+            return None;
+        }
+        if self.state.borrow().outage_active {
+            // Liveness backstop: a window denied closure too many times is
+            // forced shut without consulting the decider, so a truncated
+            // script cannot black-hole the region forever.
+            if self.state.borrow().outage_denials >= FORCED_OUTAGE_CLOSE {
+                let mut st = self.state.borrow_mut();
+                st.outage_active = false;
+                st.outage_denials = 0;
+                return None;
+            }
+            if self.should_fault(FaultSite::OutageClose, |_| 0.0) {
+                let mut st = self.state.borrow_mut();
+                st.outage_active = false;
+                st.outage_denials = 0;
+                return None;
+            }
+            let mut st = self.state.borrow_mut();
+            st.outage_denials += 1;
+            st.stats.outage_blocked_ops += 1;
+            Some(st.plan.retry_backoff)
+        } else {
+            // The open site is only consulted while budget remains — the
+            // budget check is deterministic state, so record and replay
+            // consult the same sites in the same order.
+            if self.state.borrow().stats.outages_opened >= MAX_OUTAGES as u64
+                || !self.should_fault(FaultSite::OutageOpen, |_| 0.0)
+            {
+                return None;
+            }
+            let mut st = self.state.borrow_mut();
+            st.outage_active = true;
+            st.outage_denials = 0;
+            st.stats.outages_opened += 1;
+            st.stats.outage_blocked_ops += 1;
+            Some(st.plan.retry_backoff)
         }
     }
 
@@ -386,6 +470,14 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         content: Content,
         cb: impl FnOnce(&mut Self, Result<PutApplied, StoreError>) + 'static,
     ) {
+        // An op toward a downed region never reaches the store (and gets no
+        // transient-fault decision): black-hole and retry after backoff.
+        if let Some(backoff) = self.outage_gate(region) {
+            self.schedule_in(backoff, move |this| {
+                this.put_object(exec, region, bucket, key, content, cb);
+            });
+            return;
+        }
         if self.should_fault(FaultSite::TransientPut, |p| p.put_failure_rate) {
             let backoff = {
                 let mut st = self.state.borrow_mut();
@@ -477,6 +569,12 @@ impl<B: Backend> ObjectStore for Faulty<B> {
         content: Content,
         cb: impl FnOnce(&mut Self, Result<(), StoreError>) + 'static,
     ) {
+        if let Some(backoff) = self.outage_gate(region) {
+            self.schedule_in(backoff, move |this| {
+                this.upload_part(exec, region, upload_id, part_number, content, cb);
+            });
+            return;
+        }
         if self.should_fault(FaultSite::TransientPut, |p| p.put_failure_rate) {
             let backoff = {
                 let mut st = self.state.borrow_mut();

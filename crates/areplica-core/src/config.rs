@@ -127,6 +127,10 @@ pub struct EngineConfig {
     /// part-granularity scheduling, or the fair fixed assignment baseline
     /// (Figure 17's ablation).
     pub scheduling: SchedulingMode,
+    /// The unified retry/backoff policy (platform invoke retries, client
+    /// backoff, per-op-class timeout budgets). The default reproduces the
+    /// historical per-call-site constants bit-for-bit.
+    pub retry: crate::retry::RetryPolicy,
     /// Testing backdoor reproducing the pre-fix split-brain bug: a second
     /// live incarnation of a task ignores the upload id recorded in the part
     /// pool and works its own rival multipart upload. Exists solely so
@@ -155,6 +159,7 @@ impl Default for EngineConfig {
             mc_trials: 3000,
             validate_etags: true,
             scheduling: SchedulingMode::PartGranularity,
+            retry: crate::retry::RetryPolicy::default(),
             unsafe_disable_upload_adoption: false,
         }
     }

@@ -30,7 +30,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use cloudapi::clouddb::{Item, Value};
-use cloudapi::faas::{FnHandle, RetryPolicy};
+use cloudapi::faas::FnHandle;
 use cloudapi::objstore::{ETag, StoreError};
 use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
@@ -303,6 +303,7 @@ pub fn execute_for<B: Backend>(
 fn invoke_single_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>) {
     let region = ctx.exec_region;
     let spec = sim.default_fn_spec(region);
+    let policy = ctx.cfg.retry.invoke_policy();
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         let ctx = ctx.clone();
         let started = sim.now();
@@ -328,7 +329,7 @@ fn invoke_single_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>) {
             );
         });
     });
-    sim.invoke(region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, policy);
 }
 
 type StreamExit<B> = Box<dyn FnOnce(&mut B, u32)>;
@@ -880,7 +881,7 @@ fn invoke_replicators<B: Backend>(
                 }
             });
         });
-        sim.invoke_after(stagger, region, spec, body, RetryPolicy::default());
+        sim.invoke_after(stagger, region, spec, body, ctx.cfg.retry.invoke_policy());
     }
 }
 
@@ -1321,6 +1322,7 @@ fn invoke_rescue_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload
     sim.tracer().counter_add("engine.rescues", 1);
     let region = ctx.exec_region;
     let spec = sim.default_fn_spec(region);
+    let policy = ctx.cfg.retry.invoke_policy();
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         let ctx = ctx.clone();
         let started = sim.now();
@@ -1332,7 +1334,7 @@ fn invoke_rescue_replicator<B: Backend>(sim: &mut B, ctx: Rc<TaskCtx<B>>, upload
             claim_loop(sim, handle, ctx, upload_id, started, progress);
         });
     });
-    sim.invoke(region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, policy);
 }
 
 /// Executes a two-hop relay plan (§6's overlay extension): the object is

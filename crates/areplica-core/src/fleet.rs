@@ -75,6 +75,61 @@ pub struct FleetStats {
     pub cleanups: u64,
 }
 
+/// Circuit-breaker state (recorded in [`BreakerEvent`]s; the state machine
+/// itself lives in the control plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: writes route normally.
+    Closed,
+    /// Tripped: writes divert to the catch-up log.
+    Open,
+    /// Probe in flight: one test write decides close vs re-open.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "CLOSED",
+            BreakerState::Open => "OPEN",
+            BreakerState::HalfOpen => "HALF_OPEN",
+        })
+    }
+}
+
+/// One circuit-breaker transition, recorded in the fleet ledger by the
+/// control plane's breaker set (pure memory, like every ledger update).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Destination label (e.g. `azure/eastus`).
+    pub region: String,
+    /// Transition time.
+    pub at: simkernel::SimTime,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// Why (fixed vocabulary: `error-ratio`, `probe-ok`, `probe-failed`).
+    pub reason: &'static str,
+}
+
+impl BreakerEvent {
+    /// Fixed-format single-line rendering (byte-deterministic).
+    pub fn render(&self) -> String {
+        format!(
+            "{:>10.3}s BRK  tenant={} region={} {}->{} reason={}",
+            self.at.as_secs_f64(),
+            self.tenant,
+            self.region,
+            self.from,
+            self.to,
+            self.reason
+        )
+    }
+}
+
 /// Fleet activity ledger, keyed by tenant (the default tenant records
 /// under `"default"`). BTreeMap so iteration order is deterministic.
 ///
@@ -87,6 +142,7 @@ pub struct FleetStats {
 pub struct FleetLedger {
     per_tenant: BTreeMap<String, FleetStats>,
     alerts: BTreeMap<String, Vec<AlertEvent>>,
+    breakers: BTreeMap<String, Vec<BreakerEvent>>,
 }
 
 impl FleetLedger {
@@ -134,6 +190,30 @@ impl FleetLedger {
         let mut out = String::new();
         for (tenant, evs) in &self.alerts {
             out.push_str(&format!("# alerts tenant={tenant}\n"));
+            for ev in evs {
+                out.push_str(&ev.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Records one circuit-breaker transition under the event's tenant.
+    pub fn record_breaker(&mut self, ev: BreakerEvent) {
+        self.breakers.entry(ev.tenant.clone()).or_default().push(ev);
+    }
+
+    /// One tenant's breaker transitions, in recording order.
+    pub fn breaker_events(&self, tenant: &str) -> &[BreakerEvent] {
+        self.breakers.get(tenant).map_or(&[], Vec::as_slice)
+    }
+
+    /// Renders every breaker transition as fixed-format lines, grouped by
+    /// tenant in sorted order (byte-deterministic).
+    pub fn render_breaker_log(&self) -> String {
+        let mut out = String::new();
+        for (tenant, evs) in &self.breakers {
+            out.push_str(&format!("# breakers tenant={tenant}\n"));
             for ev in evs {
                 out.push_str(&ev.render());
                 out.push('\n');

@@ -1,0 +1,81 @@
+//! Health routing: the data plane's view of circuit breaking.
+//!
+//! The data plane never owns breaker policy — it consults a
+//! [`BreakerProbe`] attached to the tenant context ([`crate::tenant::TenantCtx::health`])
+//! before committing work to a destination, reports every replication
+//! outcome back to it, and follows its advice when rechecking a tripped
+//! destination. The control plane (`areplica-control`) implements the trait
+//! with per-(tenant, region, service) circuit breakers over sliding error
+//! windows; the data plane only sees the three questions below.
+//!
+//! **Default-tenant invariant:** with no handle attached every hook is
+//! skipped entirely — no calls, no state, no RNG draws — so runs without a
+//! control plane stay byte-identical to the pre-breaker code.
+//!
+//! **Probe protocol:** a tripped destination is retested with exactly one
+//! in-flight probe. [`BreakerProbe::probe_open`] acquires the probe ticket
+//! (half-opening the breaker); every acquired ticket must be resolved by
+//! exactly one [`BreakerProbe::probe_resolve`] on the probe's completion
+//! path — success closes the breaker, failure re-opens it. The xlint
+//! `protocol-resource-balance` rule checks this acquire/release pairing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cloudapi::RegionId;
+use simkernel::{SimDuration, SimTime};
+
+/// Where a replication write should go right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteRoute {
+    /// The destination is healthy: replicate normally.
+    Primary,
+    /// The destination's breaker is tripped: record the version in the
+    /// durable catch-up log instead and let the failback replicator drain
+    /// it once the destination recovers.
+    Divert,
+}
+
+/// What a recheck loop should do next for a tripped destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecheckAdvice {
+    /// Too early (cooldown running) or another probe is in flight: come
+    /// back after this delay.
+    Wait(SimDuration),
+    /// The breaker is ready to half-open: acquire the probe ticket and
+    /// send a probe.
+    Probe,
+    /// The breaker is already closed (e.g. another rule's probe
+    /// succeeded): stop the loop and drain any queued catch-up work.
+    Healthy,
+}
+
+/// The breaker interface the data plane consults (see the module docs).
+///
+/// Implementations must be deterministic: decisions may depend only on
+/// `now`, the region, and prior calls.
+pub trait BreakerProbe {
+    /// Routing decision for a replication write toward `region` at `now`.
+    fn write_route(&mut self, now: SimTime, region: RegionId) -> WriteRoute;
+
+    /// Reports one replication outcome toward `region` (success or
+    /// failure) into the breaker's sliding error window.
+    fn record_outcome(&mut self, now: SimTime, region: RegionId, ok: bool);
+
+    /// Advice for the recheck loop of a tripped `region`.
+    fn recheck(&mut self, now: SimTime, region: RegionId) -> RecheckAdvice;
+
+    /// Acquires the single probe ticket for `region`, half-opening its
+    /// breaker. Returns `false` when a probe is already in flight (the
+    /// caller backs off instead of probing). Every `true` return must be
+    /// balanced by exactly one [`BreakerProbe::probe_resolve`].
+    fn probe_open(&mut self, now: SimTime, region: RegionId) -> bool;
+
+    /// Resolves the in-flight probe for `region`: `ok` closes the breaker
+    /// (the destination recovered), `!ok` re-opens it and restarts the
+    /// cooldown.
+    fn probe_resolve(&mut self, now: SimTime, region: RegionId, ok: bool);
+}
+
+/// Shared handle to a tenant's breaker set.
+pub type HealthHandle = Rc<RefCell<dyn BreakerProbe>>;

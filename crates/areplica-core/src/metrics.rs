@@ -67,6 +67,18 @@ pub struct Metrics {
     /// Events dropped by the tenant's admission policy. Always 0 for the
     /// default tenant (no policy).
     pub admission_rejected: u64,
+    /// Writes diverted to the durable catch-up log because the
+    /// destination's circuit breaker was open. Always 0 without a health
+    /// handle.
+    pub diverted: u64,
+    /// Completions that replayed a diverted version after failback.
+    pub failbacks: u64,
+    /// Tasks the deadline watchdog reported as missed to the breaker
+    /// (still concluded later; see [`Metrics::completions`]).
+    pub deadline_missed: u64,
+    /// Degraded reads served by the fallback location after the preferred
+    /// replica failed.
+    pub read_fallbacks: u64,
 }
 
 impl Metrics {

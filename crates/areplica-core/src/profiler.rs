@@ -362,7 +362,7 @@ fn run_invocation_seq<B: Backend>(
             );
         }
     });
-    sim.invoke(region, spec, body, RetryPolicy::default());
+    sim.invoke(region, spec, body, RetryPolicy::PLATFORM_DEFAULT);
 }
 
 /// Measures notification delivery delay for one region.
@@ -509,7 +509,7 @@ fn run_transfer_seq<B: Backend>(
             );
         });
     });
-    sim.invoke(loc, spec, body, RetryPolicy::default());
+    sim.invoke(loc, spec, body, RetryPolicy::PLATFORM_DEFAULT);
 }
 
 /// Measures one chunk (GET + upload_part, optionally bracketed by the two

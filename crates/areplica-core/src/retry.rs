@@ -1,0 +1,279 @@
+//! The unified retry/backoff policy for the whole data plane.
+//!
+//! Before this module, retry behaviour was scattered constants: the platform
+//! invoke policy was re-stated as `RetryPolicy::default()` at every
+//! `invoke` call site, the fault-injection wrapper carried its own 250 ms
+//! client backoff, and the crash-injection test hand-tuned a 24-retry
+//! budget. [`RetryPolicy`] gathers all of it in one place:
+//!
+//! * the **platform invoke budget** ([`RetryPolicy::invoke_max_retries`]),
+//!   converted to the provider-level policy via
+//!   [`RetryPolicy::invoke_policy`];
+//! * **client-side backoff** as a capped exponential with optional
+//!   *deterministic decorrelated jitter*: jitter draws come from an RNG
+//!   derived off a policy seed and a per-schedule label
+//!   ([`RetryPolicy::schedule`]), an independent stream that by construction
+//!   cannot perturb the shared latency RNGs — identically-seeded runs see
+//!   identical delays;
+//! * **per-op-class timeout budgets** ([`OpClass`]) so callers that need a
+//!   deadline (health probes, catch-up drains) take it from policy instead
+//!   of inventing a constant.
+//!
+//! The [`Default`] policy reproduces the historical behaviour bit-for-bit:
+//! two platform retries (the AWS async default every call site passed), a
+//! fixed 250 ms client backoff (the fault wrapper's constant), and no
+//! jitter — so every committed `results/*.txt` is untouched. New recovery
+//! paths opt into [`RetryPolicy::resilient`], which enables the capped
+//! exponential with decorrelated jitter.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkernel::{rng::derive_rng, SimDuration};
+
+/// Which kind of operation a timeout budget applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Control-plane round trips (stat/copy/multipart bookkeeping, KV ops).
+    ControlPlane,
+    /// Data-plane transfers (ranged GETs, part uploads).
+    Transfer,
+    /// Function invocations end-to-end.
+    Invoke,
+}
+
+/// The unified retry/backoff policy (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Platform-level retries after the first invocation attempt.
+    pub invoke_max_retries: u32,
+    /// Maximum client-side retry delays a [`BackoffSchedule`] yields before
+    /// reporting exhaustion.
+    pub max_attempts: u32,
+    /// Backoff before the first client-side retry.
+    pub base_backoff: SimDuration,
+    /// Per-attempt multiplier of the capped exponential (1.0 = fixed).
+    pub multiplier: f64,
+    /// Upper cap on any single backoff delay.
+    pub max_backoff: SimDuration,
+    /// Decorrelated-jitter seed: `Some(seed)` draws each delay uniformly
+    /// from `[base, min(cap, 3 × previous)]` using an RNG derived from
+    /// `(seed, label)`; `None` yields the deterministic exponential.
+    pub jitter_seed: Option<u64>,
+    /// Timeout budget for control-plane round trips.
+    pub control_plane_budget: SimDuration,
+    /// Timeout budget for data-plane transfers.
+    pub transfer_budget: SimDuration,
+    /// Timeout budget for one invocation end-to-end.
+    pub invoke_budget: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// The historical constants, verbatim: 2 platform retries, fixed 250 ms
+    /// client backoff, no jitter.
+    fn default() -> Self {
+        RetryPolicy {
+            invoke_max_retries: 2,
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(250),
+            multiplier: 1.0,
+            max_backoff: SimDuration::from_millis(250),
+            jitter_seed: None,
+            control_plane_budget: SimDuration::from_secs(10),
+            transfer_budget: SimDuration::from_secs(120),
+            invoke_budget: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy for sustained-failure environments: deep attempt budget,
+    /// capped exponential from 250 ms to 8 s, decorrelated jitter seeded
+    /// off `seed` so concurrent retriers decorrelate without sharing (or
+    /// perturbing) any latency RNG stream.
+    pub fn resilient(seed: u64) -> Self {
+        RetryPolicy {
+            invoke_max_retries: 2,
+            max_attempts: 8,
+            base_backoff: SimDuration::from_millis(250),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_secs(8),
+            jitter_seed: Some(seed),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The provider-level async-invoke policy this client policy maps to.
+    pub fn invoke_policy(&self) -> cloudapi::faas::RetryPolicy {
+        cloudapi::faas::RetryPolicy {
+            max_retries: self.invoke_max_retries,
+        }
+    }
+
+    /// The timeout budget for an op class.
+    pub fn budget(&self, class: OpClass) -> SimDuration {
+        match class {
+            OpClass::ControlPlane => self.control_plane_budget,
+            OpClass::Transfer => self.transfer_budget,
+            OpClass::Invoke => self.invoke_budget,
+        }
+    }
+
+    /// A fresh backoff schedule for one retried operation. `label` names
+    /// the operation (e.g. `"probe:dst-noisy"`); under jitter it selects an
+    /// independent derived RNG stream, so two schedules with different
+    /// labels draw uncorrelated delays and identical `(seed, label)` pairs
+    /// replay identical delays.
+    pub fn schedule(&self, label: &str) -> BackoffSchedule {
+        BackoffSchedule {
+            policy: self.clone(),
+            rng: self
+                .jitter_seed
+                .map(|seed| derive_rng(seed, &format!("retry:{label}"))),
+            prev: None,
+            issued: 0,
+        }
+    }
+}
+
+/// The delay sequence for one retried operation (created by
+/// [`RetryPolicy::schedule`]). Holds its own derived RNG, so drawing delays
+/// cannot perturb any other stream.
+#[derive(Debug)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    rng: Option<StdRng>,
+    prev: Option<SimDuration>,
+    issued: u32,
+}
+
+impl BackoffSchedule {
+    /// The next backoff delay, or `None` once [`RetryPolicy::max_attempts`]
+    /// delays have been issued (the caller gives up).
+    pub fn next_delay(&mut self) -> Option<SimDuration> {
+        if self.issued >= self.policy.max_attempts {
+            return None;
+        }
+        let cap = self.policy.max_backoff.max(self.policy.base_backoff);
+        let delay = match &mut self.rng {
+            // Decorrelated jitter (capped): uniform in
+            // [base, min(cap, 3 × previous)].
+            Some(rng) => {
+                let base = self.policy.base_backoff.as_nanos();
+                let prev = self.prev.unwrap_or(self.policy.base_backoff).as_nanos();
+                let hi = (3 * prev).clamp(base, cap.as_nanos());
+                SimDuration::from_nanos(rng.gen_range(base..hi + 1))
+            }
+            // Deterministic capped exponential: base × multiplier^n.
+            None => {
+                let exp = self.policy.base_backoff.as_secs_f64()
+                    * self.policy.multiplier.powi(self.issued as i32);
+                SimDuration::from_secs_f64(exp.min(cap.as_secs_f64()))
+            }
+        };
+        self.issued += 1;
+        self.prev = Some(delay);
+        Some(delay)
+    }
+
+    /// Delays issued so far.
+    pub fn attempts(&self) -> u32 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_historical_constants() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.invoke_policy(), cloudapi::faas::RetryPolicy::default());
+        let mut s = p.schedule("x");
+        // Fixed 250 ms, exactly `max_attempts` times, then exhaustion.
+        for _ in 0..p.max_attempts {
+            assert_eq!(s.next_delay(), Some(SimDuration::from_millis(250)));
+        }
+        assert_eq!(s.next_delay(), None);
+    }
+
+    #[test]
+    fn capped_exponential_without_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(250),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_secs(1),
+            jitter_seed: None,
+            ..RetryPolicy::default()
+        };
+        let delays: Vec<_> = {
+            let mut s = p.schedule("x");
+            std::iter::from_fn(|| s.next_delay()).collect()
+        };
+        assert_eq!(
+            delays,
+            vec![
+                SimDuration::from_millis(250),
+                SimDuration::from_millis(500),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(1), // capped
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_label() {
+        let p = RetryPolicy::resilient(0xBEEF);
+        let draw = |label: &str| -> Vec<SimDuration> {
+            let mut s = p.schedule(label);
+            std::iter::from_fn(|| s.next_delay()).collect()
+        };
+        // Same (seed, label) replays identical delays.
+        assert_eq!(draw("probe:a"), draw("probe:a"));
+        // A different label is an independent stream.
+        assert_ne!(draw("probe:a"), draw("probe:b"));
+        // A different seed is an independent stream.
+        let q = RetryPolicy::resilient(0xBEE0);
+        let mut s = q.schedule("probe:a");
+        let other: Vec<_> = std::iter::from_fn(|| s.next_delay()).collect();
+        assert_ne!(draw("probe:a"), other);
+    }
+
+    #[test]
+    fn jitter_respects_base_and_cap() {
+        let p = RetryPolicy::resilient(7);
+        let mut s = p.schedule("bounds");
+        while let Some(d) = s.next_delay() {
+            assert!(d >= p.base_backoff, "{d} below base");
+            assert!(d <= p.max_backoff, "{d} above cap");
+        }
+        assert_eq!(s.attempts(), p.max_attempts);
+    }
+
+    #[test]
+    fn jitter_stream_is_isolated_from_other_streams() {
+        // The jitter RNG is derived from (seed, "retry:<label>"); drawing
+        // from it must not change what any other derived stream yields —
+        // the property that lets recovery paths jitter without perturbing
+        // the simulator's latency draws.
+        use rand::Rng;
+        let before: u64 = derive_rng(1234, "world:net").gen();
+        let p = RetryPolicy::resilient(1234);
+        let mut s = p.schedule("isolation");
+        while s.next_delay().is_some() {}
+        let after: u64 = derive_rng(1234, "world:net").gen();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn budgets_by_op_class() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.budget(OpClass::ControlPlane), p.control_plane_budget);
+        assert_eq!(p.budget(OpClass::Transfer), p.transfer_budget);
+        assert_eq!(p.budget(OpClass::Invoke), p.invoke_budget);
+        assert!(p.budget(OpClass::Transfer) > p.budget(OpClass::ControlPlane));
+    }
+}

@@ -20,10 +20,11 @@
 //! in the pipeline takes `&mut B`.
 
 use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
 use std::rc::Rc;
 
-use cloudapi::faas::{FnHandle, RetryPolicy};
-use cloudapi::objstore::{ETag, EventKind, ObjectEvent, StoreError};
+use cloudapi::faas::FnHandle;
+use cloudapi::objstore::{BlobId, Content, ETag, EventKind, ObjectEvent, StoreError};
 use cloudapi::RegionId;
 use simkernel::{SimDuration, SimTime};
 
@@ -31,9 +32,11 @@ use simtrace::{names, SpanId};
 
 use crate::backend::{Backend, Exec, FnBody};
 use crate::batching::{BatchDecision, Batcher};
+use crate::catchup;
 use crate::changelog;
 use crate::config::{EngineConfig, ReplicationRule};
 use crate::engine::{self, TaskOutcome, TaskSpec, TaskStatus};
+use crate::health::{RecheckAdvice, WriteRoute};
 use crate::lock::{self, LockOutcome};
 use crate::logger::{ObserveOutcome, OnlineLogger};
 use crate::metrics::{CompletionRecord, Metrics};
@@ -59,11 +62,22 @@ pub struct ServiceState {
     /// The tenant this service instance replicates for (the implicit
     /// default tenant unless the control plane supplied one).
     pub tenant: TenantCtx,
+    /// Tasks currently between trigger and conclusion, for the deadline
+    /// watchdog. Populated only when a health handle is attached.
+    inflight: HashSet<(usize, String, u64)>,
+    /// Keys whose SLO miss was already counted at divert time; their
+    /// eventual failback completion skips SLO/breaker accounting.
+    slo_exempt: HashSet<(usize, String)>,
+    /// Rules with a live breaker-recheck loop (at most one per rule).
+    rechecking: HashSet<usize>,
 }
 
 type St = Rc<RefCell<ServiceState>>;
 
-/// A deployed AReplica instance.
+/// A deployed AReplica instance. Cloning is cheap and yields another
+/// handle to the same installed service (useful for scheduling reads
+/// against it from `'static` closures).
+#[derive(Clone)]
 pub struct AReplica {
     state: St,
 }
@@ -154,6 +168,9 @@ impl AReplicaBuilder {
             batchers: (0..n_rules).map(|_| Batcher::new()).collect(),
             logger: OnlineLogger::new(),
             tenant: self.tenant,
+            inflight: HashSet::new(),
+            slo_exempt: HashSet::new(),
+            rechecking: HashSet::new(),
         }));
 
         for rule_idx in 0..n_rules {
@@ -205,6 +222,73 @@ impl AReplica {
     pub fn state(&self) -> St {
         self.state.clone()
     }
+
+    /// Degraded read for a rule's object: reads from the destination
+    /// replica first (the copy closest to a destination-side consumer) and
+    /// falls back to the source region when the replica is unavailable or
+    /// the key has not arrived there yet. `cb` receives the content, its
+    /// version, and the region that actually served the read.
+    pub fn read_with_fallback<B: Backend>(
+        &self,
+        sim: &mut B,
+        rule_idx: usize,
+        key: String,
+        cb: impl FnOnce(&mut B, Result<(Content, ETag, RegionId), StoreError>) + 'static,
+    ) {
+        let (src_region, src_bucket, dst_region, dst_bucket) = {
+            let s = self.state.borrow();
+            let r = &s.rules[rule_idx];
+            (
+                r.src_region,
+                r.src_bucket.clone(),
+                r.dst_region,
+                r.dst_bucket.clone(),
+            )
+        };
+        let st = self.state.clone();
+        read_object(sim, dst_region, dst_bucket, key.clone(), move |sim, res| {
+            match res {
+                Ok((content, etag)) => cb(sim, Ok((content, etag, dst_region))),
+                // Replica down (outage) or not yet converged: serve from
+                // the source, which just accepted the write.
+                Err(StoreError::Unavailable) | Err(StoreError::NoSuchKey) => {
+                    st.borrow_mut().metrics.read_fallbacks += 1;
+                    sim.tracer().counter_add("service.read_fallbacks", 1);
+                    read_object(sim, src_region, src_bucket, key, move |sim, res| {
+                        cb(sim, res.map(|(c, e)| (c, e, src_region)));
+                    });
+                }
+                Err(e) => cb(sim, Err(e)),
+            }
+        });
+    }
+}
+
+/// Stat-then-GET of a whole object from one region (helper for
+/// [`AReplica::read_with_fallback`]).
+fn read_object<B: Backend>(
+    sim: &mut B,
+    region: RegionId,
+    bucket: String,
+    key: String,
+    cb: impl FnOnce(&mut B, Result<(Content, ETag), StoreError>) + 'static,
+) {
+    let exec = Exec::Platform {
+        region,
+        mbps: 1000.0,
+    };
+    sim.stat_object(
+        exec,
+        region,
+        bucket.clone(),
+        key.clone(),
+        move |sim, res| match res {
+            Ok(stat) => {
+                sim.get_object_range(exec, region, bucket, key, 0, stat.size, Some(stat.etag), cb);
+            }
+            Err(e) => cb(sim, Err(e)),
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -391,6 +475,36 @@ fn trigger_replication<B: Backend>(
     event_time: SimTime,
 ) {
     let src_region = st.borrow().rules[rule_idx].src_region;
+    // Graceful degradation: when the tenant's breaker for the destination
+    // is open, skip the replication attempt entirely — it would burn
+    // function time against a dead region — and record the version in the
+    // durable catch-up log for the failback replicator. No handle (the
+    // default) means no consultation and the historical event sequence.
+    let health = st.borrow().tenant.health.clone();
+    if let Some(health) = health {
+        let now = sim.now();
+        let dst_region = st.borrow().rules[rule_idx].dst_region;
+        if health.borrow_mut().write_route(now, dst_region) == WriteRoute::Divert {
+            divert_to_catchup(sim, st, rule_idx, key, etag, seq, size);
+            return;
+        }
+        // Deadline watchdog: the breaker can only learn about a black-holed
+        // destination if someone reports the silence. At the effective SLO
+        // deadline, a task still in flight counts as one failure in the
+        // breaker's error window and wakes the recheck loop.
+        let slo = st.borrow().tenant.slo.or(st.borrow().rules[rule_idx].slo);
+        if let Some(slo) = slo {
+            st.borrow_mut()
+                .inflight
+                .insert((rule_idx, key.clone(), seq));
+            let st_watch = st.clone();
+            let key_watch = key.clone();
+            let delay = (event_time + slo).saturating_since(now);
+            sim.schedule_in(delay, move |sim| {
+                on_deadline_check(sim, st_watch, rule_idx, key_watch, seq, dst_region);
+            });
+        }
+    }
     // The task span starts at the object's PUT time, so its duration *is*
     // the replication delay the metrics account (trace-vs-metrics
     // cross-checks rely on this).
@@ -417,6 +531,7 @@ fn trigger_replication<B: Backend>(
         sim.tracer().counter_add(&name, 1);
     }
     let spec = sim.default_fn_spec(src_region);
+    let policy = st.borrow().cfg.retry.invoke_policy();
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         orchestrate(
             sim,
@@ -431,7 +546,7 @@ fn trigger_replication<B: Backend>(
             span,
         );
     });
-    sim.invoke(src_region, spec, body, RetryPolicy::default());
+    sim.invoke(src_region, spec, body, policy);
 }
 
 /// The orchestrator function body.
@@ -783,8 +898,10 @@ fn conclude<B: Backend>(
         sim.tracer()
             .counter_add(&format!("service.tasks.{status_tag}"), 1);
     }
+    let mut recheck_needed = false;
     {
         let mut s = st.borrow_mut();
+        s.inflight.remove(&(rule_idx, key.clone(), seq));
         match status {
             TaskStatus::Replicated { etag } => {
                 let (side, n_funcs) = plan_info
@@ -801,12 +918,20 @@ fn conclude<B: Backend>(
                     side,
                     via_changelog,
                 });
+                // Failback completions already counted their SLO miss at
+                // divert time; replaying them into the SLO counters or the
+                // breaker window would double-count the outage.
+                let exempt = s.slo_exempt.remove(&(rule_idx, key.clone()));
+                if exempt {
+                    s.metrics.failbacks += 1;
+                    sim.tracer().counter_add("service.failbacks", 1);
+                }
                 // Live SLO accounting: classify the completion against the
                 // effective SLO (tenant override, else rule) and feed the
                 // windowed good/bad counters the burn-rate monitor watches.
                 // Pure registry memory, gated on enablement — untraced runs
                 // pay one branch.
-                if sim.tracer().enabled() {
+                if sim.tracer().enabled() && !exempt {
                     if let Some(slo) = s.tenant.slo.or(s.rules[rule_idx].slo) {
                         let delay = now.saturating_since(event_time);
                         let verdict = if delay <= slo { "slo.good" } else { "slo.bad" };
@@ -815,6 +940,25 @@ fn conclude<B: Backend>(
                         let dname = s.tenant.metric("slo.delay_secs");
                         sim.tracer()
                             .histogram_record_at(now, &dname, delay.as_secs_f64());
+                    }
+                }
+                // Breaker feedback: a timely completion is a success; a
+                // late one counts against the destination's error window.
+                // A late straggler (e.g. a write that stalled through a
+                // whole outage) can be the outcome that trips — or
+                // re-trips — the breaker, so if the route is Divert
+                // afterwards a recheck loop must be running, or an
+                // otherwise-quiet tenant would stay tripped forever.
+                if !exempt {
+                    if let Some(health) = s.tenant.health.clone() {
+                        let slo = s.tenant.slo.or(s.rules[rule_idx].slo);
+                        let ok = slo.is_none_or(|slo| now.saturating_since(event_time) <= slo);
+                        let dst_region = s.rules[rule_idx].dst_region;
+                        let mut h = health.borrow_mut();
+                        h.record_outcome(now, dst_region, ok);
+                        if h.write_route(now, dst_region) == WriteRoute::Divert {
+                            recheck_needed = true;
+                        }
                     }
                 }
                 // Online logger: compare the mean prediction with reality.
@@ -859,6 +1003,9 @@ fn conclude<B: Backend>(
             }
             TaskStatus::SourceGone => {}
         }
+    }
+    if recheck_needed {
+        ensure_recheck(sim, st.clone(), rule_idx);
     }
 
     // Release the lock; a pending newer version re-triggers replication.
@@ -952,6 +1099,7 @@ fn trigger_delete<B: Backend>(
         )
     };
     let spec = sim.default_fn_spec(src_region);
+    let policy = st.borrow().cfg.retry.invoke_policy();
     let st2 = st.clone();
     let body: FnBody<B> = Rc::new(move |sim, handle| {
         let exec = Exec::Function(handle);
@@ -1020,5 +1168,215 @@ fn trigger_delete<B: Backend>(
             },
         );
     });
-    sim.invoke(src_region, spec, body, RetryPolicy::default());
+    sim.invoke(src_region, spec, body, policy);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: catch-up divert, deadline watchdog, breaker recheck.
+// ---------------------------------------------------------------------------
+
+/// Key of the tiny probe object written to the destination bucket when the
+/// breaker half-opens (never replicated; not part of any rule's source).
+pub const PROBE_KEY: &str = ".areplica-probe";
+
+/// Records a version in the rule's durable catch-up queue instead of
+/// replicating it (destination breaker open). SLO accounting happens here —
+/// a diverted write has, by decision, missed its SLO — and the eventual
+/// failback completion is marked exempt so the miss is counted exactly once.
+fn divert_to_catchup<B: Backend>(
+    sim: &mut B,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    etag: ETag,
+    seq: u64,
+    size: u64,
+) {
+    let now = sim.now();
+    let (src_region, src_bucket, dst_bucket) = {
+        let mut s = st.borrow_mut();
+        s.metrics.diverted += 1;
+        s.slo_exempt.insert((rule_idx, key.clone()));
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone(), r.dst_bucket.clone())
+    };
+    sim.tracer().counter_add("service.diverted", 1);
+    {
+        let s = st.borrow();
+        if !s.tenant.is_default() {
+            let name = s.tenant.metric("service.diverted");
+            sim.tracer().counter_add_at(now, &name, 1);
+            // The divert *is* the SLO miss: feed the windowed bad counter
+            // now so burn-rate alerting sees the outage as it happens, not
+            // after failback.
+            if s.tenant.slo.or(s.rules[rule_idx].slo).is_some() {
+                let bad = s.tenant.metric("slo.bad");
+                sim.tracer().counter_add_at(now, &bad, 1);
+            }
+        }
+    }
+    let _ = size;
+    let exec = Exec::Platform {
+        region: src_region,
+        mbps: 1000.0,
+    };
+    let st2 = st.clone();
+    sim.db_transact(
+        exec,
+        src_region,
+        catchup::CATCHUP_TABLE.into(),
+        catchup::queue_key(&src_bucket, &dst_bucket),
+        catchup::enqueue_tx(catchup::CatchupEntry { key, etag, seq }),
+        move |sim, depth| {
+            sim.tracer()
+                .gauge_set("service.catchup_depth", depth as f64);
+            ensure_recheck(sim, st2, rule_idx);
+        },
+    );
+}
+
+/// Deadline watchdog body: a task still in flight at its SLO deadline is
+/// one failure in the breaker's error window (the only signal a black-holed
+/// destination produces), and wakes the recheck loop.
+fn on_deadline_check<B: Backend>(
+    sim: &mut B,
+    st: St,
+    rule_idx: usize,
+    key: String,
+    seq: u64,
+    dst_region: RegionId,
+) {
+    let missed = st.borrow().inflight.contains(&(rule_idx, key, seq));
+    if !missed {
+        return;
+    }
+    let health = st.borrow().tenant.health.clone();
+    let Some(health) = health else { return };
+    let now = sim.now();
+    st.borrow_mut().metrics.deadline_missed += 1;
+    sim.tracer().counter_add("service.deadline_missed", 1);
+    health.borrow_mut().record_outcome(now, dst_region, false);
+    // Only loop once the breaker actually tripped; isolated slow tasks
+    // leave routing alone and the loop would spin on a Closed breaker.
+    if health.borrow_mut().write_route(now, dst_region) == WriteRoute::Divert {
+        ensure_recheck(sim, st, rule_idx);
+    }
+}
+
+/// Starts the breaker-recheck loop for a rule unless one is already live.
+fn ensure_recheck<B: Backend>(sim: &mut B, st: St, rule_idx: usize) {
+    if st.borrow_mut().rechecking.insert(rule_idx) {
+        health_recheck(sim, st, rule_idx);
+    }
+}
+
+/// One step of the breaker-recheck loop: follow the breaker's advice —
+/// wait out the cooldown, or acquire the probe ticket and write a probe
+/// object to the destination. The probe's completion resolves the ticket:
+/// success closes the breaker and drains the catch-up queue; failure
+/// re-opens it and the loop continues.
+fn health_recheck<B: Backend>(sim: &mut B, st: St, rule_idx: usize) {
+    let health = st.borrow().tenant.health.clone();
+    let Some(health) = health else {
+        st.borrow_mut().rechecking.remove(&rule_idx);
+        return;
+    };
+    let (src_region, dst_region, dst_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.dst_region, r.dst_bucket.clone())
+    };
+    let now = sim.now();
+    let advice = health.borrow_mut().recheck(now, dst_region);
+    match advice {
+        RecheckAdvice::Healthy => {
+            st.borrow_mut().rechecking.remove(&rule_idx);
+            drain_catchup(sim, st, rule_idx);
+        }
+        RecheckAdvice::Wait(d) => {
+            let st2 = st.clone();
+            sim.schedule_in(d, move |sim| health_recheck(sim, st2, rule_idx));
+        }
+        RecheckAdvice::Probe => {
+            if !health.borrow_mut().probe_open(now, dst_region) {
+                // Another probe is in flight (e.g. a second rule toward the
+                // same destination): back off one base-backoff beat.
+                let d = st.borrow().cfg.retry.base_backoff;
+                let st2 = st.clone();
+                sim.schedule_in(d, move |sim| health_recheck(sim, st2, rule_idx));
+                return;
+            }
+            sim.tracer().counter_add("service.probes", 1);
+            let exec = Exec::Platform {
+                region: src_region,
+                mbps: 1000.0,
+            };
+            let probe = Content::fresh(BlobId(u64::MAX), 1);
+            let st2 = st.clone();
+            sim.put_object(
+                exec,
+                dst_region,
+                dst_bucket,
+                PROBE_KEY.into(),
+                probe,
+                move |sim, res| {
+                    let ok = res.is_ok();
+                    let now = sim.now();
+                    health.borrow_mut().probe_resolve(now, dst_region, ok);
+                    if ok {
+                        st2.borrow_mut().rechecking.remove(&rule_idx);
+                        drain_catchup(sim, st2, rule_idx);
+                    } else {
+                        // Breaker re-opened; keep rechecking (the next
+                        // advice is a cooldown wait).
+                        health_recheck(sim, st2, rule_idx);
+                    }
+                },
+            );
+        }
+    }
+}
+
+/// Failback replication: atomically takes the rule's catch-up queue and
+/// re-triggers replication for each entry through the normal pipeline.
+/// Delay is measured from each object's original PUT, so the SLO record
+/// stays honest; if the breaker re-opens mid-drain, the untriggered
+/// remainder simply re-diverts (idempotent by latest-wins).
+fn drain_catchup<B: Backend>(sim: &mut B, st: St, rule_idx: usize) {
+    let (src_region, src_bucket, dst_bucket) = {
+        let s = st.borrow();
+        let r = &s.rules[rule_idx];
+        (r.src_region, r.src_bucket.clone(), r.dst_bucket.clone())
+    };
+    let exec = Exec::Platform {
+        region: src_region,
+        mbps: 1000.0,
+    };
+    let st2 = st.clone();
+    sim.db_transact(
+        exec,
+        src_region,
+        catchup::CATCHUP_TABLE.into(),
+        catchup::queue_key(&src_bucket, &dst_bucket),
+        catchup::drain_tx(),
+        move |sim, entries| {
+            if entries.is_empty() {
+                return;
+            }
+            sim.tracer()
+                .counter_add("service.failback_drained", entries.len() as u64);
+            sim.tracer().gauge_set("service.catchup_depth", 0.0);
+            for e in entries {
+                retrigger_for_version(
+                    sim,
+                    st2.clone(),
+                    rule_idx,
+                    e.key,
+                    e.etag,
+                    e.seq,
+                    SimTime::ZERO,
+                );
+            }
+        },
+    );
 }

@@ -19,6 +19,7 @@ use std::rc::Rc;
 use simkernel::{SimDuration, SimTime};
 
 use crate::fleet::{FleetCadence, FleetHandle};
+use crate::health::HealthHandle;
 
 /// Shared tenant identifier. `Rc<str>` because the id is cloned into
 /// every scoped continuation the backend schedules.
@@ -72,6 +73,10 @@ pub struct TenantCtx {
     /// Optional fleet ledger recording watchdog/janitor activity per
     /// tenant (pure memory; never affects the event sequence).
     pub fleet: Option<FleetHandle>,
+    /// Optional breaker set consulted before replication writes
+    /// ([`crate::health`]). `None` (the default) skips every health hook,
+    /// keeping breaker-less runs byte-identical.
+    pub health: Option<HealthHandle>,
 }
 
 impl TenantCtx {
@@ -85,6 +90,7 @@ impl TenantCtx {
             admission: None,
             fleet_cadence: FleetCadence::default(),
             fleet: None,
+            health: None,
         }
     }
 
@@ -123,6 +129,12 @@ impl TenantCtx {
     /// Attaches a fleet ledger.
     pub fn with_fleet_ledger(mut self, ledger: FleetHandle) -> Self {
         self.fleet = Some(ledger);
+        self
+    }
+
+    /// Attaches a breaker set consulted before replication writes.
+    pub fn with_health(mut self, health: HealthHandle) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -166,6 +178,7 @@ impl std::fmt::Debug for TenantCtx {
             .field("faas_concurrency", &self.faas_concurrency)
             .field("admission", &self.admission.as_ref().map(|_| "<policy>"))
             .field("fleet_cadence", &self.fleet_cadence)
+            .field("health", &self.health.as_ref().map(|_| "<breakers>"))
             .finish()
     }
 }
@@ -182,6 +195,7 @@ mod tests {
         assert!(t.slo.is_none());
         assert!(t.faas_concurrency.is_none());
         assert!(t.admission.is_none());
+        assert!(t.health.is_none());
         assert_eq!(t.metric("service.tasks"), "service.tasks");
     }
 

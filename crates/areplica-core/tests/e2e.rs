@@ -587,3 +587,224 @@ fn profiler_fits_parameters_near_ground_truth() {
         path.instance_cv
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fault-domain outages: degradation, catch-up, and failback.
+// ---------------------------------------------------------------------------
+
+use areplica_core::health::{BreakerProbe, HealthHandle, RecheckAdvice, WriteRoute};
+use areplica_core::{catchup, TenantCtx};
+use cloudsim::outage::{FailureMode, Service as OutageService};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn at(secs: u64) -> SimTime {
+    SimTime::from_nanos(secs * 1_000_000_000)
+}
+
+/// A minimal deterministic breaker for driving the data plane's
+/// degradation path without the control plane: trips on the first
+/// reported failure, hands out one probe ticket at a time, closes on
+/// probe success.
+#[derive(Default)]
+struct ScriptedBreaker {
+    tripped: bool,
+    probe_inflight: bool,
+    trips: u32,
+    probes: u32,
+}
+
+impl BreakerProbe for ScriptedBreaker {
+    fn write_route(&mut self, _now: SimTime, _region: cloudapi::RegionId) -> WriteRoute {
+        if self.tripped {
+            WriteRoute::Divert
+        } else {
+            WriteRoute::Primary
+        }
+    }
+
+    fn record_outcome(&mut self, _now: SimTime, _region: cloudapi::RegionId, ok: bool) {
+        if !ok && !self.tripped {
+            self.tripped = true;
+            self.trips += 1;
+        }
+    }
+
+    fn recheck(&mut self, _now: SimTime, _region: cloudapi::RegionId) -> RecheckAdvice {
+        if !self.tripped {
+            RecheckAdvice::Healthy
+        } else if self.probe_inflight {
+            RecheckAdvice::Wait(SimDuration::from_secs(10))
+        } else {
+            RecheckAdvice::Probe
+        }
+    }
+
+    fn probe_open(&mut self, _now: SimTime, _region: cloudapi::RegionId) -> bool {
+        if self.tripped && !self.probe_inflight {
+            self.probe_inflight = true;
+            self.probes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn probe_resolve(&mut self, _now: SimTime, _region: cloudapi::RegionId, ok: bool) {
+        self.probe_inflight = false;
+        if ok {
+            self.tripped = false;
+        }
+    }
+}
+
+fn degraded_setup(
+    seed: u64,
+) -> (
+    CloudSim,
+    AReplica,
+    RegionId,
+    RegionId,
+    Rc<RefCell<ScriptedBreaker>>,
+) {
+    let mut sim = cloudsim::World::paper_sim(seed);
+    let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+    let dst = sim.world.regions.lookup(Cloud::Azure, "eastus").unwrap();
+    let probe = Rc::new(RefCell::new(ScriptedBreaker::default()));
+    let handle: HealthHandle = probe.clone();
+    let service = AReplicaBuilder::new()
+        .rule(ReplicationRule::new(src, "src-bucket", dst, "dst-bucket"))
+        .engine_config(EngineConfig::default())
+        .profiler_config(small_profiler())
+        .tenant(
+            TenantCtx::named("victim")
+                .with_slo(SimDuration::from_secs(30))
+                .with_health(handle),
+        )
+        .install(&mut sim);
+    (sim, service, src, dst, probe)
+}
+
+#[test]
+fn outage_diverts_writes_and_failback_converges() {
+    let (mut sim, service, src, dst, probe) = degraded_setup(41);
+
+    // Healthy warm-up write.
+    cloudsim::world::user_put(&mut sim, src, "src-bucket", "warm.bin", 4 << 20).unwrap();
+
+    // The destination object store black-holes requests for 600..900s.
+    sim.world.outage.region_window(
+        dst,
+        OutageService::ObjStore,
+        at(600),
+        at(900),
+        FailureMode::Timeout,
+    );
+
+    // First write in the window stalls; its SLO watchdog (30s) reports the
+    // miss and trips the breaker. Later writes divert into the catch-up
+    // log, including an overwrite that must win by latest-seq.
+    for (t, key) in [(610, "hot-1.bin"), (650, "hot-2.bin"), (700, "hot-1.bin")] {
+        sim.schedule_at(at(t), move |sim| {
+            cloudsim::world::user_put(sim, src, "src-bucket", key, 4 << 20).unwrap();
+        });
+    }
+    sim.run_to_completion(5_000_000);
+
+    for key in ["warm.bin", "hot-1.bin", "hot-2.bin"] {
+        assert_replica_matches(&sim, src, dst, key);
+    }
+    let m = service.metrics();
+    assert!(m.deadline_missed >= 1, "watchdog never fired: {m:?}");
+    assert!(m.diverted >= 2, "diverted {}", m.diverted);
+    assert!(m.failbacks >= 2, "failbacks {}", m.failbacks);
+    let p = probe.borrow();
+    assert!(
+        p.trips >= 1 && p.probes >= 1,
+        "trips {} probes {}",
+        p.trips,
+        p.probes
+    );
+    // The catch-up log drained completely: nothing leaked.
+    assert_eq!(
+        sim.world.db(src).table_len(catchup::CATCHUP_TABLE),
+        0,
+        "catch-up entries leaked"
+    );
+}
+
+#[test]
+fn second_outage_mid_failback_still_converges() {
+    let (mut sim, service, src, dst, probe) = degraded_setup(42);
+
+    // Two back-to-back windows: the second opens while the failback
+    // replicator is still replaying the first window's catch-up log, so
+    // drained work is interrupted mid-flight and must survive a second
+    // divert/drain episode without losing or duplicating versions.
+    sim.world.outage.region_window(
+        dst,
+        OutageService::ObjStore,
+        at(600),
+        at(700),
+        FailureMode::Timeout,
+    );
+    sim.world.outage.region_window(
+        dst,
+        OutageService::ObjStore,
+        at(703),
+        at(900),
+        FailureMode::Timeout,
+    );
+
+    for (t, key) in [(610, "a.bin"), (650, "b.bin"), (660, "c.bin")] {
+        sim.schedule_at(at(t), move |sim| {
+            cloudsim::world::user_put(sim, src, "src-bucket", key, 64 << 20).unwrap();
+        });
+    }
+    sim.run_to_completion(5_000_000);
+
+    for key in ["a.bin", "b.bin", "c.bin"] {
+        assert_replica_matches(&sim, src, dst, key);
+    }
+    let m = service.metrics();
+    assert!(m.diverted >= 2, "diverted {}", m.diverted);
+    let p = probe.borrow();
+    assert!(p.probes >= 1, "probes {}", p.probes);
+    assert_eq!(
+        sim.world.db(src).table_len(catchup::CATCHUP_TABLE),
+        0,
+        "catch-up entries leaked across episodes"
+    );
+}
+
+#[test]
+fn reads_fall_back_to_source_during_replica_outage() {
+    let (mut sim, service, src, dst, _probe) = degraded_setup(43);
+
+    cloudsim::world::user_put(&mut sim, src, "src-bucket", "doc.bin", 4 << 20).unwrap();
+    sim.run_to_completion(1_000_000);
+    assert_replica_matches(&sim, src, dst, "doc.bin");
+
+    // Replica region hard-fails; a consumer read must transparently fall
+    // back to the source copy.
+    let t0 = sim.now();
+    sim.world.outage.region_window(
+        dst,
+        OutageService::ObjStore,
+        t0,
+        t0 + SimDuration::from_secs(600),
+        FailureMode::HardError,
+    );
+    let served = Rc::new(RefCell::new(None));
+    let served2 = served.clone();
+    service.read_with_fallback(&mut sim, 0, "doc.bin".to_string(), move |_sim, res| {
+        *served2.borrow_mut() = Some(res.map(|(c, _etag, region)| (c.size(), region)));
+    });
+    sim.run_to_completion(1_000_000);
+
+    let got = served.borrow_mut().take().expect("read completed");
+    let (size, region) = got.expect("fallback read succeeded");
+    assert_eq!(region, src, "read should have been served by the source");
+    assert_eq!(size, 4 << 20);
+    assert_eq!(service.metrics().read_fallbacks, 1);
+}

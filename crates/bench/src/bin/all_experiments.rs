@@ -49,4 +49,5 @@ fn main() {
     run("ablation_part_size", &ex::ablation_part_size::run);
     run("multi_tenant", &ex::multi_tenant::run);
     run("slo_burn", &ex::slo_burn::run);
+    run("region_outage", &ex::region_outage::run);
 }

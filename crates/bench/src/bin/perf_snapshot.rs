@@ -80,6 +80,7 @@ fn suite_wall_secs() -> f64 {
         ("ablation_part_size", &ex::ablation_part_size::run),
         ("multi_tenant", &ex::multi_tenant::run),
         ("slo_burn", &ex::slo_burn::run),
+        ("region_outage", &ex::region_outage::run),
     ];
     let timer = WallTimer::start();
     for (name, f) in experiments {
@@ -170,7 +171,7 @@ fn main() {
     let suite_secs = suite_wall_secs();
 
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"pr\": 8,\n  \"kernel_events\": {kernel_events},\n  \
+        "{{\n  \"schema\": 2,\n  \"pr\": 9,\n  \"kernel_events\": {kernel_events},\n  \
          \"kernel_wall_secs\": {kernel_secs:.4},\n  \
          \"kernel_events_per_sec\": {kernel_eps:.0},\n  \
          \"fig17_scale\": 1.0,\n  \"fig17_wall_secs\": {fig17_secs:.3},\n  \
@@ -178,13 +179,13 @@ fn main() {
          \"suite_scale\": {SUITE_SCALE},\n  \"suite_wall_secs\": {suite_secs:.3}\n}}\n"
     );
     compare_against(
-        "BENCH_7.json",
+        "BENCH_8.json",
         kernel_eps,
         fig17_secs,
         fig23_secs,
         suite_secs,
     );
-    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_8.json".into());
+    let out = std::env::var("AREPLICA_BENCH_OUT").unwrap_or_else(|_| "BENCH_9.json".into());
     std::fs::write(&out, &json).expect("write perf snapshot");
     // xlint::allow(no-adhoc-stderr, designated sink: echoes the committed BENCH_<pr>.json, never in results)
     println!("{json}");

@@ -1,0 +1,13 @@
+//! Regenerates the fault-domain outage report, plus (with
+//! `--dash-out[=DIR]`) the dashboard stream, alert log, breaker log, and
+//! flight-recorder dump — all byte-deterministic for a fixed seed.
+fn main() {
+    let art = bench::experiments::region_outage::run_full();
+    bench::write_report("region_outage", &art.report);
+    if let Some(dir) = bench::dash_out_dir() {
+        bench::write_dash(&dir, "region_outage.dash.txt", &art.dashboards);
+        bench::write_dash(&dir, "region_outage.alerts.txt", &art.alert_log);
+        bench::write_dash(&dir, "region_outage.breakers.txt", &art.breaker_log);
+        bench::write_dash(&dir, "region_outage.flight.json", &art.flight_dump);
+    }
+}

@@ -64,7 +64,7 @@ fn quiet_load() -> Load {
     }
 }
 
-fn bench_profiler() -> ProfilerConfig {
+pub(crate) fn bench_profiler() -> ProfilerConfig {
     ProfilerConfig {
         warm_samples: 4,
         cold_samples: 3,
@@ -88,7 +88,7 @@ pub struct Artifacts {
     pub flight_dump: String,
 }
 
-fn dash_row(sim: &CloudSim, mon: &SloMonitor, id: &str, quota: u32) -> DashRow {
+pub(crate) fn dash_row(sim: &CloudSim, mon: &SloMonitor, id: &str, quota: u32) -> DashRow {
     let now = sim.now();
     let windows = sim.world.trace.windows();
     let slow = mon

@@ -70,6 +70,19 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// The platform default: 2 retries after the first attempt (the AWS
+    /// async-invoke default, also what the engine's unified client policy
+    /// maps to).
+    pub const PLATFORM_DEFAULT: RetryPolicy = RetryPolicy { max_retries: 2 };
+
+    /// A deep retry budget for crash-heavy environments: with several crash
+    /// draws per attempt at injection rates around 0.35, 24 retries push the
+    /// chance of exhausting the budget below 1e-3 per invocation. Named here
+    /// so the constant is policy, not a per-call-site literal.
+    pub const CRASH_RECOVERY: RetryPolicy = RetryPolicy { max_retries: 24 };
+}
+
 /// Why an invocation attempt ended unsuccessfully.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureReason {

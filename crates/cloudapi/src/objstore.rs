@@ -248,6 +248,9 @@ pub enum StoreError {
     InvalidRange,
     /// The multipart upload id is unknown (or already completed/aborted).
     NoSuchUpload,
+    /// The service (or the region hosting it) is temporarily unavailable —
+    /// the hard-error face of a fault-domain outage window.
+    Unavailable,
 }
 
 impl fmt::Display for StoreError {
@@ -260,6 +263,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidRange => write!(f, "invalid range"),
             StoreError::NoSuchUpload => write!(f, "no such multipart upload"),
+            StoreError::Unavailable => write!(f, "service unavailable"),
         }
     }
 }

@@ -269,6 +269,18 @@ pub fn invoke_after(
         let d = world.params.cloud(cloud).invoke_latency.clone();
         SimDuration::from_secs_f64(d.sample_nonneg(world.faas_rng_mut()))
     };
+    // A FaaS outage window postpones acceptance: a dead or black-holed
+    // regional scheduler holds the invoke until the window closes (the
+    // paper's scheduler-postponement shape); a brownout multiplies the API
+    // latency. The no-outage path is one emptiness check.
+    let api_latency = if world.outage.is_empty() {
+        api_latency
+    } else {
+        let gate = world
+            .outage
+            .shaping(now + delay, region, crate::outage::Service::Faas);
+        crate::outage::OutageSchedule::shape(gate, api_latency)
+    };
     let tenant = world.tenant_scope();
     if world.trace.enabled() {
         let label = world.regions.label(region);

@@ -11,6 +11,8 @@
 //!   scheduler batching, timeouts, retries, a DLQ, and per-ms billing;
 //! * [`vm`] — VM provisioning for the Skyplane-style baseline;
 //! * [`net`] — the asymmetric, per-instance-variable WAN model;
+//! * [`outage`] — deterministic fault-domain outage windows (regional
+//!   service blackouts, WAN partitions, brownouts);
 //! * [`world`] — the [`World`] aggregate and the timed,
 //!   cost-metered operation wrappers everything above is driven through.
 //!
@@ -22,6 +24,7 @@
 
 pub mod faas;
 pub mod net;
+pub mod outage;
 pub mod params;
 pub mod vm;
 pub mod world;

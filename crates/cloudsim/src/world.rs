@@ -27,6 +27,7 @@ use crate::objstore::{
     BlobId, Content, ETag, NotificationTarget, ObjectEvent, ObjectStat, ObjectStore, PutApplied,
     StoreError,
 };
+use crate::outage::{Gate, OutageSchedule, Service as OutageService};
 use crate::params::WorldParams;
 use crate::region::{RegionId, RegionRegistry};
 use crate::vm::{VmService, VmState};
@@ -75,6 +76,11 @@ pub struct World {
     pub vms: VmService,
     /// Network state (concurrent legs).
     pub net: NetState,
+    /// Fault-domain outage windows the operation wrappers consult. Empty by
+    /// default: the no-outage path performs one emptiness check per
+    /// operation, draws no extra randomness, and schedules no extra events,
+    /// so pre-outage runs stay byte-identical.
+    pub outage: OutageSchedule,
     /// Deterministic trace/metrics collector. Disabled by default; the
     /// operation wrappers record spans and counters into it when enabled.
     /// Recording draws no randomness and schedules no events, so enabling
@@ -126,6 +132,7 @@ impl World {
             faas: FaasRuntime::new(),
             vms: VmService::new(),
             net: NetState::new(),
+            outage: OutageSchedule::new(),
             trace: simtrace::Tracer::new(),
             objstores: (0..n).map(|_| ObjectStore::new()).collect(),
             dbs: (0..n).map(|_| KvDb::new()).collect(),
@@ -413,6 +420,14 @@ pub fn run_leg(
             &mut world.net_rng,
         )
     };
+    // A partitioned (or browned-out) WAN link shapes the leg: transfers on a
+    // dead link hang until the window closes rather than erroring — a WAN
+    // path that dies mid-transfer looks like a hung connection, not an RST.
+    let dur = if sim.world.outage.is_empty() {
+        dur
+    } else {
+        OutageSchedule::shape(sim.world.outage.link_shaping(sim.now(), from, to), dur)
+    };
     if sim.world.trace.enabled() {
         let now = sim.now();
         let from_label = sim.world.regions.label(from);
@@ -452,6 +467,29 @@ pub fn run_leg(
             cb(sim);
         }
     });
+}
+
+/// Applies the objstore outage gate to a control-plane round trip issued at
+/// the current instant: `Ok` carries the (possibly browned-out or stalled)
+/// RTT to proceed with, `Err` carries the RTT after which the operation must
+/// fail with [`StoreError::Unavailable`]. On the no-outage path this is one
+/// emptiness check.
+fn objstore_gate(
+    sim: &mut CloudSim,
+    region: RegionId,
+    rtt: SimDuration,
+) -> Result<SimDuration, SimDuration> {
+    if sim.world.outage.is_empty() {
+        return Ok(rtt);
+    }
+    match sim
+        .world
+        .outage
+        .gate(sim.now(), region, OutageService::ObjStore)
+    {
+        Gate::Fail => Err(rtt),
+        g => Ok(OutageSchedule::shape(g, rtt)),
+    }
 }
 
 /// Samples a storage-API round trip from `exec`'s region to `region`.
@@ -611,6 +649,17 @@ pub fn stat_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     trace_api_call(sim, region, rtt, "store.stat", "store.ops.stat");
     schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
@@ -643,6 +692,17 @@ pub fn get_object_range(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     if sim.world.trace.enabled() {
         let now = sim.now();
         let label = sim.world.regions.label(region);
@@ -686,6 +746,38 @@ pub fn put_object(
     content: Content,
     cb: impl FnOnce(&mut CloudSim, Result<PutApplied, StoreError>) + 'static,
 ) {
+    if !sim.world.outage.is_empty() {
+        match sim
+            .world
+            .outage
+            .gate(sim.now(), region, OutageService::ObjStore)
+        {
+            // Brownout shapes control-plane RTTs and link legs; the upload
+            // wire itself is browned out via a link window.
+            Gate::Clear | Gate::Slow(_) => {}
+            Gate::Stall(d) => {
+                // Black-holed store: the client hangs, then the request goes
+                // through after the window closes. Re-entering re-checks the
+                // gate, so overlapping windows chain.
+                schedule_scoped(sim, d, move |sim| {
+                    put_object(sim, exec, region, bucket, key, content, cb);
+                });
+                return;
+            }
+            Gate::Fail => {
+                let Some(profile) = sim.world.exec_profile(exec) else {
+                    return;
+                };
+                let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+                schedule_scoped(sim, rtt, move |sim| {
+                    if sim.world.exec_alive(exec) {
+                        cb(sim, Err(StoreError::Unavailable));
+                    }
+                });
+                return;
+            }
+        }
+    }
     let bytes = content.size();
     if sim.world.trace.enabled() {
         let now = sim.now();
@@ -731,6 +823,17 @@ pub fn delete_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     trace_api_call(sim, region, rtt, "store.delete", "store.ops.delete");
     schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
@@ -769,6 +872,17 @@ pub fn copy_object(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     trace_api_call(sim, region, rtt, "store.copy", "store.ops.copy");
     schedule_scoped(sim, rtt, move |sim| {
         if !sim.world.exec_alive(exec) {
@@ -803,6 +917,17 @@ pub fn create_multipart(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     trace_api_call(
         sim,
         region,
@@ -833,6 +958,33 @@ pub fn upload_part(
     content: Content,
     cb: impl FnOnce(&mut CloudSim, Result<(), StoreError>) + 'static,
 ) {
+    if !sim.world.outage.is_empty() {
+        match sim
+            .world
+            .outage
+            .gate(sim.now(), region, OutageService::ObjStore)
+        {
+            Gate::Clear | Gate::Slow(_) => {}
+            Gate::Stall(d) => {
+                schedule_scoped(sim, d, move |sim| {
+                    upload_part(sim, exec, region, upload_id, part_number, content, cb);
+                });
+                return;
+            }
+            Gate::Fail => {
+                let Some(profile) = sim.world.exec_profile(exec) else {
+                    return;
+                };
+                let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+                schedule_scoped(sim, rtt, move |sim| {
+                    if sim.world.exec_alive(exec) {
+                        cb(sim, Err(StoreError::Unavailable));
+                    }
+                });
+                return;
+            }
+        }
+    }
     let bytes = content.size();
     if sim.world.trace.enabled() {
         sim.world.trace.counter_add("store.ops.upload_part", 1);
@@ -863,6 +1015,17 @@ pub fn complete_multipart(
         return;
     };
     let rtt = storage_api_rtt(&mut sim.world, profile.region, region);
+    let rtt = match objstore_gate(sim, region, rtt) {
+        Ok(rtt) => rtt,
+        Err(rtt) => {
+            schedule_scoped(sim, rtt, move |sim| {
+                if sim.world.exec_alive(exec) {
+                    cb(sim, Err(StoreError::Unavailable));
+                }
+            });
+            return;
+        }
+    };
     trace_api_call(
         sim,
         region,
@@ -903,6 +1066,18 @@ pub fn db_get(
         return;
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
+    // The KV API has no error channel here; a hard-errored or black-holed
+    // DB region stalls the operation to window close (a timed-out
+    // connection), a brownout multiplies its latency.
+    let latency = if sim.world.outage.is_empty() {
+        latency
+    } else {
+        let g = sim
+            .world
+            .outage
+            .shaping(sim.now(), region, OutageService::CloudDb);
+        OutageSchedule::shape(g, latency)
+    };
     trace_api_call(sim, region, latency, "db.get", "db.ops.get");
     schedule_scoped(sim, latency, move |sim| {
         if !sim.world.exec_alive(exec) {
@@ -935,6 +1110,15 @@ pub fn db_transact<T: 'static>(
         return;
     };
     let latency = db_op_latency(&mut sim.world, profile.region, region);
+    let latency = if sim.world.outage.is_empty() {
+        latency
+    } else {
+        let g = sim
+            .world
+            .outage
+            .shaping(sim.now(), region, OutageService::CloudDb);
+        OutageSchedule::shape(g, latency)
+    };
     trace_api_call(sim, region, latency, "db.transact", "db.ops.transact");
     schedule_scoped(sim, latency, move |sim| {
         // The transaction commits server-side even if the caller died; only

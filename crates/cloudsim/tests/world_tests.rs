@@ -484,7 +484,7 @@ fn crash_injection_kills_instances_and_platform_retries() {
             use1,
             spec,
             body.clone(),
-            RetryPolicy { max_retries: 24 },
+            RetryPolicy::CRASH_RECOVERY,
         );
     }
     sim.run_to_completion(1_000_000);
@@ -493,8 +493,8 @@ fn crash_injection_kills_instances_and_platform_retries() {
         "crashes should fire at p=0.35"
     );
     // Each attempt makes several crash draws, so a single attempt fails with
-    // probability ~0.7; 24 retries push the chance of exhausting the budget
-    // below 1e-3 per invocation.
+    // probability ~0.7; the CRASH_RECOVERY budget keeps the chance of
+    // exhausting it below 1e-3 per invocation.
     assert_eq!(*successes.borrow(), 20);
     assert_eq!(sim.world.faas.active_in(use1), 0);
 }
@@ -657,4 +657,158 @@ fn notification_delays_differ_by_cloud() {
             "{cloud}: measured {mean} vs truth {truth}"
         );
     }
+}
+
+// ---- fault-domain outage windows -------------------------------------------
+
+#[test]
+fn hard_error_outage_fails_store_ops_with_unavailable() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    sim.world.objstore_mut(use1).create_bucket("b");
+    world::user_put(&mut sim, use1, "b", "k", 1 << 10).unwrap();
+    sim.world.outage.region_window(
+        use1,
+        cloudsim::outage::Service::ObjStore,
+        SimTime::from_nanos(0),
+        SimTime::from_nanos(3_600_000_000_000),
+        cloudsim::outage::FailureMode::HardError,
+    );
+    use cloudsim::objstore::{ObjectStat, StoreError};
+    let stat: Rc<RefCell<Option<Result<ObjectStat, StoreError>>>> = Rc::default();
+    let s2 = stat.clone();
+    world::stat_object(
+        &mut sim,
+        platform(use1),
+        use1,
+        "b".into(),
+        "k".into(),
+        move |_sim, r| *s2.borrow_mut() = Some(r),
+    );
+    let put: Rc<RefCell<Option<StoreError>>> = Rc::default();
+    let p2 = put.clone();
+    let blob = sim.world.alloc_blob();
+    world::put_object(
+        &mut sim,
+        platform(use1),
+        use1,
+        "b".into(),
+        "k2".into(),
+        cloudsim::objstore::Content::fresh(blob, 1 << 10),
+        move |_sim, r| *p2.borrow_mut() = Some(r.unwrap_err()),
+    );
+    sim.run_to_completion(10_000);
+    assert_eq!(
+        stat.borrow().clone().unwrap(),
+        Err(StoreError::Unavailable),
+        "stat during a hard-error window must fail unavailable"
+    );
+    assert_eq!(put.borrow().clone().unwrap(), StoreError::Unavailable);
+    // The failed PUT never landed.
+    assert!(sim.world.objstore(use1).stat("b", "k2").is_err());
+}
+
+#[test]
+fn timeout_outage_black_holes_puts_until_window_close() {
+    let mut sim = sim();
+    let use1 = region(&sim, Cloud::Aws, "us-east-1");
+    sim.world.objstore_mut(use1).create_bucket("b");
+    sim.world.outage.region_window(
+        use1,
+        cloudsim::outage::Service::ObjStore,
+        SimTime::from_nanos(10_000_000_000),
+        SimTime::from_nanos(100_000_000_000),
+        cloudsim::outage::FailureMode::Timeout,
+    );
+    let done: Rc<RefCell<Option<SimTime>>> = Rc::default();
+    let d2 = done.clone();
+    let blob = sim.world.alloc_blob();
+    let content = cloudsim::objstore::Content::fresh(blob, 1 << 20);
+    sim.schedule_in(SimDuration::from_secs(20), move |sim| {
+        world::put_object(
+            sim,
+            platform(use1),
+            use1,
+            "b".into(),
+            "k".into(),
+            content,
+            move |sim, r| {
+                r.unwrap();
+                *d2.borrow_mut() = Some(sim.now());
+            },
+        );
+    });
+    sim.run_to_completion(10_000);
+    let at = done.borrow().expect("put must complete after failback");
+    assert!(
+        at >= SimTime::from_nanos(100_000_000_000),
+        "a black-holed PUT must not complete inside the window (completed at {at})"
+    );
+    assert!(sim.world.objstore(use1).stat("b", "k").is_ok());
+}
+
+#[test]
+fn outage_on_unrelated_domain_leaves_runs_byte_identical() {
+    let run = |with_unrelated_outage: bool| -> (SimTime, pricing::Money) {
+        let mut sim = sim();
+        let use1 = region(&sim, Cloud::Aws, "us-east-1");
+        let use2 = region(&sim, Cloud::Aws, "us-east-2");
+        if with_unrelated_outage {
+            let far = region(&sim, Cloud::Gcp, "europe-west6");
+            sim.world.outage.region_window(
+                far,
+                cloudsim::outage::Service::ObjStore,
+                SimTime::from_nanos(0),
+                SimTime::from_nanos(3_600_000_000_000),
+                cloudsim::outage::FailureMode::HardError,
+            );
+            sim.world.outage.link_window(
+                far,
+                use1,
+                SimTime::from_nanos(0),
+                SimTime::from_nanos(3_600_000_000_000),
+                cloudsim::outage::FailureMode::Timeout,
+            );
+        }
+        sim.world.objstore_mut(use1).create_bucket("src");
+        sim.world.objstore_mut(use2).create_bucket("dst");
+        world::user_put(&mut sim, use1, "src", "k", 4 << 20).unwrap();
+        let done: Rc<RefCell<Option<SimTime>>> = Rc::default();
+        let d2 = done.clone();
+        let spec = faas::default_spec(&sim.world, use1);
+        let body: faas::FnBody = Rc::new(move |sim, handle: FnHandle| {
+            let exec = Executor::Function(handle);
+            let d2 = d2.clone();
+            world::get_object_range(
+                sim,
+                exec,
+                use1,
+                "src".into(),
+                "k".into(),
+                0,
+                4 << 20,
+                None,
+                move |sim, got| {
+                    let (content, _) = got.unwrap();
+                    world::put_object(sim, exec, use2, "dst".into(), "k".into(), content, {
+                        let d2 = d2.clone();
+                        move |sim, r| {
+                            r.unwrap();
+                            *d2.borrow_mut() = Some(sim.now());
+                            faas::finish(sim, handle);
+                        }
+                    });
+                },
+            );
+        });
+        faas::invoke(&mut sim, use1, spec, body, RetryPolicy::default());
+        sim.run_to_completion(100_000);
+        let at = done.borrow().unwrap();
+        (at, sim.world.ledger.grand_total())
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "windows over untouched domains must not perturb timing or cost"
+    );
 }

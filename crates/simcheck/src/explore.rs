@@ -4,10 +4,15 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use areplica_control::breaker::{BreakerConfig, BreakerSet};
 use areplica_core::backend::faulty::{FaultPlan, FaultSite, FaultStats, Faulty};
 use areplica_core::backend::{Backend, Clock, ObjectStore as _};
-use areplica_core::{AReplicaBuilder, ProfilerConfig, ReplicationRule, TenantCtx};
-use cloudsim::{Cloud, RegionId, World};
+use areplica_core::health::HealthHandle;
+use areplica_core::{
+    catchup, AReplicaBuilder, BreakerState, ProfilerConfig, ReplicationRule, RetryPolicy, TenantCtx,
+};
+use cloudsim::{Cloud, World};
+use simkernel::SimDuration;
 
 use crate::oracle::{self, Violation};
 use crate::scenario::{Scenario, DST_BUCKET, KEY, SRC_BUCKET};
@@ -64,18 +69,6 @@ fn small_profiler() -> ProfilerConfig {
     }
 }
 
-/// The bucket pair every scenario replicates across.
-fn regions(sim: &Faulty<cloudsim::world::CloudSim>) -> (RegionId, RegionId) {
-    let regions = &sim.inner().world.regions;
-    let src = regions
-        .lookup(Cloud::Aws, "us-east-1")
-        .expect("paper region set");
-    let dst = regions
-        .lookup(Cloud::Azure, "eastus")
-        .expect("paper region set");
-    (src, dst)
-}
-
 /// Runs `sc` under the schedule selected by `mode` and checks every oracle
 /// against the quiesced world.
 ///
@@ -83,9 +76,41 @@ fn regions(sim: &Faulty<cloudsim::world::CloudSim>) -> (RegionId, RegionId) {
 /// the same [`RunReport`], byte for byte — the world seed fixes the
 /// simulator's draws and the mode fixes every pop/fault decision.
 pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
-    let mut sim = Faulty::new(World::paper_sim(sc.sim_seed), FaultPlan::default());
-    let (src, dst) = regions(&sim);
+    let inner = World::paper_sim(sc.sim_seed);
+    let src = inner
+        .world
+        .regions
+        .lookup(Cloud::Aws, "us-east-1")
+        .expect("paper region set");
+    let dst = inner
+        .world
+        .regions
+        .lookup(Cloud::Azure, "eastus")
+        .expect("paper region set");
+    let plan = FaultPlan {
+        outage_region: sc.outage.then_some(dst),
+        ..FaultPlan::default()
+    };
+    let mut sim = Faulty::new(inner, plan);
     sim.inner_mut().world.trace.set_enabled(true);
+
+    // Outage scenarios run under a tenant with a tight SLO and a circuit
+    // breaker, so held-open windows trip the breaker and exercise the
+    // divert/probe/failback protocol; the typed handle is kept for the
+    // breaker-closed oracle.
+    let breaker: Option<Rc<RefCell<BreakerSet>>> = sc.outage.then(|| {
+        let mut set = BreakerSet::new(
+            "victim",
+            BreakerConfig {
+                min_events: 1,
+                cooldown: SimDuration::from_millis(500),
+                probe_backoff: RetryPolicy::default(),
+                ..BreakerConfig::default()
+            },
+        );
+        set.add_destination(dst, "azure/eastus");
+        Rc::new(RefCell::new(set))
+    });
 
     // Classic scenarios run one anonymous service on the shared bucket
     // pair; multi-tenant scenarios run one service per tenant on per-tenant
@@ -95,13 +120,19 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
         let rule = ReplicationRule::new(src, SRC_BUCKET, dst, DST_BUCKET)
             .with_batching(false)
             .with_changelog(false);
-        services.push(
-            AReplicaBuilder::new()
-                .rule(rule)
-                .engine_config(sc.engine.clone())
-                .profiler_config(small_profiler())
-                .install(&mut sim),
-        );
+        let mut builder = AReplicaBuilder::new()
+            .rule(rule)
+            .engine_config(sc.engine.clone())
+            .profiler_config(small_profiler());
+        if let Some(b) = &breaker {
+            let handle: HealthHandle = b.clone();
+            builder = builder.tenant(
+                TenantCtx::named("victim")
+                    .with_slo(SimDuration::from_secs(2))
+                    .with_health(handle),
+            );
+        }
+        services.push(builder.install(&mut sim));
     } else {
         for t in &sc.tenants {
             let mut tenant = TenantCtx::named(t.id);
@@ -159,11 +190,24 @@ pub fn run_schedule(sc: &Scenario, mode: Mode) -> RunReport {
     }
     let executed = sim.run_to_completion(sc.max_events);
 
-    let violations = if sc.tenants.is_empty() {
+    let mut violations = if sc.tenants.is_empty() {
         oracle::check(sim.inner(), sc, src, dst, executed)
     } else {
         oracle::check_tenants(sim.inner(), sc, src, dst, executed)
     };
+    // Outage oracles (skipped on a NotDrained run — a mid-flight world
+    // legitimately has queued catch-up entries and an open breaker).
+    if let Some(b) = &breaker {
+        if executed < sc.max_events {
+            let rows = sim.inner().world.db(src).table_len(catchup::CATCHUP_TABLE);
+            if rows != 0 {
+                violations.push(Violation::CatchupLeaked { rows });
+            }
+            if b.borrow().state(dst) != BreakerState::Closed {
+                violations.push(Violation::BreakerNotClosed);
+            }
+        }
+    }
     let tenant_faas = sc
         .tenants
         .iter()
@@ -254,12 +298,17 @@ pub fn explore_exhaustive(sc: &Scenario, max_depth: usize, max_runs: u64) -> Exh
                     .map(Decision::Pop)
                     .collect(),
                 Decision::Fault(fired) => {
+                    // Outage sites are safe to force too: opening is bounded
+                    // by the wrapper's window budget and a held-open window
+                    // is forced shut after a bounded number of denials.
                     let safe = matches!(
                         t.site,
                         Some(
                             FaultSite::TransientGet
                                 | FaultSite::TransientPut
                                 | FaultSite::PostTransactKill
+                                | FaultSite::OutageOpen
+                                | FaultSite::OutageClose
                         )
                     );
                     if !fired && safe {

@@ -78,6 +78,15 @@ pub enum Violation {
         /// The quota the control plane granted.
         limit: u32,
     },
+    /// Catch-up log entries left in the source region's queue after
+    /// quiescence — the failback replicator lost diverted versions.
+    CatchupLeaked {
+        /// Queue rows still present.
+        rows: usize,
+    },
+    /// The circuit breaker was not closed after quiescence — the
+    /// recheck/probe loop never recovered a healthy destination.
+    BreakerNotClosed,
 }
 
 /// Runs every oracle against the quiesced simulator.

@@ -48,6 +48,11 @@ pub struct Scenario {
     /// single-tenant path on [`SRC_BUCKET`]/[`DST_BUCKET`]; non-empty runs
     /// one service per tenant on per-tenant buckets, with quotas applied.
     pub tenants: Vec<TenantLoad>,
+    /// Arms destination-region outage exploration: the fault plan gets
+    /// `outage_region = Some(dst)`, the service runs under a tenant with a
+    /// tight SLO and a circuit breaker, and the outage oracles (no leaked
+    /// catch-up entries, breaker closed after quiescence) are checked.
+    pub outage: bool,
 }
 
 impl Scenario {
@@ -64,6 +69,7 @@ impl Scenario {
             },
             max_events: 10_000_000,
             tenants: Vec::new(),
+            outage: false,
         }
     }
 
@@ -132,6 +138,24 @@ impl Scenario {
         sc
     }
 
+    /// Two versions of the key with the destination's object store subject
+    /// to schedule-controlled outage windows: the walk decides when the
+    /// region goes dark and when it recovers. Schedules that hold the
+    /// window past the tenant's 2 s SLO trip the circuit breaker, divert
+    /// writes into the catch-up log, and must still converge through the
+    /// failback replicator — with nothing leaked and the breaker closed.
+    pub fn region_outage() -> Scenario {
+        let mut sc = Scenario::base(
+            "region-outage",
+            vec![
+                (SimDuration::ZERO, 8 << 20),
+                (SimDuration::from_millis(1200), 4 << 20),
+            ],
+        );
+        sc.outage = true;
+        sc
+    }
+
     /// Every scenario, in CLI order.
     pub fn all() -> Vec<Scenario> {
         vec![
@@ -139,6 +163,7 @@ impl Scenario {
             Scenario::overwrite_race(),
             Scenario::small_race(),
             Scenario::noisy_neighbor(),
+            Scenario::region_outage(),
             Scenario::canary(),
         ]
     }

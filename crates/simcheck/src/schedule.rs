@@ -73,6 +73,15 @@ pub struct WalkConfig {
     pub p_transient: f64,
     /// Probability of crashing a function after one of its DB transactions.
     pub p_kill: f64,
+    /// Probability of opening a regional outage window per
+    /// [`FaultSite::OutageOpen`] occurrence (consulted only by scenarios
+    /// that arm `FaultPlan::outage_region`).
+    pub p_outage: f64,
+    /// Probability of closing the open window per blocked-write retry.
+    /// Low enough that some walks hold the window past the scenario's SLO
+    /// (tripping the breaker), high enough that most windows close within
+    /// a few retry ticks.
+    pub p_outage_close: f64,
 }
 
 impl Default for WalkConfig {
@@ -82,6 +91,8 @@ impl Default for WalkConfig {
             p_deviate: 0.2,
             p_transient: 0.03,
             p_kill: 0.08,
+            p_outage: 0.04,
+            p_outage_close: 0.25,
         }
     }
 }
@@ -216,17 +227,22 @@ impl ScheduleState {
                     // post-transact kills instead, which exercise the
                     // lock/claim re-entrancy paths.
                     FaultSite::InvocationDrop | FaultSite::KillAfterUpload => 0.0,
+                    FaultSite::OutageOpen => cfg.p_outage,
+                    FaultSite::OutageClose => cfg.p_outage_close,
                 };
                 p > 0.0 && self.rng.gen_bool(p)
             }
             Mode::Scripted(_) => matches!(self.next_scripted(), Some(Decision::Fault(true))),
         };
         // Budget caps apply in every mode so neither the walk nor a shrink
-        // candidate can exceed the platform's retry budget.
+        // candidate can exceed the platform's retry budget. Outage sites are
+        // exempt: opening is budgeted by the wrapper itself (`MAX_OUTAGES`)
+        // and closing a window must never be blocked.
+        let budgeted = !matches!(site, FaultSite::OutageOpen | FaultSite::OutageClose);
         let fire = wanted
-            && self.faults < MAX_FAULTS
+            && (!budgeted || self.faults < MAX_FAULTS)
             && (site != FaultSite::PostTransactKill || self.kills < MAX_KILLS);
-        if fire {
+        if fire && budgeted {
             self.faults += 1;
             if site == FaultSite::PostTransactKill {
                 self.kills += 1;

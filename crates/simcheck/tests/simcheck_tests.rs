@@ -246,3 +246,48 @@ fn noisy_neighbor_throttles_the_burst_under_quota() {
         "quiet peak {quiet_peak} must be positive and within its quota of 3"
     );
 }
+
+/// A sweep of region-outage walks: every schedule passes the oracles
+/// (post-failback convergence, no leaked catch-up entries, breaker
+/// closed), and the walks collectively do open outage windows — the
+/// scenario is actually exploring the fault space, not skating past it.
+#[test]
+fn region_outage_walk_sweep_passes_and_opens_windows() {
+    let sc = Scenario::region_outage();
+    let mut opened = 0u64;
+    for seed in 1..=10 {
+        let report = run_schedule(&sc, Mode::Walk(WalkConfig::seeded(seed)));
+        assert!(report.passed(), "seed {seed}: {:?}", report.violations);
+        opened += report.fault_stats.outages_opened;
+    }
+    assert!(opened > 0, "no walk opened an outage window");
+}
+
+/// The max-hostility schedule: every open decision fires, every close is
+/// denied, so both budgeted windows are held to the forced-close backstop.
+/// The run must still converge with nothing leaked and the breaker closed
+/// — and replay byte-identically.
+#[test]
+fn held_open_outage_windows_still_converge() {
+    let sc = Scenario::region_outage();
+    let cfg = WalkConfig {
+        p_outage: 1.0,
+        p_outage_close: 0.0,
+        ..WalkConfig::seeded(11)
+    };
+    let report = run_schedule(&sc, Mode::Walk(cfg));
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert_eq!(
+        report.fault_stats.outages_opened, 2,
+        "both windows budgeted"
+    );
+    assert!(
+        report.fault_stats.outage_blocked_ops >= 12,
+        "blocked {} ops",
+        report.fault_stats.outage_blocked_ops
+    );
+    let again = run_schedule(&sc, Mode::Walk(cfg));
+    assert_eq!(report.taken, again.taken);
+    assert_eq!(report.fault_stats, again.fault_stats);
+    assert_eq!(report.executed, again.executed);
+}

@@ -223,6 +223,15 @@ fn default_resources() -> Vec<ResourceSpec> {
             handoff: Vec::new(),
             exempt_arms: Vec::new(),
         },
+        ResourceSpec {
+            kind: "breaker probe".into(),
+            crates: vec!["areplica-core".into()],
+            acquire: "probe_open".into(),
+            bind: "reach".into(),
+            release: vec!["probe_resolve".into()],
+            handoff: Vec::new(),
+            exempt_arms: Vec::new(),
+        },
     ]
 }
 

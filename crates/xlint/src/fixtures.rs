@@ -744,6 +744,90 @@ pub fn dump(tracer: &Tracer) -> String {
 }
 "##,
     },
+    // Breaker probe tickets (reach-mode): `probe_open` moves the breaker to
+    // HalfOpen with a single probe ticket outstanding; every path must
+    // reach `probe_resolve`, or the breaker is stuck half-open forever and
+    // no further probe can ever be issued.
+    Fixture {
+        name: "prb-probe-abandoned-on-error-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn probe(sim: &mut Sim, st: St) {
+    st.health().probe_open(sim.now(), st.dst());
+    sim.put_object(st.dst(), probe_content(), move |sim, res| {
+        if res.is_ok() {
+            st.health().probe_resolve(sim.now(), st.dst(), true);
+        } else {
+            // BUG: the failed probe abandons its ticket — the breaker
+            // stays HalfOpen and no further probe is ever admitted.
+            sim.finish();
+        }
+    });
+}
+"##,
+    },
+    Fixture {
+        name: "prb-probe-balanced-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn probe(sim: &mut Sim, st: St) {
+    st.health().probe_open(sim.now(), st.dst());
+    sim.put_object(st.dst(), probe_content(), move |sim, res| {
+        let ok = res.is_ok();
+        st.health().probe_resolve(sim.now(), st.dst(), ok);
+    });
+}
+"##,
+    },
+    Fixture {
+        name: "prb-probe-denied-drops-loop-fires",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Fires,
+        source: r##"
+pub fn probe(sim: &mut Sim, st: St) {
+    if !st.health().probe_open(sim.now(), st.dst()) {
+        // BUG: a denied ticket abandons the recheck loop instead of
+        // backing off to retry — this rule's catch-up is never drained.
+        return;
+    }
+    sim.put_object(st.dst(), probe_content(), move |sim, res| {
+        let ok = res.is_ok();
+        st.health().probe_resolve(sim.now(), st.dst(), ok);
+    });
+}
+"##,
+    },
+    Fixture {
+        name: "prb-probe-denied-backoff-clean",
+        rel_path: "crates/areplica-core/src/fixture.rs",
+        rule: "protocol-resource-balance",
+        expect: Expect::Clean,
+        source: r##"
+pub fn probe(sim: &mut Sim, st: St) {
+    if !st.health().probe_open(sim.now(), st.dst()) {
+        // Another probe is in flight: back off and re-enter the recheck
+        // loop, which resolves the outstanding ticket's outcome.
+        sim.schedule_in(st.backoff(), move |sim| recheck(sim, st));
+        return;
+    }
+    sim.put_object(st.dst(), probe_content(), move |sim, res| match res {
+        Ok(_) => settle(sim, st, true),
+        Err(_) => settle(sim, st, false),
+    });
+}
+fn recheck(sim: &mut Sim, st: St) {
+    settle(sim, st, false);
+}
+fn settle(sim: &mut Sim, st: St, ok: bool) {
+    st.health().probe_resolve(sim.now(), st.dst(), ok);
+}
+"##,
+    },
     // ---- span-balance ---------------------------------------------------
     Fixture {
         name: "span-leak-fires",

@@ -209,15 +209,16 @@ fn committed_config_parses() {
     assert!(cfg.stderr_crates.iter().any(|c| c == "bench"));
     assert!(!cfg.layering.is_empty());
     assert!(cfg.skip.iter().any(|s| Path::new(s) == Path::new("vendor")));
-    // The v2 semantic sections: all five protocol resources plus the taint
+    // The v2 semantic sections: all six protocol resources plus the taint
     // and dropped-result policies must survive the round-trip.
-    assert_eq!(cfg.resources.len(), 5, "five [[resource]] blocks");
+    assert_eq!(cfg.resources.len(), 6, "six [[resource]] blocks");
     for acquire in [
         "try_lock_tx",
         "abort_tx",
         "create_multipart",
         "adopt_tx",
         "flight_dump_open",
+        "probe_open",
     ] {
         assert!(
             cfg.resources.iter().any(|r| r.acquire == acquire),

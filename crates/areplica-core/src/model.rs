@@ -16,6 +16,7 @@
 //! prediction drift.
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use cloudapi::RegionId;
 use rand::rngs::StdRng;
@@ -134,6 +135,12 @@ pub struct PerfModel {
     path: BTreeMap<PathKey, PathParams>,
     notif: BTreeMap<RegionId, Dist>,
     max_cache: BTreeMap<MaxCacheKey, Dist>,
+    /// Standardized per-trial maxima keyed by `(n, chunks_per_fn)`. The
+    /// derived MC seed depends only on that pair — never on path parameters —
+    /// so these survive `set_path` / `rescale_path_chunks` invalidation and
+    /// make drift-triggered re-fits an affine remap instead of a fresh
+    /// Monte Carlo (the fig23 replay hot path).
+    std_max_cache: BTreeMap<(u32, u64), Rc<Vec<f64>>>,
     /// Chunk size `c` in bytes the parameters were profiled at.
     pub chunk_size: u64,
     /// Monte-Carlo trial budget per cached distribution.
@@ -270,15 +277,22 @@ impl PerfModel {
         let dist = if (n as usize) >= GUMBEL_THRESHOLD_N {
             stats::gumbel_max_of_normals(per_instance.mean(), per_instance.std_dev(), n as usize)
         } else {
-            // A derived, deterministic RNG per cache key keeps bootstrap
-            // reproducible regardless of query order.
-            let mut rng = StdRng::seed_from_u64(self.mc_seed ^ (n as u64) << 32 ^ chunks_per_fn);
-            Dist::Empirical(stats::monte_carlo_max(
-                &per_instance,
-                n as usize,
-                self.mc_trials,
-                &mut rng,
-            ))
+            let std_maxima = self.std_maxima(n, chunks_per_fn);
+            match stats::monte_carlo_max_from_std(&per_instance, &std_maxima) {
+                Some(emp) => Dist::Empirical(emp),
+                None => {
+                    // A derived, deterministic RNG per cache key keeps
+                    // bootstrap reproducible regardless of query order.
+                    let mut rng =
+                        StdRng::seed_from_u64(self.mc_seed ^ (n as u64) << 32 ^ chunks_per_fn);
+                    Dist::Empirical(stats::monte_carlo_max(
+                        &per_instance,
+                        n as usize,
+                        self.mc_trials,
+                        &mut rng,
+                    ))
+                }
+            }
         };
         self.max_cache.insert(key, dist.clone());
         Ok(dist)
@@ -344,6 +358,28 @@ impl PerfModel {
     /// Number of cached max-of-n distributions (test/inspection hook).
     pub fn cached_max_dists(&self) -> usize {
         self.max_cache.len()
+    }
+
+    /// Number of cached standardized-maxima vectors (test/inspection hook).
+    pub fn cached_std_maxima(&self) -> usize {
+        self.std_max_cache.len()
+    }
+
+    /// Standardized per-trial maxima for `(n, chunks_per_fn)`, computed once
+    /// per key with the same derived RNG seed the full Monte Carlo would use,
+    /// so [`stats::monte_carlo_max_from_std`] reproduces it bit-for-bit.
+    fn std_maxima(&mut self, n: u32, chunks_per_fn: u64) -> Rc<Vec<f64>> {
+        if let Some(v) = self.std_max_cache.get(&(n, chunks_per_fn)) {
+            return v.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(self.mc_seed ^ (n as u64) << 32 ^ chunks_per_fn);
+        let v = Rc::new(stats::std_normal_maxima(
+            n as usize,
+            self.mc_trials,
+            &mut rng,
+        ));
+        self.std_max_cache.insert((n, chunks_per_fn), v.clone());
+        v
     }
 }
 
@@ -528,6 +564,24 @@ mod tests {
         let p50 = m.t_rep_quantile(path, 1 << 30, 16, false, 0.5).unwrap();
         let p99 = m.t_rep_quantile(path, 1 << 30, 16, false, 0.99).unwrap();
         assert!(p99 > p50);
+    }
+
+    #[test]
+    fn std_maxima_reuse_matches_cold_recompute_bitwise() {
+        // The standardized-maxima cache survives rescale invalidation; the
+        // re-fit after a drift correction must be float-identical to what a
+        // cold model (same rescale, no prior queries) computes from scratch.
+        let r = regions();
+        let (mut warm, path) = test_model(&r);
+        let _ = warm.t_transfer_parallel(path, 1 << 30, 16).unwrap(); // warm the std cache
+        assert_eq!(warm.cached_std_maxima(), 1);
+        warm.rescale_path_chunks(path, 1.7);
+        let reused = warm.t_transfer_parallel(path, 1 << 30, 16).unwrap();
+
+        let (mut cold, _) = test_model(&r);
+        cold.rescale_path_chunks(path, 1.7);
+        let fresh = cold.t_transfer_parallel(path, 1 << 30, 16).unwrap();
+        assert_eq!(reused, fresh, "std-maxima reuse drifted from cold path");
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn main() {
     run("fig21_changelog", &ex::fig21_changelog::run);
     run("fig22_batching", &ex::fig22_batching::run);
     run("fig23_trace_replay", &ex::fig23_trace_replay::run);
+    run("shard_scale", &ex::shard_scale::run);
     run("ablation_part_size", &ex::ablation_part_size::run);
     run("multi_tenant", &ex::multi_tenant::run);
     run("slo_burn", &ex::slo_burn::run);

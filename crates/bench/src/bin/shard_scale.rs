@@ -1,0 +1,5 @@
+//! Regenerates the shard-scaling study (sharded kernel work structure).
+fn main() {
+    let report = bench::experiments::shard_scale::run();
+    bench::write_report("shard_scale", &report);
+}

@@ -21,6 +21,7 @@ pub mod fig22_batching;
 pub mod fig23_trace_replay;
 pub mod multi_tenant;
 pub mod region_outage;
+pub mod shard_scale;
 pub mod slo_burn;
 pub mod table4_model_accuracy;
 pub mod tables_delay_cost;

@@ -1,0 +1,164 @@
+//! Shard scaling — how the sharded kernel behaves as the shard count grows.
+//!
+//! Replays a busy 15-minute key-partitioned trace segment through the
+//! AReplica pipeline at 1, 2, 4, and 8 shards and reports *work-structure*
+//! metrics only: synchronization rounds, cross-shard messages, executed
+//! events, ingest balance, and the merged delay percentile. Every row also
+//! re-runs the workload under the sequential reference driver and checks the
+//! merged completion stream is bit-identical to the parallel driver's — the
+//! determinism claim, asserted on every regen, not just in CI.
+//!
+//! Wall-clock is deliberately absent: this report is pinned in `results/`
+//! and must be machine-independent (a 1-core CI box and a 32-core laptop
+//! must produce the same bytes).
+
+use std::rc::Rc;
+
+use areplica_core::{AReplicaBuilder, ReplicationRule};
+use areplica_traces::{generate, ReplayConfig, SynthConfig};
+use cloudsim::{region_shard_map, wan_lookahead, Cloud, RegionRegistry, ShardLink};
+use simkernel::{run_sharded_stateful, ShardConfig, ShardedRun, SimDuration};
+
+use crate::harness::{percentile, scale, seed, Table};
+use crate::runners::{fresh_sim, profile_pairs};
+
+fn scaling_trace() -> areplica_traces::Trace {
+    let cfg = SynthConfig {
+        duration: SimDuration::from_mins(15),
+        mean_ops_per_sec: (220.0 * scale()).max(6.0),
+        ..SynthConfig::ibm_cos_like()
+    };
+    generate(&cfg, seed() ^ 0x5ca1e).writes_only()
+}
+
+/// One sharded run: per-shard `(ingested puts, completion stream)`.
+fn run_once(
+    trace: &areplica_traces::Trace,
+    n: usize,
+    parallel: bool,
+) -> ShardedRun<(u64, Vec<(u64, f64)>)> {
+    let regions = RegionRegistry::paper_regions();
+    let map = region_shard_map(&regions, n);
+    let lookahead = wan_lookahead(&regions, &map);
+    let cfg = ShardConfig::new(lookahead).with_parallel(parallel);
+    run_sharded_stateful(
+        n,
+        &cfg,
+        move |id, outbox| {
+            let mut sim = fresh_sim(0x5ca1e + ((id as u64) << 20));
+            sim.world.shard = Some(ShardLink {
+                id,
+                map: Rc::new(map.clone()),
+                outbox,
+            });
+            let src = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+            let dst = sim.world.regions.lookup(Cloud::Aws, "us-east-2").unwrap();
+            sim.world.params.cloud_mut(Cloud::Aws).concurrency_limit = 2000;
+            let model = profile_pairs(&sim, &[(src, dst)]);
+            let service = AReplicaBuilder::new()
+                .rule(
+                    ReplicationRule::new(src, "trace-bucket", dst, "trace-mirror")
+                        .with_slo(SimDuration::from_secs(10))
+                        .with_percentile(0.9999),
+                )
+                .model(model)
+                .install(&mut sim);
+            let stats = areplica_traces::schedule_shard(
+                &mut sim,
+                trace,
+                src,
+                "trace-bucket",
+                &ReplayConfig::default(),
+                id,
+                n,
+            );
+            (sim, (service, stats.puts))
+        },
+        cloudsim::deliver_remote_put,
+        |_, mut sim, (service, puts)| {
+            sim.run_to_completion(u64::MAX);
+            let m = service.metrics();
+            let stream: Vec<(u64, f64)> = m
+                .completions
+                .iter()
+                .map(|c| (c.completed_at.as_nanos(), c.delay().as_secs_f64()))
+                .collect();
+            (puts, stream)
+        },
+    )
+}
+
+/// Canonical `(time, shard, seq)` merge of the per-shard completion streams.
+fn merged_stream(run: &ShardedRun<(u64, Vec<(u64, f64)>)>) -> Vec<(u64, usize, usize, f64)> {
+    let mut tagged: Vec<(u64, usize, usize, f64)> = Vec::new();
+    for (shard, (_, part)) in run.results.iter().enumerate() {
+        for (idx, &(at_ns, d)) in part.iter().enumerate() {
+            tagged.push((at_ns, shard, idx, d));
+        }
+    }
+    tagged.sort_by_key(|&(at, shard, idx, _)| (at, shard, idx));
+    tagged
+}
+
+/// Runs the experiment and returns the report.
+pub fn run() -> String {
+    let trace = scaling_trace();
+    let writes = trace.len();
+
+    let mut table = Table::new([
+        "shards",
+        "rounds",
+        "messages",
+        "executed",
+        "ingest min/max",
+        "replications",
+        "p99.99 (s)",
+        "par = seq",
+    ]);
+    let mut all_identical = true;
+    for n in [1usize, 2, 4, 8] {
+        let par = run_once(&trace, n, true);
+        let seq = run_once(&trace, n, false);
+        let par_stream = merged_stream(&par);
+        let seq_stream = merged_stream(&seq);
+        let identical = par_stream == seq_stream
+            && par.rounds == seq.rounds
+            && par.messages == seq.messages
+            && par.executed == seq.executed;
+        all_identical &= identical;
+        let puts: Vec<u64> = par.results.iter().map(|(p, _)| *p).collect();
+        let delays: Vec<f64> = par_stream.iter().map(|&(_, _, _, d)| d).collect();
+        table.row([
+            format!("{n}"),
+            format!("{}", par.rounds),
+            format!("{}", par.messages),
+            format!("{}", par.executed),
+            format!(
+                "{}/{}",
+                puts.iter().min().copied().unwrap_or(0),
+                puts.iter().max().copied().unwrap_or(0)
+            ),
+            format!("{}", delays.len()),
+            format!("{:.2}", percentile(&delays, 99.99)),
+            if identical { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    format!(
+        "Shard scaling — key-partitioned trace replay across 1..8 shards\n\
+         (15 min, {writes} PUT/DELETE records, AWS us-east-1 -> us-east-2; the\n\
+         parallel worker-thread driver and the sequential reference driver are\n\
+         compared bit-for-bit on every row — wall-clock metrics are deliberately\n\
+         omitted so this report pins machine-independently)\n\n{}\n\
+         determinism: parallel and sequential drivers {} on all shard counts.\n\
+         rounds track the horizon width: the single-shard row falls back to the\n\
+         1 ms floor lookahead, multi-shard rows use the 15 ms inter-geo WAN bound;\n\
+         messages count forwarded cross-shard records; ingest stays balanced\n\
+         under round-robin record dealing.\n",
+        table.render(),
+        if all_identical {
+            "agreed bit-for-bit"
+        } else {
+            "DISAGREED (determinism bug!)"
+        },
+    )
+}

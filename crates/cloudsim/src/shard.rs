@@ -1,0 +1,484 @@
+//! Sharded execution support for the cloud world: region→shard mapping,
+//! WAN-derived conservative lookahead, and the outage-gated cross-shard
+//! exchange path.
+//!
+//! The kernel side of sharding (`simkernel::shard`) is workload-agnostic —
+//! it only knows horizons, envelopes, and merge order. This module supplies
+//! the cloud-specific pieces the protocol needs:
+//!
+//! * **Region→shard mapping** ([`region_shard_map`]) — partitions the
+//!   registry's regions across `N` shards deterministically (round-robin by
+//!   region index, so the mapping is stable across runs and independent of
+//!   registration order details).
+//! * **Lookahead extraction** ([`wan_lookahead`]) — the synchronization
+//!   lookahead `L` must be a *lower bound* on cross-shard message latency.
+//!   The world's WAN model gives exactly that: one-way propagation delay is
+//!   `0.06 s × distance_factor` ([`wan_propagation_between`]), and every
+//!   modelled transfer adds further service time on top, so the minimum
+//!   propagation over all cross-shard region pairs is a sound `L`.
+//! * **The exchange path** ([`send_remote_put`] / [`deliver_remote_put`]) —
+//!   cross-shard object writes travel as [`ShardMsg`] envelopes. Sends
+//!   consult the sender world's outage schedule for the link
+//!   (brownouts multiply, stalls and hard-fail windows delay to the window's
+//!   close), so fault injection shapes cross-shard traffic exactly like
+//!   intra-shard legs.
+//!
+//! A world participating in a sharded run carries a [`ShardLink`]
+//! (`world.shard`); worlds outside sharded runs leave it `None` and pay one
+//! `Option` check on paths that consult it.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use simkernel::{Envelope, Outbox, ShardId, SimDuration};
+
+use crate::outage::OutageSchedule;
+use crate::region::{RegionId, RegionRegistry};
+use crate::world::{self, CloudSim};
+
+/// The write operation a [`ShardMsg`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOp {
+    /// External PUT of an object of the given size.
+    Put {
+        /// Object size in bytes.
+        size: u64,
+    },
+    /// External DELETE (missing keys are tolerated, as in trace replay).
+    Delete,
+}
+
+/// The cross-shard message: an external object write to apply on the
+/// destination shard. Owned data only, so envelopes are `Send` and can cross
+/// worker threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMsg {
+    /// Region the write lands in (owned by the destination shard).
+    pub region: RegionId,
+    /// Destination bucket.
+    pub bucket: String,
+    /// Object key.
+    pub key: String,
+    /// The operation.
+    pub op: ShardOp,
+}
+
+/// A world's connection to the sharded run it participates in.
+#[derive(Debug, Clone)]
+pub struct ShardLink {
+    /// This world's shard id.
+    pub id: ShardId,
+    /// The global region→shard mapping (identical on every shard).
+    pub map: Rc<BTreeMap<RegionId, ShardId>>,
+    /// Outbox for cross-shard sends.
+    pub outbox: Outbox<ShardMsg>,
+}
+
+impl ShardLink {
+    /// The shard owning `region` (the shard's own id for unmapped regions,
+    /// so lookups never silently cross shards).
+    pub fn owner(&self, region: RegionId) -> ShardId {
+        self.map.get(&region).copied().unwrap_or(self.id)
+    }
+
+    /// True if `region` is simulated by this shard.
+    pub fn is_local(&self, region: RegionId) -> bool {
+        self.owner(region) == self.id
+    }
+}
+
+/// Deterministic region→shard mapping: geography-grouped round-robin.
+///
+/// All regions sharing a [`Geo`](crate::Geo) land on the same shard (geos
+/// are numbered in first-appearance order over the registry and dealt
+/// round-robin across shards). Grouping by geography is what makes the
+/// extracted lookahead useful: same-geo region pairs have a zero WAN
+/// distance factor, so splitting a geo across shards would collapse the
+/// cross-shard latency lower bound to the [`LOOKAHEAD_FLOOR`] and shrink
+/// every synchronization round. With geo grouping, every cross-shard hop is
+/// a real inter-geo WAN hop (distance factor ≥ 0.25 ⇒ ≥ 15 ms of modelled
+/// propagation). When `n_shards` exceeds the number of distinct geos, the
+/// surplus shards simply hold no regions.
+pub fn region_shard_map(regions: &RegionRegistry, n_shards: usize) -> BTreeMap<RegionId, ShardId> {
+    assert!(n_shards > 0, "need at least one shard");
+    let mut geo_index: Vec<crate::Geo> = Vec::new();
+    regions
+        .ids()
+        .map(|id| {
+            let geo = regions.geo(id);
+            let gi = match geo_index.iter().position(|g| *g == geo) {
+                Some(i) => i,
+                None => {
+                    geo_index.push(geo);
+                    geo_index.len() - 1
+                }
+            };
+            (id, gi % n_shards)
+        })
+        .collect()
+}
+
+/// One-way WAN propagation delay between two regions, in seconds — the
+/// distance-scaled floor of every modelled cross-region transfer.
+/// (`World::wan_propagation_s` delegates here; this free-function form
+/// exists so lookahead extraction does not need a built world.)
+pub fn wan_propagation_between(regions: &RegionRegistry, a: RegionId, b: RegionId) -> f64 {
+    let d = regions.geo(a).distance_factor(regions.geo(b));
+    0.06 * d
+}
+
+/// Floor on the extracted lookahead: same-geo region pairs have a zero
+/// distance factor, but no modelled message crosses regions in under a
+/// millisecond (service time alone exceeds it), so 1 ms stays conservative
+/// while keeping the horizon protocol from degenerating into zero-width
+/// rounds.
+pub const LOOKAHEAD_FLOOR: SimDuration = SimDuration::from_millis(1);
+
+/// Extracts the conservative lookahead `L` for a sharded run: the minimum
+/// one-way WAN propagation delay over all region pairs that the mapping
+/// places on *different* shards, floored at [`LOOKAHEAD_FLOOR`].
+///
+/// Every cross-shard message models a cross-region hop, whose latency is at
+/// least the propagation delay of its link — so the minimum over cross-shard
+/// links lower-bounds every message delay, which is exactly the soundness
+/// condition the horizon protocol needs.
+pub fn wan_lookahead(regions: &RegionRegistry, map: &BTreeMap<RegionId, ShardId>) -> SimDuration {
+    let mut min_s = f64::INFINITY;
+    let ids: Vec<RegionId> = regions.ids().collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if map.get(&a) == map.get(&b) {
+                continue;
+            }
+            min_s = min_s.min(wan_propagation_between(regions, a, b));
+        }
+    }
+    if !min_s.is_finite() {
+        // Single shard (or single region): no cross-shard links exist, so
+        // any positive lookahead is sound.
+        return LOOKAHEAD_FLOOR;
+    }
+    SimDuration::from_secs_f64(min_s).max(LOOKAHEAD_FLOOR)
+}
+
+/// Deterministic key→shard assignment for key-partitioned workloads
+/// (FNV-1a over the key bytes, reduced mod `n_shards`). The fallback
+/// partitioning the sharded trace replay uses when the whole workload lives
+/// in one region pair and region mapping cannot spread it.
+pub fn key_shard(key: &str, n_shards: usize) -> ShardId {
+    assert!(n_shards > 0, "need at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % n_shards as u64) as ShardId
+}
+
+/// Emits a cross-shard write to an explicit destination shard.
+///
+/// The message leaves `from` (a region on the local shard). Delay is the
+/// `from → msg.region` link's WAN propagation, shaped by the sender's outage
+/// schedule (`Slow` multiplies, `Stall` delays to the window's close;
+/// hard-`Fail` windows behave as stalls — the exchange path has no error
+/// channel, matching the world's other shaping-only contexts), then clamped
+/// up to the protocol lookahead. Key-partitioned drivers (e.g. the sharded
+/// trace replay) compute `dst` themselves; region-partitioned drivers use
+/// [`send_remote_put`], which routes by the region→shard map.
+///
+/// # Panics
+///
+/// Panics if the world has no [`ShardLink`] installed.
+pub fn send_to_shard(sim: &mut CloudSim, from: RegionId, dst: ShardId, msg: ShardMsg) {
+    let now = sim.now();
+    let link = sim
+        .world
+        .shard
+        .as_ref()
+        .expect("send_to_shard outside a sharded run")
+        .clone();
+    let base = SimDuration::from_secs_f64(wan_propagation_between(
+        &sim.world.regions,
+        from,
+        msg.region,
+    ));
+    let gate = sim.world.outage.link_shaping(now, from, msg.region);
+    let shaped = OutageSchedule::shape(gate, base);
+    let delay = shaped.max(link.outbox.lookahead());
+    sim.world.trace.counter_add("shard.remote_writes_sent", 1);
+    link.outbox.send(now, dst, delay, msg);
+}
+
+/// Emits a cross-shard write toward `msg.region`'s owning shard (per the
+/// [`ShardLink`]'s region→shard map). See [`send_to_shard`] for the delay
+/// and outage-shaping semantics.
+///
+/// # Panics
+///
+/// Panics if the world has no [`ShardLink`] installed.
+pub fn send_remote_put(sim: &mut CloudSim, from: RegionId, msg: ShardMsg) {
+    let dst = sim
+        .world
+        .shard
+        .as_ref()
+        .expect("send_remote_put outside a sharded run")
+        .owner(msg.region);
+    send_to_shard(sim, from, dst, msg);
+}
+
+/// Delivers a cross-shard write on the receiving shard: schedules the
+/// external PUT/DELETE at the envelope's arrival time. Called by the sharded
+/// driver's deliver hook *before* the round runs, and `env.at` is at or past
+/// the round's horizon, so the event lands in this shard's future — never
+/// its past.
+pub fn deliver_remote_put(sim: &mut CloudSim, env: Envelope<ShardMsg>) {
+    let ShardMsg {
+        region,
+        bucket,
+        key,
+        op,
+    } = env.msg;
+    sim.schedule_at(env.at, move |sim| {
+        sim.world
+            .trace
+            .counter_add("shard.remote_writes_applied", 1);
+        match op {
+            ShardOp::Put { size } => {
+                world::user_put(sim, region, &bucket, &key, size)
+                    .expect("bucket exists on owner shard");
+            }
+            ShardOp::Delete => {
+                // Keys deleted before being written in the replayed window
+                // are expected, exactly as in sequential trace replay.
+                // xlint::allow(no-dropped-result, NotFound deletes are expected in sharded replay: the key may live on another shard or predate the window)
+                let _ = world::user_delete(sim, region, &bucket, &key);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outage::{FailureMode, OutageSchedule};
+    use crate::world::World;
+    use crate::Cloud;
+    use simkernel::{run_sharded, ShardConfig, SimTime};
+
+    #[test]
+    fn region_shard_map_groups_by_geo_deterministically() {
+        let regions = RegionRegistry::paper_regions();
+        let map = region_shard_map(&regions, 4);
+        assert_eq!(map.len(), regions.len());
+        // Same geo ⇒ same shard; and the mapping is reproducible.
+        for a in regions.ids() {
+            for b in regions.ids() {
+                if regions.geo(a) == regions.geo(b) {
+                    assert_eq!(map[&a], map[&b]);
+                }
+            }
+        }
+        assert_eq!(map, region_shard_map(&regions, 4));
+        // More than one shard is actually used.
+        let used: std::collections::BTreeSet<_> = map.values().copied().collect();
+        assert!(used.len() > 1);
+        assert!(used.iter().all(|&s| s < 4));
+        // Single shard: everything maps to shard 0.
+        assert!(region_shard_map(&regions, 1).values().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn geo_grouped_lookahead_is_a_real_wan_bound() {
+        // Because geos never split across shards, the lookahead is the
+        // minimum *inter-geo* propagation (0.06 × 0.25), not the floor.
+        let regions = RegionRegistry::paper_regions();
+        let map = region_shard_map(&regions, 4);
+        let la = wan_lookahead(&regions, &map);
+        assert_eq!(la, SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn wan_propagation_matches_world_method() {
+        let world = World::paper(7);
+        let ids: Vec<RegionId> = world.regions.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(
+                    world.wan_propagation_s(a, b),
+                    wan_propagation_between(&world.regions, a, b),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_shard_propagation_with_floor() {
+        let regions = RegionRegistry::paper_regions();
+        let map = region_shard_map(&regions, 4);
+        let la = wan_lookahead(&regions, &map);
+        assert!(la >= LOOKAHEAD_FLOOR);
+        // Sound: no cross-shard pair is faster than the extracted lookahead.
+        let ids: Vec<RegionId> = regions.ids().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if map[&a] != map[&b] {
+                    let prop = SimDuration::from_secs_f64(wan_propagation_between(&regions, a, b));
+                    assert!(prop.max(LOOKAHEAD_FLOOR) >= la);
+                }
+            }
+        }
+        // Single shard degenerates to the floor.
+        let single = region_shard_map(&regions, 1);
+        assert_eq!(wan_lookahead(&regions, &single), LOOKAHEAD_FLOOR);
+    }
+
+    /// Two-shard exchange: shard 0 forwards a PUT to shard 1's region;
+    /// the object materializes on shard 1 at the shaped arrival time.
+    #[test]
+    fn exchange_applies_put_on_owner_shard() {
+        let regions = RegionRegistry::paper_regions();
+        let map = region_shard_map(&regions, 2);
+        let lookahead = wan_lookahead(&regions, &map);
+        let cfg = ShardConfig::new(lookahead); // parallel by default
+                                               // The build closure is shared across worker threads by reference,
+                                               // so it captures the plain map and wraps it per shard.
+        let map_b = map.clone();
+        let run = run_sharded(
+            2,
+            &cfg,
+            move |id, outbox| {
+                let mut sim = World::paper_sim(40 + id as u64);
+                sim.world.shard = Some(ShardLink {
+                    id,
+                    map: Rc::new(map_b.clone()),
+                    outbox,
+                });
+                for region in sim.world.regions.ids().collect::<Vec<_>>() {
+                    sim.world.objstore_mut(region).create_bucket("bkt");
+                }
+                if id == 0 {
+                    sim.schedule_at(SimTime::from_nanos(1_000_000), |sim| {
+                        let link = sim.world.shard.clone().unwrap();
+                        let from = sim.world.regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+                        let remote = sim
+                            .world
+                            .regions
+                            .ids()
+                            .find(|r| !link.is_local(*r))
+                            .unwrap();
+                        send_remote_put(
+                            sim,
+                            from,
+                            ShardMsg {
+                                region: remote,
+                                bucket: "bkt".into(),
+                                key: "obj".into(),
+                                op: ShardOp::Put { size: 1024 },
+                            },
+                        );
+                    });
+                }
+                sim
+            },
+            deliver_remote_put,
+            |id, mut sim| {
+                sim.run_to_completion(u64::MAX);
+                let link = sim.world.shard.clone().unwrap();
+                let found: Vec<(RegionId, u64)> = sim
+                    .world
+                    .regions
+                    .ids()
+                    .filter(|r| link.is_local(*r))
+                    .filter_map(|r| {
+                        sim.world
+                            .objstore(r)
+                            .stat("bkt", "obj")
+                            .ok()
+                            .map(|s| (r, s.size))
+                    })
+                    .collect();
+                (id, found)
+            },
+        );
+        assert!(run.messages >= 1);
+        let all: Vec<_> = run.results.iter().flat_map(|(_, f)| f.clone()).collect();
+        assert_eq!(all.len(), 1, "the PUT applies on exactly one shard");
+        assert_eq!(all[0].1, 1024);
+        assert_eq!(map[&all[0].0], 1, "applied on the owner shard");
+    }
+
+    /// An outage stall on the link extends the exchange delay to the
+    /// window's close; a hard-fail window behaves the same (shaping-only).
+    #[test]
+    fn outage_gates_shape_the_exchange_delay() {
+        let regions = RegionRegistry::paper_regions();
+        let map = region_shard_map(&regions, 2);
+        let lookahead = wan_lookahead(&regions, &map);
+        let src = regions.lookup(Cloud::Aws, "us-east-1").unwrap();
+        let dst = regions
+            .ids()
+            .find(|r| map[r] == 1 && *r != src)
+            .expect("some region on shard 1");
+        for mode in [FailureMode::HardError, FailureMode::Timeout] {
+            let map_b = map.clone();
+            let run = run_sharded(
+                2,
+                &ShardConfig::new(lookahead).with_parallel(false),
+                move |id, outbox| {
+                    let mut sim = World::paper_sim(50 + id as u64);
+                    let mut outage = OutageSchedule::new();
+                    outage.link_window(
+                        src,
+                        dst,
+                        SimTime::from_nanos(0),
+                        SimTime::from_nanos(30_000_000_000),
+                        mode,
+                    );
+                    sim.world.outage = outage;
+                    sim.world.shard = Some(ShardLink {
+                        id,
+                        map: Rc::new(map_b.clone()),
+                        outbox,
+                    });
+                    for region in sim.world.regions.ids().collect::<Vec<_>>() {
+                        sim.world.objstore_mut(region).create_bucket("bkt");
+                    }
+                    if id == 0 {
+                        sim.schedule_at(SimTime::from_nanos(1_000_000_000), move |sim| {
+                            send_remote_put(
+                                sim,
+                                src,
+                                ShardMsg {
+                                    region: dst,
+                                    bucket: "bkt".into(),
+                                    key: "k".into(),
+                                    op: ShardOp::Put { size: 1 },
+                                },
+                            );
+                        });
+                    }
+                    sim
+                },
+                deliver_remote_put,
+                move |id, mut sim| {
+                    sim.run_to_completion(u64::MAX);
+                    if id == 1 {
+                        sim.world
+                            .objstore(dst)
+                            .stat("bkt", "k")
+                            .ok()
+                            .map(|s| s.created_at)
+                    } else {
+                        None
+                    }
+                },
+            );
+            let applied_at = run.results[1].expect("PUT applied on shard 1");
+            // Stalled to the window close (t=30 s) plus the propagation.
+            assert!(
+                applied_at >= SimTime::from_nanos(30_000_000_000),
+                "{mode:?}: applied at {applied_at}, before the outage window closed",
+            );
+        }
+    }
+}

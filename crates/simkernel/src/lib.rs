@@ -15,6 +15,10 @@
 //!   randomness from one another.
 //! * [`metrics`] — exact histograms / time series for experiment output
 //!   (p99.99 queries must not be estimator-approximate).
+//! * [`shard`] — conservative-lookahead sharded execution: `N` independent
+//!   event loops on worker threads, synchronized to a WAN-latency horizon
+//!   and exchanging messages in canonical `(time, shard, seq)` order, with
+//!   results byte-identical to the sequential kernel.
 //!
 //! ## Example
 //!
@@ -34,9 +38,13 @@
 
 pub mod metrics;
 pub mod rng;
+pub mod shard;
 mod sim;
 mod time;
 
 pub use metrics::{Histogram, Summary, TimeSeries};
+pub use shard::{
+    run_sharded, run_sharded_stateful, Envelope, Outbox, ShardConfig, ShardId, ShardedRun,
+};
 pub use sim::{CancelToken, EventInfo, PopPolicy, RunStats, Sim};
 pub use time::{SimDuration, SimTime};

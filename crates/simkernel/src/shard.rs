@@ -1,0 +1,682 @@
+//! Conservative-lookahead sharded execution of multiple [`Sim`] event loops.
+//!
+//! A sharded run partitions a simulation into `N` independent [`Sim`]
+//! instances (one per region group, tenant group, or trace partition) that
+//! advance in synchronized rounds:
+//!
+//! 1. every shard reports the timestamp of its earliest live event;
+//! 2. the coordinator computes the **horizon** `H = min_next + L`, where
+//!    `min_next` is the global minimum over shard next-event times and
+//!    in-flight message arrivals, and `L` is the *lookahead* — a lower bound
+//!    on cross-shard latency (for region shards, the WAN propagation floor
+//!    from `cloudsim::net`);
+//! 3. every shard runs all events strictly `< H` ([`Sim::run_before`]);
+//! 4. messages emitted during the round (each with delay `>= L`, enforced by
+//!    [`Outbox::send`]) are globally sorted by the canonical merge key
+//!    `(time, shard, seq)` and delivered before the next round.
+//!
+//! Because any message sent during a round departs at `t >= min_next` and
+//! arrives at `t + L >= H`, no shard can receive a message for a timestamp
+//! it has already executed past — causality holds without rollback. And
+//! because horizons, merge order, and per-shard execution are all pure
+//! functions of the initial state, the run is **deterministic**: the
+//! parallel driver (worker threads) and the sequential driver (same rounds,
+//! caller thread) produce byte-identical worlds. [`run_sharded`] selects the
+//! driver via [`ShardConfig::parallel`].
+//!
+//! `Sim<W>` is deliberately not `Send` (worlds are `Rc`-laden); each shard's
+//! simulator is therefore **built and consumed inside its worker thread** —
+//! only the `build`/`deliver`/`finish` callbacks (shared by reference) and
+//! the message payload `M` cross threads.
+//!
+//! This module is the only place in the workspace allowed to use
+//! `std::thread` / `std::sync` primitives (enforced by the
+//! `thread-confinement` xlint rule).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::thread;
+
+use crate::sim::Sim;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one shard (one event loop) in a sharded run.
+pub type ShardId = usize;
+
+/// A cross-shard message in flight, stamped for canonical merge ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Arrival timestamp at the destination shard.
+    pub at: SimTime,
+    /// Sending shard.
+    pub src: ShardId,
+    /// Monotone per-sender sequence number.
+    pub seq: u64,
+    /// Destination shard.
+    pub dst: ShardId,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// The canonical `(time, shard, seq)` merge key. All shards deliver
+    /// cross-shard messages in this global order, which is what makes the
+    /// parallel run byte-identical to the sequential one.
+    pub fn merge_key(&self) -> (SimTime, ShardId, u64) {
+        (self.at, self.src, self.seq)
+    }
+}
+
+/// Handle through which events inside a shard emit cross-shard messages.
+///
+/// Created by the runner and passed to the `build` callback; clones share
+/// the same underlying outbox, so the world can hold one wherever sends
+/// originate.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    shard: ShardId,
+    lookahead: SimDuration,
+    state: Rc<RefCell<OutboxState<M>>>,
+}
+
+#[derive(Debug)]
+struct OutboxState<M> {
+    seq: u64,
+    pending: Vec<Envelope<M>>,
+}
+
+impl<M> Clone for Outbox<M> {
+    fn clone(&self) -> Self {
+        Outbox {
+            shard: self.shard,
+            lookahead: self.lookahead,
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<M> Outbox<M> {
+    fn new(shard: ShardId, lookahead: SimDuration) -> Self {
+        Outbox {
+            shard,
+            lookahead,
+            state: Rc::new(RefCell::new(OutboxState {
+                seq: 0,
+                pending: Vec::new(),
+            })),
+        }
+    }
+
+    /// The owning shard's id.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The synchronization lookahead `L` of this run.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Emits `msg` to shard `dst`, arriving `delay` after `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay < lookahead`: a faster message could arrive inside
+    /// the current round's horizon, which the protocol forbids. Callers
+    /// model sub-lookahead latencies by clamping up to the lookahead (the
+    /// lookahead is a *lower bound* on the real link latency, so a correct
+    /// lookahead never forces a clamp).
+    pub fn send(&self, now: SimTime, dst: ShardId, delay: SimDuration, msg: M) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard delay {delay} is below the lookahead {}",
+            self.lookahead
+        );
+        let mut st = self.state.borrow_mut();
+        let seq = st.seq;
+        st.seq += 1;
+        st.pending.push(Envelope {
+            at: now + delay,
+            src: self.shard,
+            seq,
+            dst,
+            msg,
+        });
+    }
+
+    fn drain(&self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.state.borrow_mut().pending)
+    }
+}
+
+/// Configuration for a sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Conservative lookahead `L`: a strictly positive lower bound on
+    /// cross-shard message delay.
+    pub lookahead: SimDuration,
+    /// Run shards on worker threads (`true`) or in-place on the calling
+    /// thread (`false`). Both drivers produce identical results.
+    pub parallel: bool,
+    /// Backstop on synchronization rounds, against protocol livelock.
+    pub max_rounds: u64,
+}
+
+impl ShardConfig {
+    /// A parallel config with the given lookahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead` is zero — a zero lookahead admits no horizon
+    /// past the earliest event and the protocol cannot make progress.
+    pub fn new(lookahead: SimDuration) -> Self {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "lookahead must be positive for the horizon to make progress"
+        );
+        ShardConfig {
+            lookahead,
+            parallel: true,
+            max_rounds: u64::MAX,
+        }
+    }
+
+    /// Same config with the driver switched.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Outcome of a sharded run.
+#[derive(Debug)]
+pub struct ShardedRun<R> {
+    /// Per-shard results from the `finish` callback, in shard order.
+    pub results: Vec<R>,
+    /// Synchronization rounds executed.
+    pub rounds: u64,
+    /// Cross-shard messages exchanged.
+    pub messages: u64,
+    /// Total events executed across all shards.
+    pub executed: u64,
+}
+
+/// What a shard sends back after each round.
+struct Report<M> {
+    next: Option<SimTime>,
+    outgoing: Vec<Envelope<M>>,
+    executed: u64,
+}
+
+/// Coordinator-to-shard command (parallel driver).
+enum Command<M> {
+    Round {
+        horizon: SimTime,
+        inbound: Vec<Envelope<M>>,
+    },
+    Stop,
+}
+
+/// The per-shard state both drivers run: deliver, advance, report.
+struct ShardLoop<'a, W, M, D> {
+    sim: Sim<W>,
+    outbox: Outbox<M>,
+    deliver: &'a D,
+}
+
+impl<W, M, D> ShardLoop<'_, W, M, D>
+where
+    D: Fn(&mut Sim<W>, Envelope<M>),
+{
+    /// One synchronization round. `horizon` is `None` only for the initial
+    /// report (nothing runs). Inbound envelopes arrive pre-sorted in
+    /// canonical order by the coordinator.
+    fn round(&mut self, horizon: Option<SimTime>, inbound: Vec<Envelope<M>>) -> Report<M> {
+        for env in inbound {
+            (self.deliver)(&mut self.sim, env);
+        }
+        if let Some(h) = horizon {
+            self.sim.run_before(h);
+        }
+        Report {
+            next: self.sim.next_event_time(),
+            outgoing: self.outbox.drain(),
+            executed: self.sim.stats().executed,
+        }
+    }
+}
+
+/// Computes the next horizon from the shards' earliest live events and the
+/// in-flight messages, or `None` when the run is complete.
+fn plan_horizon<M>(
+    nexts: &[Option<SimTime>],
+    inflight: &[Envelope<M>],
+    lookahead: SimDuration,
+) -> Option<SimTime> {
+    let mut min: Option<SimTime> = None;
+    for t in nexts.iter().flatten() {
+        min = Some(min.map_or(*t, |m| m.min(*t)));
+    }
+    for env in inflight {
+        min = Some(min.map_or(env.at, |m| m.min(env.at)));
+    }
+    min.map(|m| m + lookahead)
+}
+
+/// Sorts in-flight messages into canonical `(time, shard, seq)` order and
+/// groups them by destination, preserving that order within each group.
+fn route<M>(mut inflight: Vec<Envelope<M>>, n_shards: usize) -> Vec<Vec<Envelope<M>>> {
+    inflight.sort_by_key(|a| a.merge_key());
+    let mut per_dst: Vec<Vec<Envelope<M>>> = (0..n_shards).map(|_| Vec::new()).collect();
+    for env in inflight {
+        assert!(env.dst < n_shards, "message to unknown shard {}", env.dst);
+        per_dst[env.dst].push(env);
+    }
+    per_dst
+}
+
+/// Runs `n_shards` simulators to completion under the conservative-lookahead
+/// protocol and returns their results in shard order.
+///
+/// * `build(shard, outbox)` constructs shard `shard`'s simulator. It is
+///   invoked inside the shard's worker thread under the parallel driver, so
+///   the `Sim` (and its non-`Send` world) never crosses a thread boundary.
+/// * `deliver(sim, envelope)` applies one inbound cross-shard message,
+///   typically by `sim.schedule_at(envelope.at, ...)`. Envelopes arrive in
+///   canonical `(time, shard, seq)` order.
+/// * `finish(shard, sim)` consumes the drained simulator into a result.
+///
+/// The callbacks are shared across worker threads by reference, hence the
+/// `Sync` bounds; only `M` and `R` actually move between threads.
+pub fn run_sharded<W, M, R, B, D, F>(
+    n_shards: usize,
+    cfg: &ShardConfig,
+    build: B,
+    deliver: D,
+    finish: F,
+) -> ShardedRun<R>
+where
+    M: Send,
+    R: Send,
+    B: Fn(ShardId, Outbox<M>) -> Sim<W> + Sync,
+    D: Fn(&mut Sim<W>, Envelope<M>) + Sync,
+    F: Fn(ShardId, Sim<W>) -> R + Sync,
+{
+    run_sharded_stateful(
+        n_shards,
+        cfg,
+        |shard, outbox| (build(shard, outbox), ()),
+        deliver,
+        |shard, sim, ()| finish(shard, sim),
+    )
+}
+
+/// [`run_sharded`] with per-shard auxiliary state: `build` returns
+/// `(Sim, state)` and `finish` receives the state back. The state never
+/// crosses threads (it is created and consumed on the shard's own worker),
+/// so it needs no `Send` — this is how drivers keep non-`Send` handles into
+/// the world (service handles, collectors) available at finish time.
+pub fn run_sharded_stateful<W, M, R, S, B, D, F>(
+    n_shards: usize,
+    cfg: &ShardConfig,
+    build: B,
+    deliver: D,
+    finish: F,
+) -> ShardedRun<R>
+where
+    M: Send,
+    R: Send,
+    B: Fn(ShardId, Outbox<M>) -> (Sim<W>, S) + Sync,
+    D: Fn(&mut Sim<W>, Envelope<M>) + Sync,
+    F: Fn(ShardId, Sim<W>, S) -> R + Sync,
+{
+    assert!(n_shards > 0, "need at least one shard");
+    assert!(
+        cfg.lookahead > SimDuration::ZERO,
+        "lookahead must be positive"
+    );
+    if cfg.parallel {
+        run_parallel(n_shards, cfg, &build, &deliver, &finish)
+    } else {
+        run_sequential(n_shards, cfg, &build, &deliver, &finish)
+    }
+}
+
+/// The coordinator's round loop, shared verbatim by both drivers through the
+/// `exchange` closure (round-trips one `(horizon, inbound)` per shard and
+/// returns the new reports, in shard order).
+fn coordinate<M>(
+    mut reports: Vec<Report<M>>,
+    n_shards: usize,
+    cfg: &ShardConfig,
+    mut exchange: impl FnMut(SimTime, Vec<Vec<Envelope<M>>>) -> Vec<Report<M>>,
+) -> (u64, u64, u64) {
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    loop {
+        let inflight: Vec<Envelope<M>> = reports
+            .iter_mut()
+            .flat_map(|r| r.outgoing.drain(..))
+            .collect();
+        messages += inflight.len() as u64;
+        let nexts: Vec<Option<SimTime>> = reports.iter().map(|r| r.next).collect();
+        let Some(horizon) = plan_horizon(&nexts, &inflight, cfg.lookahead) else {
+            break;
+        };
+        rounds += 1;
+        assert!(
+            rounds <= cfg.max_rounds,
+            "sharded run exceeded {} rounds (livelock backstop)",
+            cfg.max_rounds
+        );
+        reports = exchange(horizon, route(inflight, n_shards));
+    }
+    let executed = reports.iter().map(|r| r.executed).sum();
+    (rounds, messages, executed)
+}
+
+fn run_sequential<W, M, R, S, B, D, F>(
+    n_shards: usize,
+    cfg: &ShardConfig,
+    build: &B,
+    deliver: &D,
+    finish: &F,
+) -> ShardedRun<R>
+where
+    B: Fn(ShardId, Outbox<M>) -> (Sim<W>, S),
+    D: Fn(&mut Sim<W>, Envelope<M>),
+    F: Fn(ShardId, Sim<W>, S) -> R,
+{
+    let mut states = Vec::with_capacity(n_shards);
+    let mut shards: Vec<ShardLoop<'_, W, M, D>> = (0..n_shards)
+        .map(|i| {
+            let outbox = Outbox::new(i, cfg.lookahead);
+            let (sim, state) = build(i, outbox.clone());
+            states.push(state);
+            ShardLoop {
+                sim,
+                outbox,
+                deliver,
+            }
+        })
+        .collect();
+    let first: Vec<Report<M>> = shards
+        .iter_mut()
+        .map(|s| s.round(None, Vec::new()))
+        .collect();
+    let (rounds, messages, executed) = coordinate(first, n_shards, cfg, |horizon, routed| {
+        shards
+            .iter_mut()
+            .zip(routed)
+            .map(|(s, inbound)| s.round(Some(horizon), inbound))
+            .collect()
+    });
+    let results = shards
+        .into_iter()
+        .zip(states)
+        .enumerate()
+        .map(|(i, (s, state))| finish(i, s.sim, state))
+        .collect();
+    ShardedRun {
+        results,
+        rounds,
+        messages,
+        executed,
+    }
+}
+
+fn run_parallel<W, M, R, S, B, D, F>(
+    n_shards: usize,
+    cfg: &ShardConfig,
+    build: &B,
+    deliver: &D,
+    finish: &F,
+) -> ShardedRun<R>
+where
+    M: Send,
+    R: Send,
+    B: Fn(ShardId, Outbox<M>) -> (Sim<W>, S) + Sync,
+    D: Fn(&mut Sim<W>, Envelope<M>) + Sync,
+    F: Fn(ShardId, Sim<W>, S) -> R + Sync,
+{
+    thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(n_shards);
+        let mut report_rxs = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Command<M>>();
+            let (report_tx, report_rx) = mpsc::channel::<Report<M>>();
+            cmd_txs.push(cmd_tx);
+            report_rxs.push(report_rx);
+            let lookahead = cfg.lookahead;
+            handles.push(scope.spawn(move || {
+                let outbox = Outbox::new(i, lookahead);
+                let (sim, aux) = build(i, outbox.clone());
+                let mut state = ShardLoop {
+                    sim,
+                    outbox,
+                    deliver,
+                };
+                report_tx
+                    .send(state.round(None, Vec::new()))
+                    .expect("coordinator hung up");
+                while let Command::Round { horizon, inbound } =
+                    cmd_rx.recv().expect("coordinator hung up")
+                {
+                    report_tx
+                        .send(state.round(Some(horizon), inbound))
+                        .expect("coordinator hung up");
+                }
+                finish(i, state.sim, aux)
+            }));
+        }
+        let collect = |rxs: &[mpsc::Receiver<Report<M>>]| -> Vec<Report<M>> {
+            rxs.iter()
+                .map(|rx| rx.recv().expect("shard hung up"))
+                .collect()
+        };
+        let first = collect(&report_rxs);
+        let (rounds, messages, executed) = coordinate(first, n_shards, cfg, |horizon, routed| {
+            for (tx, inbound) in cmd_txs.iter().zip(routed) {
+                tx.send(Command::Round { horizon, inbound })
+                    .expect("shard hung up");
+            }
+            collect(&report_rxs)
+        });
+        for tx in &cmd_txs {
+            tx.send(Command::Stop).expect("shard hung up");
+        }
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect();
+        ShardedRun {
+            results,
+            rounds,
+            messages,
+            executed,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// World for protocol tests: a log of (time-ns, label) entries plus a
+    /// clone of the shard's outbox for sends from inside events.
+    struct PingWorld {
+        log: Vec<(u64, String)>,
+        outbox: Outbox<String>,
+    }
+
+    const L: SimDuration = SimDuration::from_millis(10);
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    /// Each shard logs a local event at t=5ms, then shard 0 pings shard 1,
+    /// which pongs back, for `hops` hops.
+    fn ping_run(n_shards: usize, hops: u32, parallel: bool) -> ShardedRun<Vec<(u64, String)>> {
+        let cfg = ShardConfig::new(L).with_parallel(parallel);
+        run_sharded(
+            n_shards,
+            &cfg,
+            |shard, outbox: Outbox<String>| {
+                let mut sim = Sim::new(
+                    42 + shard as u64,
+                    PingWorld {
+                        log: Vec::new(),
+                        outbox,
+                    },
+                );
+                sim.schedule_at(ms(5), move |sim: &mut Sim<PingWorld>| {
+                    sim.world
+                        .log
+                        .push((sim.now().as_nanos(), format!("local-{shard}")));
+                });
+                if shard == 0 && n_shards > 1 {
+                    sim.schedule_at(ms(5), move |sim: &mut Sim<PingWorld>| {
+                        let now = sim.now();
+                        sim.world.outbox.send(now, 1, L, format!("ping-{hops}"));
+                    });
+                }
+                sim
+            },
+            |sim, env: Envelope<String>| {
+                sim.schedule_at(env.at, move |sim: &mut Sim<PingWorld>| {
+                    sim.world.log.push((sim.now().as_nanos(), env.msg.clone()));
+                    let Some(rest) = env.msg.rsplit('-').next() else {
+                        return;
+                    };
+                    let hops_left: u32 = rest.parse().expect("hop counter");
+                    if hops_left > 1 {
+                        let back = (env.dst + 1) % 2;
+                        let now = sim.now();
+                        let name = if env.msg.starts_with("ping") {
+                            "pong"
+                        } else {
+                            "ping"
+                        };
+                        sim.world
+                            .outbox
+                            .send(now, back, L, format!("{name}-{}", hops_left - 1));
+                    }
+                });
+            },
+            |_, sim| sim.world.log.clone(),
+        )
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_identical() {
+        for n in [1, 2, 4, 8] {
+            let seq = ping_run(n, 4, false);
+            let par = ping_run(n, 4, true);
+            assert_eq!(seq.results, par.results, "n_shards={n}");
+            assert_eq!(seq.rounds, par.rounds);
+            assert_eq!(seq.messages, par.messages);
+            assert_eq!(seq.executed, par.executed);
+        }
+    }
+
+    #[test]
+    fn ping_pong_alternates_with_lookahead_spacing() {
+        let run = ping_run(2, 3, true);
+        assert_eq!(run.messages, 3);
+        // Shard 1 receives the ping at 5ms + L = 15ms, and the second ping
+        // (after a pong bounce) at 35ms.
+        let shard1: Vec<&str> = run.results[1].iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(shard1, vec!["local-1", "ping-3", "ping-1"]);
+        assert_eq!(run.results[1][1].0, ms(15).as_nanos());
+        assert_eq!(
+            run.results[0]
+                .iter()
+                .map(|(_, l)| l.as_str())
+                .collect::<Vec<_>>(),
+            vec!["local-0", "pong-2"]
+        );
+    }
+
+    #[test]
+    fn event_exactly_at_horizon_runs_next_round() {
+        // Shard 0's first event is at t; the first horizon is t + L. An event
+        // at exactly t + L must NOT run in round one — `run_before` is
+        // exclusive — but must run (exactly once, at the right time) later.
+        let t = ms(5);
+        let cfg = ShardConfig::new(L).with_parallel(false);
+        let run = run_sharded(
+            2,
+            &cfg,
+            |shard, outbox: Outbox<()>| {
+                let mut sim = Sim::new(
+                    7,
+                    PingWorld2 {
+                        log: Vec::new(),
+                        _outbox: outbox,
+                    },
+                );
+                if shard == 0 {
+                    sim.schedule_at(t, |sim: &mut Sim<PingWorld2>| {
+                        sim.world.log.push(("first", sim.now().as_nanos()));
+                    });
+                    sim.schedule_at(t + L, |sim: &mut Sim<PingWorld2>| {
+                        sim.world.log.push(("boundary", sim.now().as_nanos()));
+                    });
+                }
+                sim
+            },
+            |_, _| unreachable!("no messages in this test"),
+            |_, sim| (sim.world.log.clone(), sim.stats().executed),
+        );
+        let (log, executed) = &run.results[0];
+        assert_eq!(*executed, 2);
+        assert_eq!(
+            *log,
+            vec![("first", t.as_nanos()), ("boundary", (t + L).as_nanos())]
+        );
+        // Two rounds: the boundary event needed a second horizon.
+        assert!(run.rounds >= 2, "rounds={}", run.rounds);
+    }
+
+    struct PingWorld2 {
+        log: Vec<(&'static str, u64)>,
+        _outbox: Outbox<()>,
+    }
+
+    #[test]
+    #[should_panic(expected = "below the lookahead")]
+    fn sub_lookahead_send_panics() {
+        let outbox: Outbox<()> = Outbox::new(0, L);
+        outbox.send(SimTime::ZERO, 1, SimDuration::from_millis(1), ());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_run() {
+        // One shard, no messages: same events, same clock as a plain Sim.
+        let build = |_: ShardId, outbox: Outbox<()>| {
+            let mut sim = Sim::new(
+                3,
+                PingWorld2 {
+                    log: Vec::new(),
+                    _outbox: outbox,
+                },
+            );
+            for i in 0..5u64 {
+                sim.schedule_at(ms(i * 7), move |sim: &mut Sim<PingWorld2>| {
+                    sim.world.log.push(("e", sim.now().as_nanos()));
+                });
+            }
+            sim
+        };
+        let cfg = ShardConfig::new(L);
+        let sharded = run_sharded(1, &cfg, build, |_, _| {}, |_, sim| sim.world.log.clone());
+        let mut plain = build(0, Outbox::new(0, L));
+        plain.run_to_completion(u64::MAX);
+        assert_eq!(sharded.results[0], plain.world.log);
+        assert_eq!(sharded.executed, 5);
+    }
+}

@@ -22,25 +22,62 @@ use crate::time::{SimDuration, SimTime};
 
 /// A handle that can cancel a scheduled event before it fires.
 ///
-/// Cancellation is cooperative: the event stays in the queue but becomes a
-/// no-op when popped. This is O(1) and keeps the queue simple; cancelled
-/// events are not counted as executed.
+/// Cancellation is cooperative: the event stays in the queue as a tombstone
+/// and becomes a no-op when popped. This is O(1) and keeps the queue simple;
+/// cancelled events are not counted as executed. Under cancel-heavy
+/// workloads the simulator compacts tombstones out of the heap once they
+/// exceed [`Sim::COMPACT_FRACTION`] of the queue (see [`RunStats::compacted`]).
 #[derive(Clone, Debug)]
-pub struct CancelToken(Rc<Cell<bool>>);
+pub struct CancelToken {
+    inner: Rc<CancelInner>,
+    /// The owning simulator's live-tombstone counter.
+    tombstones: Rc<Cell<u64>>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: Cell<bool>,
+    /// True while the event is still in the queue. Cleared when the entry is
+    /// consumed (executed, skipped, or compacted away) so a later `cancel()`
+    /// does not count a tombstone that no longer exists.
+    queued: Cell<bool>,
+}
 
 impl CancelToken {
-    fn new() -> Self {
-        CancelToken(Rc::new(Cell::new(false)))
+    fn new(tombstones: Rc<Cell<u64>>) -> Self {
+        CancelToken {
+            inner: Rc::new(CancelInner {
+                cancelled: Cell::new(false),
+                queued: Cell::new(true),
+            }),
+            tombstones,
+        }
     }
 
     /// Cancels the associated event. Idempotent.
     pub fn cancel(&self) {
-        self.0.set(true);
+        if !self.inner.cancelled.get() {
+            self.inner.cancelled.set(true);
+            if self.inner.queued.get() {
+                self.tombstones.set(self.tombstones.get() + 1);
+            }
+        }
     }
 
     /// Returns true if [`CancelToken::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
-        self.0.get()
+        self.inner.cancelled.get()
+    }
+
+    /// Marks the queue entry consumed; returns true if it was a tombstone.
+    fn consume(&self) -> bool {
+        self.inner.queued.set(false);
+        if self.inner.cancelled.get() {
+            self.tombstones.set(self.tombstones.get().saturating_sub(1));
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -79,6 +116,12 @@ pub struct RunStats {
     pub executed: u64,
     /// Events popped but skipped because their token was cancelled.
     pub cancelled: u64,
+    /// Cancelled events removed by tombstone compaction before being popped.
+    pub compacted: u64,
+    /// Number of tombstone-compaction passes over the queue.
+    pub compactions: u64,
+    /// Peak number of live (non-cancelled) events pending at once.
+    pub peak_live_depth: u64,
 }
 
 /// A queued event as seen by a [`PopPolicy`]: its due time and tie-break
@@ -133,11 +176,23 @@ pub struct Sim<W> {
     rng: StdRng,
     stats: RunStats,
     pop_policy: Option<Box<dyn PopPolicy>>,
+    /// Cancelled-but-still-queued event count, shared with every
+    /// [`CancelToken`] this simulator has handed out.
+    tombstones: Rc<Cell<u64>>,
+    /// While set (by [`Sim::run_before`]), explored pops must not gather
+    /// candidates at or past this bound — the shard horizon protocol relies
+    /// on no event `>= bound` executing within the round.
+    explore_bound: Option<SimTime>,
     /// The simulated world state, freely accessible to events.
     pub world: W,
 }
 
 impl<W> Sim<W> {
+    /// Minimum queue length before tombstone compaction is considered.
+    const COMPACT_MIN_LEN: usize = 64;
+    /// Compaction triggers when tombstones reach half the queue.
+    pub const COMPACT_FRACTION: f64 = 0.5;
+
     /// Creates a simulator at time zero with the given master seed and world.
     pub fn new(master_seed: u64, world: W) -> Self {
         Sim {
@@ -148,6 +203,8 @@ impl<W> Sim<W> {
             rng: derive_rng(master_seed, "sim:master"),
             stats: RunStats::default(),
             pop_policy: None,
+            tombstones: Rc::new(Cell::new(0)),
+            explore_bound: None,
             world,
         }
     }
@@ -199,6 +256,60 @@ impl<W> Sim<W> {
         self.queue.len()
     }
 
+    /// Number of live (non-cancelled) events currently pending.
+    pub fn live_pending_events(&self) -> usize {
+        self.queue.len() - self.tombstones.get() as usize
+    }
+
+    /// Timestamp of the earliest live event, pruning any cancelled events
+    /// sitting at the head of the queue (they are counted as cancelled pops,
+    /// exactly as [`Sim::step`] would).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.queue.peek() {
+            match &ev.cancel {
+                Some(token) if token.is_cancelled() => {
+                    let ev = self.queue.pop().expect("peeked");
+                    ev.cancel.as_ref().expect("checked").consume();
+                    self.stats.cancelled += 1;
+                }
+                _ => return Some(ev.at),
+            }
+        }
+        None
+    }
+
+    fn note_live_depth(&mut self) {
+        let live = (self.queue.len() as u64).saturating_sub(self.tombstones.get());
+        if live > self.stats.peak_live_depth {
+            self.stats.peak_live_depth = live;
+        }
+    }
+
+    /// Rebuilds the heap without its tombstones once they dominate it. Pop
+    /// order of live events is unaffected (heapify preserves the ordering
+    /// contract), so results cannot drift; only memory and pop cost change.
+    fn maybe_compact(&mut self) {
+        let tomb = self.tombstones.get() as usize;
+        if self.queue.len() < Self::COMPACT_MIN_LEN
+            || (tomb as f64) < self.queue.len() as f64 * Self::COMPACT_FRACTION
+        {
+            return;
+        }
+        let events = std::mem::take(&mut self.queue).into_vec();
+        let mut kept = Vec::with_capacity(events.len() - tomb);
+        for ev in events {
+            let dead = ev.cancel.as_ref().is_some_and(|token| token.is_cancelled());
+            if dead {
+                ev.cancel.as_ref().expect("checked").consume();
+                self.stats.compacted += 1;
+            } else {
+                kept.push(ev);
+            }
+        }
+        self.queue = BinaryHeap::from(kept);
+        self.stats.compactions += 1;
+    }
+
     /// Schedules `action` to run at absolute time `at`.
     ///
     /// # Panics
@@ -221,6 +332,8 @@ impl<W> Sim<W> {
             cancel: None,
             action: Box::new(action),
         });
+        self.note_live_depth();
+        self.maybe_compact();
     }
 
     /// Schedules `action` to run `delay` after the current time.
@@ -240,7 +353,7 @@ impl<W> Sim<W> {
             self.now,
             at
         );
-        let token = CancelToken::new();
+        let token = CancelToken::new(self.tombstones.clone());
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent {
@@ -249,6 +362,8 @@ impl<W> Sim<W> {
             cancel: Some(token.clone()),
             action: Box::new(action),
         });
+        self.note_live_depth();
+        self.maybe_compact();
         token
     }
 
@@ -278,7 +393,7 @@ impl<W> Sim<W> {
                 self.now = ev.at;
             }
             if let Some(token) = &ev.cancel {
-                if token.is_cancelled() {
+                if token.consume() {
                     self.stats.cancelled += 1;
                     continue;
                 }
@@ -300,10 +415,20 @@ impl<W> Sim<W> {
         let mut window_end = SimTime::ZERO;
         while let Some(ev) = self.queue.pop() {
             if let Some(token) = &ev.cancel {
+                // Unchosen live candidates are re-queued below, so only
+                // tombstones may be marked consumed here.
                 if token.is_cancelled() {
+                    token.consume();
                     self.stats.cancelled += 1;
                     continue;
                 }
+            }
+            // Inside a horizon-bounded run, events at or past the bound must
+            // not even become candidates: executing one would break the
+            // cross-shard causality guarantee.
+            if self.explore_bound.is_some_and(|bound| ev.at >= bound) {
+                self.queue.push(ev);
+                break;
             }
             if candidates.is_empty() {
                 window_end = ev.at.max(self.now) + window;
@@ -329,6 +454,9 @@ impl<W> Sim<W> {
         let chosen = candidates.swap_remove(idx);
         for ev in candidates {
             self.queue.push(ev);
+        }
+        if let Some(token) = &chosen.cancel {
+            token.consume();
         }
         if chosen.at > self.now {
             self.now = chosen.at;
@@ -367,6 +495,29 @@ impl<W> Sim<W> {
         if horizon > self.now {
             self.now = horizon;
         }
+        self.stats.executed - start
+    }
+
+    /// Runs all events with timestamp strictly `< horizon` and stops without
+    /// advancing the clock to the horizon. Events at exactly `horizon` stay
+    /// queued for the next call — the conservative-lookahead round primitive
+    /// used by [`crate::shard`]: a cross-shard message arriving at `>= horizon`
+    /// can still be scheduled after this returns without violating causality.
+    ///
+    /// Under an installed [`PopPolicy`] the candidate window is additionally
+    /// clipped at `horizon`, so exploration never executes an event past it.
+    pub fn run_before(&mut self, horizon: SimTime) -> u64 {
+        let start = self.stats.executed;
+        let prev_bound = self.explore_bound.replace(horizon);
+        loop {
+            match self.next_event_time() {
+                Some(at) if at < horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.explore_bound = prev_bound;
         self.stats.executed - start
     }
 
@@ -456,6 +607,95 @@ mod tests {
         assert_eq!(sim.world, 10);
         assert_eq!(sim.stats().cancelled, 1);
         assert_eq!(sim.stats().executed, 1);
+    }
+
+    #[test]
+    fn tombstone_compaction_fires_and_preserves_results() {
+        let mut sim = Sim::new(1, 0u64);
+        let mut tokens = Vec::new();
+        for i in 0..200u64 {
+            tokens.push(
+                sim.schedule_cancellable_at(SimTime::from_nanos(1000 + i), |sim| sim.world += 1),
+            );
+        }
+        for t in &tokens[..150] {
+            t.cancel();
+        }
+        assert_eq!(sim.live_pending_events(), 50);
+        // The next push sees 150 tombstones in a 201-entry queue and compacts.
+        sim.schedule_at(SimTime::from_nanos(5000), |sim| sim.world += 100);
+        let mid = sim.stats();
+        assert_eq!(mid.compactions, 1);
+        assert_eq!(mid.compacted, 150);
+        assert_eq!(sim.pending_events(), 51);
+        sim.run_to_completion(u64::MAX);
+        // 50 live increments plus the final event; compacted events never
+        // count as cancelled *pops*.
+        assert_eq!(sim.world, 150);
+        let end = sim.stats();
+        assert_eq!(end.executed, 51);
+        assert_eq!(end.cancelled, 0);
+        assert_eq!(end.peak_live_depth, 200);
+    }
+
+    #[test]
+    fn cancel_after_execution_does_not_count_a_tombstone() {
+        let mut sim = Sim::new(1, 0u32);
+        let token = sim.schedule_cancellable_in(SimDuration::from_secs(1), |sim| sim.world += 1);
+        sim.run_to_completion(10);
+        assert_eq!(sim.world, 1);
+        token.cancel();
+        assert_eq!(sim.live_pending_events(), 0);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn next_event_time_prunes_cancelled_heads() {
+        let mut sim = Sim::new(1, 0u32);
+        let token = sim.schedule_cancellable_at(SimTime::from_nanos(10), |sim| sim.world += 1);
+        sim.schedule_at(SimTime::from_nanos(20), |sim| sim.world += 10);
+        token.cancel();
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_nanos(20)));
+        assert_eq!(sim.stats().cancelled, 1);
+        assert_eq!(sim.pending_events(), 1);
+        // Pruning does not advance the clock.
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_before_is_exclusive_at_the_horizon() {
+        let mut sim = Sim::new(1, 0u32);
+        sim.schedule_at(SimTime::from_nanos(10), |sim| sim.world += 1);
+        sim.schedule_at(SimTime::from_nanos(20), |sim| sim.world += 10);
+        sim.schedule_at(SimTime::from_nanos(30), |sim| sim.world += 100);
+        // The event exactly at the horizon must NOT run.
+        let ran = sim.run_before(SimTime::from_nanos(20));
+        assert_eq!(ran, 1);
+        assert_eq!(sim.world, 1);
+        // And the clock stays at the last executed event, not the horizon.
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+        let ran = sim.run_before(SimTime::from_nanos(21));
+        assert_eq!(ran, 1);
+        assert_eq!(sim.world, 11);
+        sim.run_before(SimTime::from_nanos(1000));
+        assert_eq!(sim.world, 111);
+    }
+
+    #[test]
+    fn run_before_clips_pop_policy_window_at_horizon() {
+        // A wide-window policy would normally gather the 25ns event alongside
+        // the 10ns one and could run it; under run_before(20) it must not.
+        let mut sim = Sim::new(1, ());
+        let log: Log = Rc::default();
+        sim.schedule_at(SimTime::from_nanos(10), log_event(&log, "in"));
+        sim.schedule_at(SimTime::from_nanos(25), log_event(&log, "out"));
+        sim.set_pop_policy(Box::new(PickLast {
+            window: SimDuration::from_nanos(100),
+        }));
+        sim.run_before(SimTime::from_nanos(20));
+        assert_eq!(*log.borrow(), vec![(10, "in")]);
+        sim.run_before(SimTime::from_nanos(100));
+        assert_eq!(log.borrow().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Deterministic merge of per-shard trace streams.
+//!
+//! A sharded run (see `simkernel::shard`) produces one [`Tracer`] per shard.
+//! Each is internally deterministic, but presenting the run as *one* trace
+//! needs a merge whose output depends only on the shard contents — never on
+//! thread scheduling or the order parts were collected in. The rule mirrors
+//! the kernel's envelope order: events interleave by
+//! `(time, shard_id, local sequence)`, so two shards' simultaneous events
+//! always render in shard order, and one shard's events keep their local
+//! recording order.
+//!
+//! Metrics merge by kind: counters add, histograms concatenate samples, and
+//! gauges resolve last-write-wins *in ascending shard order* (the only
+//! deterministic reading of "last" once streams are parallel).
+
+use simkernel::{ShardId, SimTime};
+
+use crate::Tracer;
+
+/// One mergeable event, keyed for the canonical interleave.
+struct Item<'a> {
+    at: SimTime,
+    shard: ShardId,
+    /// Position in the shard's own span/instant stream; preserves local
+    /// recording order among same-time events of one shard.
+    local: usize,
+    /// Spans sort before instants at identical `(at, shard, local)` — an
+    /// arbitrary but fixed rule (local indices are per-stream, so the pair
+    /// can collide across streams).
+    kind: u8,
+    ev: Event<'a>,
+}
+
+enum Event<'a> {
+    Span(&'a crate::Span),
+    Point(&'a crate::InstantEvent),
+}
+
+/// Merges per-shard tracers into one tracer in canonical
+/// `(time, shard, seq)` order.
+///
+/// The result is a pure function of the *contents* of the parts: the order
+/// of the `parts` slice itself does not matter (shard ids are sorted
+/// internally), so collecting results from worker threads in any order
+/// yields the same merged trace. Open (never-closed) spans are preserved as
+/// open spans.
+///
+/// The merged tracer is enabled; its Chrome export and metrics snapshot are
+/// therefore deterministic for deterministic inputs.
+///
+/// # Panics
+///
+/// Panics if two parts carry the same shard id — the merge order would be
+/// ambiguous.
+pub fn merge_sharded(parts: &[(ShardId, &Tracer)]) -> Tracer {
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| parts[i].0);
+    for w in order.windows(2) {
+        assert!(
+            parts[w[0]].0 != parts[w[1]].0,
+            "duplicate shard id {} in merge",
+            parts[w[0]].0
+        );
+    }
+
+    let mut items: Vec<Item<'_>> = Vec::new();
+    for &(shard, tracer) in parts {
+        items.extend(tracer.spans().iter().enumerate().map(|(local, s)| Item {
+            at: s.start,
+            shard,
+            local,
+            kind: 0,
+            ev: Event::Span(s),
+        }));
+        items.extend(tracer.instants().iter().enumerate().map(|(local, i)| Item {
+            at: i.at,
+            shard,
+            local,
+            kind: 1,
+            ev: Event::Point(i),
+        }));
+    }
+    items.sort_by_key(|it| (it.at, it.shard, it.kind, it.local));
+
+    let mut merged = Tracer::new();
+    merged.set_enabled(true);
+    for it in items {
+        match it.ev {
+            Event::Span(s) => match s.end {
+                Some(end) => merged.span_complete(
+                    s.start,
+                    end.saturating_since(s.start),
+                    s.name,
+                    s.tags.clone(),
+                ),
+                None => {
+                    merged.span_begin(s.start, s.name, s.tags.clone());
+                }
+            },
+            Event::Point(i) => merged.instant(i.at, i.name, i.tags.clone()),
+        }
+    }
+    for &i in &order {
+        merged.registry_mut().merge_from(parts[i].1.registry());
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use simkernel::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn shard_tracer(shard: u64, n: usize) -> Tracer {
+        let mut tr = Tracer::new();
+        tr.set_enabled(true);
+        for i in 0..n {
+            tr.span_complete(
+                t(10 * i as u64 + shard),
+                SimDuration::from_millis(5),
+                names::NET_LEG,
+                vec![("shard", shard.to_string())],
+            );
+            tr.counter_add("net.legs", 1);
+        }
+        tr.gauge_set("queue.depth", shard as f64);
+        tr.histogram_record("h", shard as f64);
+        tr
+    }
+
+    #[test]
+    fn merge_is_independent_of_part_order() {
+        let a = shard_tracer(0, 3);
+        let b = shard_tracer(1, 3);
+        let ab = merge_sharded(&[(0, &a), (1, &b)]);
+        let ba = merge_sharded(&[(1, &b), (0, &a)]);
+        assert_eq!(ab.export_chrome_json(), ba.export_chrome_json());
+        assert_eq!(ab.render_metrics_snapshot(), ba.render_metrics_snapshot());
+    }
+
+    #[test]
+    fn events_interleave_by_time_then_shard() {
+        let mut a = Tracer::new();
+        a.set_enabled(true);
+        a.instant(t(1), names::ENGINE_CLAIM, vec![("shard", "0".into())]);
+        a.instant(t(3), names::ENGINE_CLAIM, vec![("shard", "0".into())]);
+        let mut b = Tracer::new();
+        b.set_enabled(true);
+        b.instant(t(1), names::ENGINE_CLAIM, vec![("shard", "1".into())]);
+        b.instant(t(2), names::ENGINE_CLAIM, vec![("shard", "1".into())]);
+        let merged = merge_sharded(&[(0, &a), (1, &b)]);
+        let shards: Vec<&str> = merged
+            .instants()
+            .iter()
+            .map(|i| i.tag("shard").unwrap())
+            .collect();
+        // t=1 ties break by shard id; then t=2 (shard 1), t=3 (shard 0).
+        assert_eq!(shards, vec!["0", "1", "1", "0"]);
+    }
+
+    #[test]
+    fn metrics_merge_by_kind() {
+        let a = shard_tracer(0, 2);
+        let b = shard_tracer(1, 4);
+        let merged = merge_sharded(&[(0, &a), (1, &b)]);
+        let reg = merged.registry();
+        assert_eq!(reg.counter("net.legs"), 6, "counters add");
+        assert_eq!(
+            reg.gauge("queue.depth"),
+            Some(1.0),
+            "gauges: highest shard wins"
+        );
+        assert_eq!(
+            reg.histogram("h").map(|h| h.len()),
+            Some(2),
+            "histogram samples concatenate"
+        );
+        assert_eq!(merged.spans().len(), 6);
+    }
+
+    #[test]
+    fn open_spans_survive_the_merge() {
+        let mut a = Tracer::new();
+        a.set_enabled(true);
+        a.span_begin(t(5), names::TASK, vec![]);
+        let merged = merge_sharded(&[(0, &a)]);
+        assert_eq!(merged.spans().len(), 1);
+        assert!(merged.spans()[0].end.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate shard id")]
+    fn duplicate_shard_ids_are_rejected() {
+        let a = shard_tracer(0, 1);
+        let b = shard_tracer(0, 1);
+        merge_sharded(&[(0, &a), (0, &b)]);
+    }
+}

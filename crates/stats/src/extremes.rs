@@ -42,6 +42,52 @@ pub fn monte_carlo_max<R: Rng + ?Sized>(
     EmpiricalDist::new(maxima).expect("maxima of finite samples are finite")
 }
 
+/// Per-trial maxima of `n` standard normal draws, in trial order.
+///
+/// Consumes exactly the RNG stream that [`monte_carlo_max`] would over a
+/// [`Dist::Normal`] or [`Dist::LogNormal`] parent — both draw one standard
+/// normal per sample — so the result can stand in for a full Monte Carlo run
+/// via [`monte_carlo_max_from_std`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `trials == 0`, matching [`monte_carlo_max`].
+pub fn std_normal_maxima<R: Rng + ?Sized>(n: usize, trials: usize, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "max over zero variables is undefined");
+    assert!(trials > 0, "need at least one trial");
+    let mut maxima = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut m = f64::NEG_INFINITY;
+        for _ in 0..n {
+            m = m.max(crate::dist::sample_std_normal(rng));
+        }
+        maxima.push(m);
+    }
+    maxima
+}
+
+/// Rebuilds `monte_carlo_max(parent, n, trials, rng)` bit-identically from
+/// cached standardized maxima, for parents that are monotone non-decreasing
+/// transforms of a single standard normal draw (Normal and LogNormal).
+///
+/// Both `z -> mu + sigma * z` and `z -> (mu + sigma * z).exp()` are monotone
+/// in `z` operation by operation (`sigma >= 0`; IEEE rounding preserves
+/// monotonicity per operation), so the max of the transformed draws equals
+/// the transform of the max draw: `max_i fl(T(z_i)) == fl(T(max_i z_i))`.
+/// The expressions below mirror [`Dist::sample`] exactly to keep the
+/// float-for-float guarantee. Returns `None` for parents outside that
+/// family, in which case callers must fall back to the full Monte Carlo.
+pub fn monte_carlo_max_from_std(parent: &Dist, std_maxima: &[f64]) -> Option<EmpiricalDist> {
+    let maxima: Vec<f64> = match parent {
+        Dist::Normal { mu, sigma } => std_maxima.iter().map(|z| mu + sigma * z).collect(),
+        Dist::LogNormal { mu, sigma } => {
+            std_maxima.iter().map(|z| (mu + sigma * z).exp()).collect()
+        }
+        _ => return None,
+    };
+    Some(EmpiricalDist::new(maxima).expect("maxima of finite samples are finite"))
+}
+
 /// Classical normalizing constants `(a_n, b_n)` for the maximum of `n`
 /// standard normals: `P(max <= a_n + x / b_n) -> exp(-exp(-x))`.
 pub fn normal_max_norming(n: usize) -> (f64, f64) {
@@ -188,6 +234,43 @@ mod tests {
     #[should_panic(expected = "max over zero variables")]
     fn monte_carlo_rejects_zero_n() {
         monte_carlo_max(&Dist::Constant(1.0), 0, 10, &mut rng());
+    }
+
+    #[test]
+    fn std_maxima_path_is_bit_identical_to_full_monte_carlo() {
+        // The standardized-maxima shortcut must reproduce the full Monte
+        // Carlo float for float: same RNG stream, monotone transform of the
+        // per-trial max. Sweep parents (Normal and LogNormal, including
+        // degenerate sigma), sizes, and seeds.
+        let parents = [
+            Dist::normal(10.0, 2.0),
+            Dist::normal(0.3, 0.0),
+            Dist::normal(-4.0, 17.5),
+            Dist::lognormal(1.2, 0.4),
+            Dist::lognormal(-3.0, 2.5),
+            Dist::lognormal_mean_cv(8.0, 0.35),
+        ];
+        for (pi, parent) in parents.iter().enumerate() {
+            for (n, trials, seed) in [(2, 400, 7u64), (16, 250, 99), (127, 60, 12345)] {
+                let seed = seed ^ (pi as u64) << 8;
+                let full = monte_carlo_max(parent, n, trials, &mut StdRng::seed_from_u64(seed));
+                let std_max = std_normal_maxima(n, trials, &mut StdRng::seed_from_u64(seed));
+                let fast = monte_carlo_max_from_std(parent, &std_max)
+                    .expect("Normal/LogNormal parents take the fast path");
+                assert_eq!(
+                    full.samples(),
+                    fast.samples(),
+                    "drift for parent #{pi} n={n} trials={trials}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn std_maxima_declines_unsupported_parents() {
+        let std_max = std_normal_maxima(4, 50, &mut rng());
+        assert!(monte_carlo_max_from_std(&Dist::Constant(1.0), &std_max).is_none());
+        assert!(monte_carlo_max_from_std(&Dist::Uniform { lo: 0.0, hi: 1.0 }, &std_max).is_none());
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub struct Config {
     pub taint_sinks: Vec<String>,
     /// Crates where `no-dropped-result` applies (lib sources only).
     pub dropped_result_crates: Vec<String>,
+    /// Identifiers `thread-confinement` flags in library sources: OS
+    /// threading and shared-state primitives.
+    pub thread_idents: Vec<String>,
+    /// Files where those primitives are legal (the sharded-execution
+    /// module that owns the horizon protocol).
+    pub thread_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -163,6 +169,18 @@ impl Default for Config {
                 "stats".into(),
                 "pricing".into(),
             ],
+            thread_idents: vec![
+                "thread".into(),
+                "thread_local".into(),
+                "mpsc".into(),
+                "Mutex".into(),
+                "RwLock".into(),
+                "Condvar".into(),
+                "JoinHandle".into(),
+                "Barrier".into(),
+                "Arc".into(),
+            ],
+            thread_allow: vec!["crates/simkernel/src/shard.rs".into()],
         }
     }
 }
@@ -277,6 +295,8 @@ impl Config {
             taint_sources: Vec::new(),
             taint_sinks: Vec::new(),
             dropped_result_crates: Vec::new(),
+            thread_idents: Vec::new(),
+            thread_allow: Vec::new(),
         };
         let mut section = String::new();
         for (idx, raw) in text.lines().enumerate() {
@@ -356,6 +376,12 @@ impl Config {
                 }
                 ("rules.no-dropped-result", "crates") => {
                     cfg.dropped_result_crates = parse_string_array(value).map_err(err)?
+                }
+                ("rules.thread-confinement", "idents") => {
+                    cfg.thread_idents = parse_string_array(value).map_err(err)?
+                }
+                ("rules.thread-confinement", "allow") => {
+                    cfg.thread_allow = parse_string_array(value).map_err(err)?
                 }
                 ("[[resource]]", k) => {
                     let entry = cfg.resources.last_mut().ok_or_else(|| ConfigError {

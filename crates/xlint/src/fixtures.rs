@@ -472,6 +472,81 @@ pub fn write_report(content: &str) {
 }
 "##,
     },
+    // ---- thread-confinement ---------------------------------------------
+    Fixture {
+        name: "thread-confinement-spawn-violating",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "thread-confinement",
+        expect: Expect::Fires,
+        source: r##"
+pub fn prefetch() {
+    std::thread::spawn(|| {});
+}
+"##,
+    },
+    Fixture {
+        name: "thread-confinement-mutex-violating",
+        rel_path: "crates/areplica-traces/src/fixture.rs",
+        rule: "thread-confinement",
+        expect: Expect::Fires,
+        source: r##"
+use std::sync::Mutex;
+pub struct Cache {
+    inner: Mutex<u64>,
+}
+"##,
+    },
+    Fixture {
+        name: "thread-confinement-clean-shard-module",
+        rel_path: "crates/simkernel/src/shard.rs",
+        rule: "thread-confinement",
+        expect: Expect::Clean,
+        source: r##"
+use std::sync::mpsc;
+use std::thread;
+pub fn drivers() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}
+"##,
+    },
+    Fixture {
+        name: "thread-confinement-clean-bin",
+        rel_path: "crates/bench/src/bin/fixture.rs",
+        rule: "thread-confinement",
+        expect: Expect::Clean,
+        source: r##"
+pub fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+"##,
+    },
+    Fixture {
+        name: "thread-confinement-clean-in-test-mod",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "thread-confinement",
+        expect: Expect::Clean,
+        source: r##"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stress() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}
+"##,
+    },
+    Fixture {
+        name: "thread-confinement-pragma",
+        rel_path: "crates/cloudsim/src/fixture.rs",
+        rule: "thread-confinement",
+        expect: Expect::Clean,
+        source: r##"
+pub fn host_cores() -> usize {
+    // xlint::allow(thread-confinement, reads host parallelism only; spawns nothing)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+"##,
+    },
     // ---- bad-pragma ----------------------------------------------------
     Fixture {
         name: "pragma-missing-reason",

@@ -14,13 +14,14 @@ use std::collections::BTreeSet;
 
 /// All rule names, for pragma validation and `--list-rules`. The last four
 /// are the v2 flow-aware rules (see `flow`).
-pub const RULE_NAMES: [&str; 11] = [
+pub const RULE_NAMES: [&str; 12] = [
     "no-wall-clock",
     "no-os-entropy",
     "no-unordered-iteration",
     "layering",
     "no-unwrap-in-lib",
     "no-adhoc-stderr",
+    "thread-confinement",
     "bad-pragma",
     "protocol-resource-balance",
     "span-balance",
@@ -134,6 +135,7 @@ pub fn check_prepared(p: &Prepared, cfg: &Config, summaries: &Summaries) -> Vec<
     layering(rel, scope, lexed, cfg, &mut out);
     unwrap_in_lib(rel, scope, lexed, cfg, &mut out);
     adhoc_stderr(rel, scope, lexed, cfg, &mut out);
+    thread_confinement(rel, scope, lexed, cfg, &mut out);
     flow::check_semantic(&p.sem_input(), cfg, summaries, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -302,6 +304,47 @@ fn layering(rel: &str, scope: &FileScope, lexed: &LexedFile, cfg: &Config, out: 
                             .first()
                             .map(String::as_str)
                             .unwrap_or("the allowed adapter")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// thread-confinement: OS threading and shared-state primitives (`thread`,
+/// `mpsc`, `Mutex`, …) in library sources outside the sharded-execution
+/// module. Determinism under the parallel driver rests on
+/// `simkernel::shard` owning every worker thread and every channel —
+/// concurrency smuggled in anywhere else (a stray spawn, a lock, a
+/// thread-local stash) can leak wall-clock interleaving into results.
+/// Bins and test trees are exempt: they never produce pinned output
+/// through a simulator they share with other threads.
+fn thread_confinement(
+    rel: &str,
+    scope: &FileScope,
+    lexed: &LexedFile,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if !scope.lib_src || cfg.thread_allow.iter().any(|a| a == rel) {
+        return;
+    }
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if let Tok::Ident(w) = &t.tok {
+            if cfg.thread_idents.iter().any(|p| p == w) {
+                // Method/field position (`x.thread`) is not the primitive.
+                if i > 0 && punct_at(&lexed.tokens, i - 1, '.') {
+                    continue;
+                }
+                emit(
+                    out,
+                    lexed,
+                    "thread-confinement",
+                    rel,
+                    t.line,
+                    true,
+                    format!(
+                        "`{w}` is a threading/shared-state primitive; concurrency is confined to `simkernel::shard` (the horizon protocol) so parallel runs stay byte-identical"
                     ),
                 );
             }

@@ -67,6 +67,11 @@ fn no_adhoc_stderr_fixtures() {
 }
 
 #[test]
+fn thread_confinement_fixtures() {
+    assert!(check_rule_fixtures("thread-confinement") >= 5);
+}
+
+#[test]
 fn bad_pragma_fixtures() {
     assert!(check_rule_fixtures("bad-pragma") >= 2);
 }
@@ -229,6 +234,14 @@ fn committed_config_parses() {
     assert!(cfg.taint_sinks.iter().any(|s| s == "schedule_in"));
     assert!(cfg.span_crates.iter().any(|c| c == "areplica-core"));
     assert!(cfg.dropped_result_crates.iter().any(|c| c == "cloudsim"));
+    // PR 10's thread-confinement policy: primitives named, the shard
+    // module (and nothing else) allow-listed.
+    assert!(cfg.thread_idents.iter().any(|i| i == "thread"));
+    assert!(cfg.thread_idents.iter().any(|i| i == "mpsc"));
+    assert_eq!(
+        cfg.thread_allow,
+        vec!["crates/simkernel/src/shard.rs".to_string()]
+    );
 }
 
 /// `--changed-only` semantics: summaries come from the whole tree, findings
